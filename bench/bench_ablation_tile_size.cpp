@@ -1,0 +1,58 @@
+// Ablation: tile size nb — the granularity dial of tile-based solvers.
+//
+// Small tiles expose parallelism (more tasks, shorter critical path in
+// flops) but pay scheduling overhead and lose kernel efficiency; large tiles
+// do the opposite. This bench measures the real runtime Cholesky across nb
+// and prints the DAG shape next to wall time, and shows how the analytic
+// cluster model's panel term responds to nb at Summit scale.
+#include "bench_util.hpp"
+#include "perfmodel/cholesky_sim.hpp"
+#include "runtime/tiled_cholesky_rt.hpp"
+
+using namespace exaclim;
+using linalg::PrecisionVariant;
+
+int main() {
+  bench::print_header("Ablation — tile size (measured node scale + model)");
+
+  const index_t n = 2048;
+  const linalg::Matrix a = bench::decaying_spd(n, 80.0);
+  std::printf("\nMeasured (n = %lld, DP, all cores):\n",
+              static_cast<long long>(n));
+  std::printf("%6s %6s %8s %10s %14s %12s\n", "nb", "nt", "tasks",
+              "crit path", "parallelism", "time (s)");
+  for (index_t nb : {64, 128, 256, 512, 1024}) {
+    const index_t nt = (n + nb - 1) / nb;
+    auto tiled = linalg::TiledSymmetricMatrix::from_dense(
+        a, nb, linalg::make_band_policy(nt, PrecisionVariant::DP));
+    runtime::RtCholeskyOptions opt;
+    const auto r = runtime::cholesky_tiled_parallel(tiled, opt);
+    std::printf("%6lld %6lld %8lld %10lld %14.1f %12.4f\n",
+                static_cast<long long>(nb), static_cast<long long>(nt),
+                static_cast<long long>(r.total_tasks),
+                static_cast<long long>(r.critical_path_tasks),
+                static_cast<double>(r.total_tasks) /
+                    static_cast<double>(r.critical_path_tasks),
+                r.run.seconds);
+  }
+
+  std::printf("\nModelled (Summit 2048 nodes, DP/HP, n = 8.39M):\n");
+  std::printf("%6s %10s %12s %12s %12s\n", "nb", "PFlop/s", "panel (s)",
+              "comm (s)", "compute (s)");
+  for (index_t nb : {1024, 2048, 4096, 8192}) {
+    perfmodel::SimConfig cfg;
+    cfg.machine = perfmodel::summit();
+    cfg.nodes = 2048;
+    cfg.matrix_size = 8.39e6;
+    cfg.tile_size = nb;
+    cfg.variant = PrecisionVariant::DP_HP;
+    const auto r = perfmodel::simulate_cholesky(cfg);
+    std::printf("%6lld %10.1f %12.1f %12.1f %12.1f\n",
+                static_cast<long long>(nb), r.pflops, r.panel_seconds,
+                r.comm_seconds, r.compute_seconds);
+  }
+  std::printf("\nTrade-off: the panel chain shrinks with fewer, larger tiles\n"
+              "while per-tile broadcast volume grows — the flat region in\n"
+              "the middle is why production tile solvers run nb ~ 2048.\n");
+  return 0;
+}

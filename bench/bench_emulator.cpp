@@ -1,0 +1,82 @@
+// End-to-end emulator throughput: training and emulation rates by band
+// limit, and emulation points-per-second (the "generate a year in seconds"
+// claim of the introduction, at laptop scale).
+#include <benchmark/benchmark.h>
+
+#include "climate/synthetic_esm.hpp"
+#include "core/emulator.hpp"
+
+namespace {
+
+using namespace exaclim;
+
+climate::SyntheticEsm make_data(index_t band_limit, index_t tau,
+                                index_t years) {
+  climate::SyntheticEsmConfig cfg;
+  cfg.band_limit = band_limit;
+  cfg.grid = {band_limit + 1, 2 * band_limit};
+  cfg.num_years = years;
+  cfg.steps_per_year = tau;
+  cfg.num_ensembles = 2;
+  return climate::generate_synthetic_esm(cfg);
+}
+
+core::EmulatorConfig make_config(index_t band_limit, index_t tau) {
+  core::EmulatorConfig cfg;
+  cfg.band_limit = band_limit;
+  cfg.ar_order = 3;
+  cfg.harmonics = 4;
+  cfg.steps_per_year = tau;
+  cfg.tile_size = 64;
+  cfg.cholesky_variant = linalg::PrecisionVariant::DP_HP;
+  return cfg;
+}
+
+void BM_Train(benchmark::State& state) {
+  const index_t L = state.range(0);
+  const index_t tau = 48;
+  const auto esm = make_data(L, tau, 3);
+  for (auto _ : state) {
+    core::ClimateEmulator emulator(make_config(L, tau));
+    emulator.train(esm.data, esm.forcing);
+    benchmark::DoNotOptimize(&emulator);
+  }
+  state.counters["points/s"] = benchmark::Counter(
+      esm.data.total_points() * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.SetLabel("L=" + std::to_string(L));
+}
+BENCHMARK(BM_Train)->Arg(8)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
+
+void BM_Emulate(benchmark::State& state) {
+  const index_t L = state.range(0);
+  const index_t tau = 48;
+  const auto esm = make_data(L, tau, 3);
+  core::ClimateEmulator emulator(make_config(L, tau));
+  emulator.train(esm.data, esm.forcing);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const auto emu = emulator.emulate(esm.data.num_steps(), 1, esm.forcing,
+                                      ++seed);
+    benchmark::DoNotOptimize(emu.raw().data());
+  }
+  const double points = static_cast<double>(esm.data.num_steps()) *
+                        esm.data.grid().num_points();
+  state.counters["points/s"] = benchmark::Counter(
+      points * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.SetLabel("L=" + std::to_string(L));
+}
+BENCHMARK(BM_Emulate)->Arg(8)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
+
+void BM_SyntheticEsmGeneration(benchmark::State& state) {
+  const index_t L = state.range(0);
+  for (auto _ : state) {
+    const auto esm = make_data(L, 48, 2);
+    benchmark::DoNotOptimize(esm.data.raw().data());
+  }
+}
+BENCHMARK(BM_SyntheticEsmGeneration)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

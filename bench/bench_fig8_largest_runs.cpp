@@ -1,0 +1,71 @@
+// Figure 8: the largest-scale runs — 0.976 EFlop/s on 9,025 Frontier nodes,
+// 0.739 on 1,936 Alps nodes, 0.375 on 3,072 Summit nodes, 0.243 on 1,024
+// Leonardo nodes, plus the Alps/Frontier run-up points; all DP/HP.
+//
+// Replays every point through the calibrated performance model and prints
+// paper-vs-model PFlop/s with the time-breakdown that explains each number.
+#include "bench_util.hpp"
+#include "perfmodel/calibration.hpp"
+#include "perfmodel/cholesky_sim.hpp"
+
+using namespace exaclim;
+
+int main() {
+  bench::print_header("Figure 8 — largest-scale DP/HP runs, all four systems");
+
+  std::printf("\n%-10s %7s %9s | %10s %10s %7s | %9s %9s %9s\n", "system",
+              "nodes", "size", "paper PF", "model PF", "ratio", "comp(s)",
+              "comm(s)", "panel(s)");
+  double worst_ratio = 1.0;
+  for (const auto& point : perfmodel::paper_fig8()) {
+    perfmodel::SimConfig cfg;
+    cfg.machine = perfmodel::machine_by_name(point.system);
+    cfg.nodes = point.nodes;
+    cfg.matrix_size = point.matrix_size;
+    cfg.tile_size = 2048;
+    cfg.variant = linalg::PrecisionVariant::DP_HP;
+    const auto r = perfmodel::simulate_cholesky(cfg);
+    const double ratio = r.pflops / point.pflops;
+    worst_ratio = std::max(worst_ratio, std::max(ratio, 1.0 / ratio));
+    std::printf("%-10s %7lld %8.2fM | %10.1f %10.1f %7.2f | %9.1f %9.1f %9.1f\n",
+                point.system, static_cast<long long>(point.nodes),
+                point.matrix_size / 1e6, point.pflops, r.pflops, ratio,
+                r.compute_seconds, r.comm_seconds, r.panel_seconds);
+  }
+  std::printf("\nWorst paper/model deviation: %.2fx\n", worst_ratio);
+
+  // The shape claims of the figure.
+  std::printf("\nShape checks:\n");
+  auto pf = [](const char* system, index_t nodes, double size) {
+    perfmodel::SimConfig cfg;
+    cfg.machine = perfmodel::machine_by_name(system);
+    cfg.nodes = nodes;
+    cfg.matrix_size = size;
+    cfg.tile_size = 2048;
+    cfg.variant = linalg::PrecisionVariant::DP_HP;
+    return perfmodel::simulate_cholesky(cfg).pflops;
+  };
+  const double frontier_full = pf("Frontier", 9025, 27.24e6);
+  const double alps_full = pf("Alps", 1936, 15.73e6);
+  const double summit_full = pf("Summit", 3072, 12.58e6);
+  const double leonardo_full = pf("Leonardo", 1024, 8.39e6);
+  std::printf("  Frontier-9025 is the fastest run:            %s\n",
+              (frontier_full > alps_full && frontier_full > summit_full &&
+               frontier_full > leonardo_full)
+                  ? "yes (as in paper)"
+                  : "NO");
+  std::printf("  Alps run-up grows with node count:           %s\n",
+              (pf("Alps", 1024, 10.49e6) < pf("Alps", 1600, 14.42e6) &&
+               pf("Alps", 1600, 14.42e6) < alps_full)
+                  ? "yes (as in paper)"
+                  : "NO");
+  std::printf("  Frontier run-up grows monotonically:         %s\n",
+              (pf("Frontier", 2048, 12.58e6) < pf("Frontier", 4096, 16.78e6) &&
+               pf("Frontier", 4096, 16.78e6) < pf("Frontier", 6400, 20.97e6) &&
+               pf("Frontier", 6400, 20.97e6) < frontier_full)
+                  ? "yes (as in paper)"
+                  : "NO");
+  std::printf("  Alps-1936 (7744 GH200) beats Summit-3072:    %s\n",
+              alps_full > summit_full ? "yes (as in paper)" : "NO");
+  return 0;
+}

@@ -1,0 +1,193 @@
+// Measured kernel rates backing the performance model: per-precision tile
+// GEMM/SYRK/TRSM/POTRF, precision conversions, and full tile Cholesky
+// variants (sequential and runtime-parallel).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/kernels.hpp"
+#include "runtime/tiled_cholesky_rt.hpp"
+
+namespace {
+
+using namespace exaclim;
+using namespace exaclim::linalg;
+
+template <typename T>
+std::vector<T> random_tile(index_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<T> v(static_cast<std::size_t>(n * n));
+  for (auto& x : v) x = static_cast<T>(rng.normal());
+  return v;
+}
+
+Matrix spd(index_t n) {
+  Matrix a(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      a(i, j) = std::exp(-std::abs(static_cast<double>(i - j)) / 64.0);
+    }
+    a(i, i) += 1e-3;
+  }
+  return a;
+}
+
+void BM_GemmF64(benchmark::State& state) {
+  const index_t nb = state.range(0);
+  const auto a = random_tile<double>(nb, 1);
+  const auto b = random_tile<double>(nb, 2);
+  auto c = random_tile<double>(nb, 3);
+  for (auto _ : state) {
+    gemm_nt_minus_f64(a.data(), b.data(), c.data(), nb, nb, nb);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      2.0 * nb * nb * nb * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmF64)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmF32(benchmark::State& state) {
+  const index_t nb = state.range(0);
+  const auto a = random_tile<float>(nb, 1);
+  const auto b = random_tile<float>(nb, 2);
+  auto c = random_tile<float>(nb, 3);
+  for (auto _ : state) {
+    gemm_nt_minus_f32(a.data(), b.data(), c.data(), nb, nb, nb);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      2.0 * nb * nb * nb * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmF32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmTensorCoreStyle(benchmark::State& state) {
+  // fp16-rounded operands, fp32 accumulate, fp16 store: the full HP GEMM
+  // task body.
+  const index_t nb = state.range(0);
+  auto a = random_tile<float>(nb, 1);
+  auto b = random_tile<float>(nb, 2);
+  round_through_f16(a.data(), nb * nb);
+  round_through_f16(b.data(), nb * nb);
+  std::vector<common::half> c_storage(static_cast<std::size_t>(nb * nb));
+  std::vector<float> c(static_cast<std::size_t>(nb * nb));
+  for (auto _ : state) {
+    convert_f16_to_f32(c_storage.data(), c.data(), nb * nb);
+    gemm_nt_minus_f32(a.data(), b.data(), c.data(), nb, nb, nb);
+    convert_f32_to_f16(c.data(), c_storage.data(), nb * nb);
+    benchmark::DoNotOptimize(c_storage.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      2.0 * nb * nb * nb * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmTensorCoreStyle)->Arg(128)->Arg(256);
+
+void BM_PotrfF64(benchmark::State& state) {
+  const index_t nb = state.range(0);
+  const Matrix a = spd(nb);
+  std::vector<double> tile(static_cast<std::size_t>(nb * nb));
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (index_t i = 0; i < nb; ++i) {
+      for (index_t j = 0; j < nb; ++j) {
+        tile[static_cast<std::size_t>(i * nb + j)] = a(i, j);
+      }
+    }
+    state.ResumeTiming();
+    potrf_lower_f64(tile.data(), nb);
+    benchmark::DoNotOptimize(tile.data());
+  }
+}
+BENCHMARK(BM_PotrfF64)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_TrsmF64(benchmark::State& state) {
+  const index_t nb = state.range(0);
+  Matrix l = spd(nb);
+  cholesky_dense(l);
+  std::vector<double> lt(static_cast<std::size_t>(nb * nb));
+  for (index_t i = 0; i < nb; ++i) {
+    for (index_t j = 0; j < nb; ++j) {
+      lt[static_cast<std::size_t>(i * nb + j)] = l(i, j);
+    }
+  }
+  auto b = random_tile<double>(nb, 5);
+  for (auto _ : state) {
+    trsm_rlt_f64(lt.data(), b.data(), nb, nb);
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      static_cast<double>(nb) * nb * nb * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TrsmF64)->Arg(128)->Arg(256);
+
+void BM_ConvertF64ToF16(benchmark::State& state) {
+  const index_t count = state.range(0);
+  const auto src = random_tile<double>(static_cast<index_t>(std::sqrt(count)), 7);
+  std::vector<double> data(static_cast<std::size_t>(count));
+  common::Rng rng(9);
+  for (auto& v : data) v = rng.normal();
+  std::vector<common::half> dst(static_cast<std::size_t>(count));
+  for (auto _ : state) {
+    convert_f64_to_f16(data.data(), dst.data(), count);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          count * 8);
+}
+BENCHMARK(BM_ConvertF64ToF16)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_CholeskyVariant(benchmark::State& state) {
+  const index_t n = 1024;
+  const index_t nb = 128;
+  const index_t nt = (n + nb - 1) / nb;
+  const auto variant = static_cast<PrecisionVariant>(state.range(0));
+  const Matrix a = spd(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto tiled =
+        TiledSymmetricMatrix::from_dense(a, nb, make_band_policy(nt, variant));
+    state.ResumeTiming();
+    cholesky_tiled(tiled);
+    benchmark::DoNotOptimize(&tiled);
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      static_cast<double>(n) * n * n / 3.0 * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+  state.SetLabel(variant_name(variant));
+}
+BENCHMARK(BM_CholeskyVariant)
+    ->Arg(static_cast<int>(PrecisionVariant::DP))
+    ->Arg(static_cast<int>(PrecisionVariant::DP_SP))
+    ->Arg(static_cast<int>(PrecisionVariant::DP_SP_HP))
+    ->Arg(static_cast<int>(PrecisionVariant::DP_HP));
+
+void BM_CholeskyRuntimeThreads(benchmark::State& state) {
+  const index_t n = 1536;
+  const index_t nb = 128;
+  const index_t nt = (n + nb - 1) / nb;
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  const Matrix a = spd(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto tiled = TiledSymmetricMatrix::from_dense(
+        a, nb, make_band_policy(nt, PrecisionVariant::DP));
+    state.ResumeTiming();
+    runtime::RtCholeskyOptions opt;
+    opt.threads = threads;
+    runtime::cholesky_tiled_parallel(tiled, opt);
+    benchmark::DoNotOptimize(&tiled);
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      static_cast<double>(n) * n * n / 3.0 * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CholeskyRuntimeThreads)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->Arg(24)
+    ->UseRealTime();
+
+}  // namespace

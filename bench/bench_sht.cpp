@@ -1,0 +1,97 @@
+// Measured SHT performance: forward analysis, inverse synthesis, plan
+// construction (Wigner/Legendre precomputation), and the O(L^3)-per-slot
+// scaling claim of Section III-A.2.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "fft/fft.hpp"
+#include "sht/packing.hpp"
+#include "sht/sht.hpp"
+
+namespace {
+
+using namespace exaclim;
+using namespace exaclim::sht;
+
+std::vector<cplx> random_coeffs(index_t band_limit, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<cplx> c(static_cast<std::size_t>(tri_count(band_limit)));
+  for (index_t l = 0; l < band_limit; ++l) {
+    c[static_cast<std::size_t>(tri_index(l, 0))] = {rng.normal(), 0.0};
+    for (index_t m = 1; m <= l; ++m) {
+      c[static_cast<std::size_t>(tri_index(l, m))] = {rng.normal(),
+                                                      rng.normal()};
+    }
+  }
+  return c;
+}
+
+void BM_ShtAnalyze(benchmark::State& state) {
+  const index_t L = state.range(0);
+  const GridShape grid{L + 1, 2 * L};
+  const SHTPlan plan(L, grid);
+  const auto field = plan.synthesize(random_coeffs(L, 1));
+  for (auto _ : state) {
+    auto coeffs = plan.analyze(field);
+    benchmark::DoNotOptimize(coeffs.data());
+  }
+  // O(L^3) useful work per slot.
+  state.counters["L^3/s"] = benchmark::Counter(
+      static_cast<double>(L) * L * L * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ShtAnalyze)->Arg(16)->Arg(32)->Arg(64)->Arg(96)->Arg(128);
+
+void BM_ShtSynthesize(benchmark::State& state) {
+  const index_t L = state.range(0);
+  const GridShape grid{L + 1, 2 * L};
+  const SHTPlan plan(L, grid);
+  const auto coeffs = random_coeffs(L, 2);
+  for (auto _ : state) {
+    auto field = plan.synthesize(coeffs);
+    benchmark::DoNotOptimize(field.data());
+  }
+  state.counters["L^3/s"] = benchmark::Counter(
+      static_cast<double>(L) * L * L * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ShtSynthesize)->Arg(16)->Arg(32)->Arg(64)->Arg(96)->Arg(128);
+
+void BM_ShtPlanConstruction(benchmark::State& state) {
+  // Paper Section III-A.2: pre-compute Wigner/Legendre once, amortized over
+  // all T temporal observations.
+  const index_t L = state.range(0);
+  for (auto _ : state) {
+    SHTPlan plan(L, GridShape{L + 1, 2 * L});
+    benchmark::DoNotOptimize(&plan);
+  }
+}
+BENCHMARK(BM_ShtPlanConstruction)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FftEra5Longitude(benchmark::State& state) {
+  // The 1440-point longitude FFT of an ERA5 row (non-power-of-two).
+  const auto plan = fft::get_plan(1440);
+  std::vector<cplx> row(1440);
+  common::Rng rng(3);
+  for (auto& v : row) v = {rng.normal(), 0.0};
+  for (auto _ : state) {
+    auto copy = row;
+    plan->forward(copy.data());
+    benchmark::DoNotOptimize(copy.data());
+  }
+}
+BENCHMARK(BM_FftEra5Longitude);
+
+void BM_PackUnpack(benchmark::State& state) {
+  const index_t L = state.range(0);
+  const auto coeffs = random_coeffs(L, 4);
+  for (auto _ : state) {
+    auto packed = pack_real(L, coeffs);
+    auto back = unpack_real(L, packed);
+    benchmark::DoNotOptimize(back.data());
+  }
+}
+BENCHMARK(BM_PackUnpack)->Arg(32)->Arg(128);
+
+}  // namespace

@@ -1,0 +1,36 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+
+#include "linalg/matrix.hpp"
+
+namespace exaclim::bench {
+
+/// SPD covariance-like matrix with exponentially decaying off-diagonal
+/// strength (the structure of the emulator's innovation covariance).
+inline linalg::Matrix decaying_spd(index_t n, double length_scale) {
+  linalg::Matrix a(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      a(i, j) = std::exp(-std::abs(static_cast<double>(i - j)) / length_scale);
+    }
+    a(i, i) += 1e-3;
+  }
+  return a;
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+/// "paper X vs ours Y (ratio Z)" helper.
+inline void print_vs(const char* label, double paper, double ours) {
+  std::printf("  %-42s paper %10.3g | ours %10.3g | ratio %5.2f\n", label,
+              paper, ours, paper != 0.0 ? ours / paper : 0.0);
+}
+
+}  // namespace exaclim::bench

@@ -1,0 +1,201 @@
+// exaclim — command-line driver for the emulator.
+//
+//   exaclim_cli generate --out data.bin [--band-limit L] [--years Y]
+//                        [--steps-per-year TAU] [--ensembles R] [--seed S]
+//   exaclim_cli train    --data data.bin --model model.bin [--band-limit L]
+//                        [--ar-order P] [--harmonics K]
+//                        [--variant DP|DP/SP|DP/SP/HP|DP/HP]
+//                        [--factor-storage fp64|fp32|fp16]
+//   exaclim_cli emulate  --model model.bin --out emu.bin --steps N
+//                        [--ensembles R] [--seed S]
+//   exaclim_cli info     --file <dataset-or-model>
+//   exaclim_cli verify   --data data.bin --emu emu.bin [--band-limit L]
+//
+// The workflow a downstream modelling centre would run: generate (or bring)
+// an ensemble, train once, archive only the model file, regenerate members
+// on demand, and verify statistical consistency.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "climate/synthetic_esm.hpp"
+#include "common/error.hpp"
+#include "core/consistency.hpp"
+#include "core/emulator.hpp"
+#include "core/serialize.hpp"
+
+using namespace exaclim;
+using exaclim::InvalidArgument;
+using exaclim::IoError;
+
+namespace {
+
+/// Minimal --key value argument parser.
+std::map<std::string, std::string> parse_args(int argc, char** argv,
+                                              int first) {
+  std::map<std::string, std::string> args;
+  for (int i = first; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      throw InvalidArgument(std::string("expected --flag, got ") + argv[i]);
+    }
+    args[argv[i] + 2] = argv[i + 1];
+  }
+  return args;
+}
+
+std::string get(const std::map<std::string, std::string>& args,
+                const std::string& key, const std::string& fallback = "") {
+  auto it = args.find(key);
+  if (it != args.end()) return it->second;
+  if (!fallback.empty()) return fallback;
+  throw InvalidArgument("missing required flag --" + key);
+}
+
+index_t get_int(const std::map<std::string, std::string>& args,
+                const std::string& key, index_t fallback) {
+  auto it = args.find(key);
+  return it != args.end() ? std::stoll(it->second) : fallback;
+}
+
+int cmd_generate(const std::map<std::string, std::string>& args) {
+  climate::SyntheticEsmConfig cfg;
+  cfg.band_limit = get_int(args, "band-limit", 16);
+  cfg.grid = {cfg.band_limit + 1, 2 * cfg.band_limit};
+  cfg.num_years = get_int(args, "years", 4);
+  cfg.steps_per_year = get_int(args, "steps-per-year", 64);
+  cfg.num_ensembles = get_int(args, "ensembles", 2);
+  cfg.seed = static_cast<std::uint64_t>(get_int(args, "seed", 20240811));
+  const auto esm = climate::generate_synthetic_esm(cfg);
+  const std::string out = get(args, "out");
+  esm.data.save(out);
+  std::printf("wrote %s: %lldx%lld grid, %lld steps, %lld members (%.1f MB)\n",
+              out.c_str(), static_cast<long long>(cfg.grid.nlat),
+              static_cast<long long>(cfg.grid.nlon),
+              static_cast<long long>(esm.data.num_steps()),
+              static_cast<long long>(cfg.num_ensembles),
+              esm.data.total_points() * 8.0 / 1e6);
+  return 0;
+}
+
+int cmd_train(const std::map<std::string, std::string>& args) {
+  const auto data = climate::ClimateDataset::load(get(args, "data"));
+  core::EmulatorConfig cfg;
+  cfg.band_limit = get_int(args, "band-limit", data.grid().nlat - 1);
+  cfg.ar_order = get_int(args, "ar-order", 3);
+  cfg.harmonics = get_int(args, "harmonics", 5);
+  cfg.steps_per_year = data.steps_per_year();
+  cfg.cholesky_variant =
+      linalg::parse_variant(get(args, "variant", "DP/HP"));
+  cfg.tile_size = get_int(args, "tile-size", 128);
+
+  core::ClimateEmulator emulator(cfg);
+  const auto forcing = climate::historical_forcing(data.num_years());
+  const auto report = emulator.train(data, forcing);
+  std::printf("trained in %.2fs (L=%lld, P=%lld, K=%lld, %s Cholesky%s)\n",
+              report.total_seconds, static_cast<long long>(cfg.band_limit),
+              static_cast<long long>(cfg.ar_order),
+              static_cast<long long>(cfg.harmonics),
+              linalg::variant_name(cfg.cholesky_variant).c_str(),
+              report.covariance_deficient ? ", covariance jittered" : "");
+
+  const std::string storage_name = get(args, "factor-storage", "fp64");
+  core::FactorStorage storage = core::FactorStorage::FP64;
+  if (storage_name == "fp32") storage = core::FactorStorage::FP32;
+  if (storage_name == "fp16") storage = core::FactorStorage::FP16Scaled;
+  const std::string model_path = get(args, "model");
+  core::save_emulator(emulator, model_path, storage);
+  std::printf("wrote %s (factor storage %s)\n", model_path.c_str(),
+              storage_name.c_str());
+  return 0;
+}
+
+int cmd_emulate(const std::map<std::string, std::string>& args) {
+  const auto emulator = core::load_emulator(get(args, "model"));
+  const index_t steps = get_int(args, "steps", 0);
+  EXACLIM_CHECK(steps > 0, "--steps must be positive");
+  const index_t ensembles = get_int(args, "ensembles", 1);
+  const auto seed = static_cast<std::uint64_t>(get_int(args, "seed", 1));
+  const index_t years =
+      (steps + emulator.config().steps_per_year - 1) /
+      emulator.config().steps_per_year;
+  const auto forcing = climate::historical_forcing(years);
+  const auto emu = emulator.emulate(steps, ensembles, forcing, seed);
+  const std::string out = get(args, "out");
+  emu.save(out);
+  std::printf("wrote %s: %lld members x %lld steps\n", out.c_str(),
+              static_cast<long long>(ensembles),
+              static_cast<long long>(steps));
+  return 0;
+}
+
+int cmd_info(const std::map<std::string, std::string>& args) {
+  const std::string path = get(args, "file");
+  try {
+    const auto data = climate::ClimateDataset::load(path);
+    std::printf("dataset: %lld x %lld grid | %lld steps (%lld/yr) | %lld "
+                "members | %.0f points\n",
+                static_cast<long long>(data.grid().nlat),
+                static_cast<long long>(data.grid().nlon),
+                static_cast<long long>(data.num_steps()),
+                static_cast<long long>(data.steps_per_year()),
+                static_cast<long long>(data.num_ensembles()),
+                data.total_points());
+    return 0;
+  } catch (const IoError&) {
+    // fall through: maybe a model file
+  }
+  const auto emulator = core::load_emulator(path);
+  const auto& cfg = emulator.config();
+  std::printf("model: L=%lld, P=%lld, K=%lld, tau=%lld, grid %lld x %lld\n",
+              static_cast<long long>(cfg.band_limit),
+              static_cast<long long>(cfg.ar_order),
+              static_cast<long long>(cfg.harmonics),
+              static_cast<long long>(cfg.steps_per_year),
+              static_cast<long long>(emulator.grid().nlat),
+              static_cast<long long>(emulator.grid().nlon));
+  return 0;
+}
+
+int cmd_verify(const std::map<std::string, std::string>& args) {
+  const auto data = climate::ClimateDataset::load(get(args, "data"));
+  const auto emu = climate::ClimateDataset::load(get(args, "emu"));
+  const index_t band_limit = get_int(args, "band-limit", data.grid().nlat - 1);
+  const auto report = core::evaluate_consistency(data, emu, band_limit);
+  std::printf("mean-field rel RMSE %.4f | SD-field rel RMSE %.4f | ACF MAD "
+              "%.4f | spectrum log10 MAD %.4f | pooled KS %.4f\n",
+              report.mean_field_rel_rmse, report.sd_field_rel_rmse,
+              report.acf_mad, report.spectrum_log10_mad, report.pooled.ks);
+  std::printf("verdict: %s\n",
+              report.consistent() ? "CONSISTENT" : "NOT consistent");
+  return report.consistent() ? 0 : 2;
+}
+
+void usage() {
+  std::printf(
+      "usage: exaclim_cli <generate|train|emulate|info|verify> [--flags]\n"
+      "see the header comment of examples/exaclim_cli.cpp for details\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  try {
+    const auto args = parse_args(argc, argv, 2);
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "train") return cmd_train(args);
+    if (cmd == "emulate") return cmd_emulate(args);
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "verify") return cmd_verify(args);
+    usage();
+    return 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

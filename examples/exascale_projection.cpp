@@ -1,0 +1,54 @@
+// Projecting emulator-training cost onto the paper's supercomputers.
+//
+//   build/examples/exascale_projection [machine] [nodes] [matrix_millions]
+//
+// Uses the calibrated performance model to answer "what would the covariance
+// Cholesky of my emulator cost on Frontier?" — the planning question the
+// paper's Figs. 6/8 answer for their runs. Defaults reproduce the paper's
+// headline Frontier configuration.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "perfmodel/cholesky_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace exaclim;
+  using namespace exaclim::perfmodel;
+  const std::string machine_name = argc > 1 ? argv[1] : "Frontier";
+  const index_t nodes = argc > 2 ? std::atoll(argv[2]) : 9025;
+  const double n = (argc > 3 ? std::atof(argv[3]) : 27.24) * 1e6;
+
+  const MachineSpec machine = machine_by_name(machine_name);
+  std::printf("%s: %lld nodes x %lld %s GPUs, DP peak %.1f PFlop/s\n\n",
+              machine.name.c_str(), static_cast<long long>(nodes),
+              static_cast<long long>(machine.gpus_per_node),
+              machine.gpu.name.c_str(), machine.dp_peak_pflops(nodes));
+
+  std::printf("Cholesky of an n = %.2fM covariance (band limit L ~ %.0f):\n",
+              n / 1e6, std::sqrt(n));
+  std::printf("%-9s %10s %12s %11s %10s %10s\n", "variant", "time(s)",
+              "PFlop/s", "TF/s/GPU", "comm(s)", "%DP-peak");
+  for (linalg::PrecisionVariant v : linalg::kAllVariants) {
+    SimConfig cfg;
+    cfg.machine = machine;
+    cfg.nodes = nodes;
+    cfg.matrix_size = n;
+    cfg.tile_size = 2048;
+    cfg.variant = v;
+    const SimResult r = simulate_cholesky(cfg);
+    std::printf("%-9s %10.1f %12.1f %11.1f %10.1f %9.1f%%\n",
+                linalg::variant_name(v).c_str(), r.seconds, r.pflops,
+                r.tflops_per_gpu, r.comm_seconds,
+                100.0 * r.fraction_of_dp_peak);
+  }
+
+  std::printf("\nLargest matrix that fits (DP/HP, 85%% fill): %.2fM\n",
+              max_matrix_size(machine, nodes,
+                              linalg::PrecisionVariant::DP_HP) /
+                  1e6);
+  std::printf("Run with: %s <Summit|Frontier|Alps|Leonardo> <nodes> "
+              "<matrix_size_millions>\n",
+              "exascale_projection");
+  return 0;
+}

@@ -1,0 +1,95 @@
+#include "climate/dataset.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace exaclim::climate {
+
+namespace {
+constexpr char kMagic[8] = {'E', 'X', 'A', 'C', 'L', 'I', 'M', '1'};
+}
+
+ClimateDataset::ClimateDataset(sht::GridShape grid, index_t num_steps,
+                               index_t num_ensembles, index_t steps_per_year)
+    : grid_(grid),
+      num_steps_(num_steps),
+      num_ensembles_(num_ensembles),
+      steps_per_year_(steps_per_year) {
+  EXACLIM_CHECK(grid.nlat >= 2 && grid.nlon >= 1, "degenerate grid");
+  EXACLIM_CHECK(num_steps >= 1 && num_ensembles >= 1 && steps_per_year >= 1,
+                "dataset dimensions must be >= 1");
+  data_.assign(static_cast<std::size_t>(num_ensembles) *
+                   static_cast<std::size_t>(num_steps) *
+                   static_cast<std::size_t>(grid.num_points()),
+               0.0);
+}
+
+double ClimateDataset::total_points() const {
+  return static_cast<double>(num_ensembles_) *
+         static_cast<double>(num_steps_) *
+         static_cast<double>(grid_.num_points());
+}
+
+std::span<double> ClimateDataset::field(index_t ensemble, index_t step) {
+  EXACLIM_CHECK(ensemble >= 0 && ensemble < num_ensembles_, "bad ensemble");
+  EXACLIM_CHECK(step >= 0 && step < num_steps_, "bad time step");
+  const std::size_t pts = static_cast<std::size_t>(grid_.num_points());
+  return {data_.data() +
+              (static_cast<std::size_t>(ensemble) *
+                   static_cast<std::size_t>(num_steps_) +
+               static_cast<std::size_t>(step)) *
+                  pts,
+          pts};
+}
+
+std::span<const double> ClimateDataset::field(index_t ensemble,
+                                              index_t step) const {
+  return const_cast<ClimateDataset*>(this)->field(ensemble, step);
+}
+
+std::vector<double> ClimateDataset::time_series(index_t ensemble, index_t lat,
+                                                index_t lon) const {
+  EXACLIM_CHECK(lat >= 0 && lat < grid_.nlat && lon >= 0 && lon < grid_.nlon,
+                "grid point out of range");
+  std::vector<double> out(static_cast<std::size_t>(num_steps_));
+  for (index_t t = 0; t < num_steps_; ++t) {
+    out[static_cast<std::size_t>(t)] =
+        field(ensemble, t)[static_cast<std::size_t>(lat * grid_.nlon + lon)];
+  }
+  return out;
+}
+
+void ClimateDataset::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const index_t header[5] = {grid_.nlat, grid_.nlon, num_steps_,
+                             num_ensembles_, steps_per_year_};
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(data_.data()),
+            static_cast<std::streamsize>(data_.size() * sizeof(double)));
+  if (!out) throw IoError("write failed: " + path);
+}
+
+ClimateDataset ClimateDataset::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open for reading: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw IoError("not an ExaClim dataset: " + path);
+  }
+  index_t header[5];
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (!in) throw IoError("truncated dataset header: " + path);
+  ClimateDataset ds(sht::GridShape{header[0], header[1]}, header[2], header[3],
+                    header[4]);
+  in.read(reinterpret_cast<char*>(ds.data_.data()),
+          static_cast<std::streamsize>(ds.data_.size() * sizeof(double)));
+  if (!in) throw IoError("truncated dataset payload: " + path);
+  return ds;
+}
+
+}  // namespace exaclim::climate

@@ -1,0 +1,55 @@
+// In-memory spatio-temporal ensemble container + binary IO.
+//
+// Layout follows the paper's indexing y^(r)_t(theta_i, phi_j): ensembles
+// outermost, then time, then a row-major (lat, lon) field. Values are surface
+// temperature in Kelvin.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sht/sht.hpp"
+
+namespace exaclim::climate {
+
+class ClimateDataset {
+ public:
+  ClimateDataset() = default;
+  ClimateDataset(sht::GridShape grid, index_t num_steps, index_t num_ensembles,
+                 index_t steps_per_year);
+
+  const sht::GridShape& grid() const { return grid_; }
+  index_t num_steps() const { return num_steps_; }
+  index_t num_ensembles() const { return num_ensembles_; }
+  index_t steps_per_year() const { return steps_per_year_; }
+  index_t num_years() const {
+    return (num_steps_ + steps_per_year_ - 1) / steps_per_year_;
+  }
+  /// Total data points R * T * Nlat * Nlon.
+  double total_points() const;
+
+  std::span<double> field(index_t ensemble, index_t step);
+  std::span<const double> field(index_t ensemble, index_t step) const;
+
+  /// Time series at one grid point for one ensemble (strided copy).
+  std::vector<double> time_series(index_t ensemble, index_t lat,
+                                  index_t lon) const;
+
+  /// Flat storage (r-major, then t, then field).
+  std::vector<double>& raw() { return data_; }
+  const std::vector<double>& raw() const { return data_; }
+
+  /// Simple binary format (header + little-endian doubles).
+  void save(const std::string& path) const;
+  static ClimateDataset load(const std::string& path);
+
+ private:
+  sht::GridShape grid_{};
+  index_t num_steps_ = 0;
+  index_t num_ensembles_ = 0;
+  index_t steps_per_year_ = 1;
+  std::vector<double> data_;
+};
+
+}  // namespace exaclim::climate

@@ -1,0 +1,39 @@
+#include "climate/forcing.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace exaclim::climate {
+
+std::vector<double> historical_forcing(index_t num_years) {
+  EXACLIM_CHECK(num_years >= 1, "need at least one year");
+  std::vector<double> x(static_cast<std::size_t>(num_years));
+  const double n = static_cast<double>(num_years);
+  for (index_t y = 0; y < num_years; ++y) {
+    const double f = static_cast<double>(y) / n;  // fraction of the record
+    // Quadratic anthropogenic growth 0.3 -> ~2.8 W/m^2.
+    double v = 0.3 + 2.5 * f * f;
+    // Volcanic dips (Agung/El Chichon/Pinatubo-like): sharp negative pulses
+    // with two-year e-folding recovery.
+    for (double center : {0.28, 0.55, 0.72}) {
+      const double dy = (f - center) * n;  // years since eruption
+      if (dy >= 0.0) v -= 2.0 * std::exp(-dy / 2.0);
+    }
+    x[static_cast<std::size_t>(y)] = v;
+  }
+  return x;
+}
+
+std::vector<double> scenario_forcing(index_t num_years, double start_level,
+                                     double annual_increment) {
+  EXACLIM_CHECK(num_years >= 1, "need at least one year");
+  std::vector<double> x(static_cast<std::size_t>(num_years));
+  for (index_t y = 0; y < num_years; ++y) {
+    x[static_cast<std::size_t>(y)] =
+        start_level + annual_increment * static_cast<double>(y);
+  }
+  return x;
+}
+
+}  // namespace exaclim::climate

@@ -1,0 +1,26 @@
+// Annual radiative-forcing trajectories x_t (the covariate of Eq. 2).
+//
+// The real emulator is driven by published RF time series (historical +
+// SSP scenarios); we synthesize trajectories with the same qualitative
+// structure: slow anthropogenic growth, episodic volcanic dips, and a
+// scenario-dependent future slope.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace exaclim::climate {
+
+/// Historical-like forcing (W/m^2): slow quadratic growth from ~0.3 with
+/// three volcanic dips at fixed fractional positions (deterministic, so
+/// experiments are reproducible).
+std::vector<double> historical_forcing(index_t num_years);
+
+/// Scenario forcing: continues from `start_level` with a constant annual
+/// increment (e.g. 0.05 ~ SSP2-4.5-like, 0.1 ~ SSP5-8.5-like).
+std::vector<double> scenario_forcing(index_t num_years, double start_level,
+                                     double annual_increment);
+
+}  // namespace exaclim::climate

@@ -1,0 +1,38 @@
+#include "climate/grid.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace exaclim::climate {
+
+double band_limit_to_degrees(index_t band_limit) {
+  EXACLIM_CHECK(band_limit >= 1, "band limit must be >= 1");
+  return 180.0 / static_cast<double>(band_limit);
+}
+
+double band_limit_to_km(index_t band_limit) {
+  return band_limit_to_degrees(band_limit) * kKmPerDegree;
+}
+
+index_t degrees_to_band_limit(double degrees) {
+  EXACLIM_CHECK(degrees > 0.0, "resolution must be positive");
+  return static_cast<index_t>(std::llround(180.0 / degrees));
+}
+
+sht::GridShape grid_for_band_limit(index_t band_limit) {
+  EXACLIM_CHECK(band_limit >= 1, "band limit must be >= 1");
+  return sht::GridShape{band_limit + 1, 2 * band_limit};
+}
+
+sht::GridShape era5_grid() { return sht::GridShape{721, 1440}; }
+
+double latitude_degrees(const sht::GridShape& grid, index_t i) {
+  return 90.0 - grid.colatitude(i) * 180.0 / kPi;
+}
+
+double longitude_degrees(const sht::GridShape& grid, index_t j) {
+  return grid.longitude(j) * 180.0 / kPi;
+}
+
+}  // namespace exaclim::climate

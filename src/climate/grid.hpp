@@ -1,0 +1,43 @@
+// Physical grid semantics: resolutions, band limits, and named grids.
+//
+// The paper ties spherical-harmonic band limit L to spatial resolution:
+// an equiangular grid with N_theta = L + 1 latitudes spans 180/L degrees per
+// step, so L = 720 is ERA5's 0.25 degree (~25 km) and L = 5219 is the
+// headline 0.034 degree (~3.5 km).
+#pragma once
+
+#include <string>
+
+#include "sht/sht.hpp"
+
+namespace exaclim::climate {
+
+/// Mean Earth radius derived kilometres per degree of latitude.
+inline constexpr double kKmPerDegree = 111.195;
+
+/// Grid step in degrees for band limit L (equiangular, poles included).
+double band_limit_to_degrees(index_t band_limit);
+
+/// Approximate grid spacing in km at the equator for band limit L.
+double band_limit_to_km(index_t band_limit);
+
+/// Band limit whose equiangular grid matches a target resolution in degrees.
+index_t degrees_to_band_limit(double degrees);
+
+/// Minimal exact-SHT grid for a band limit: nlat = L + 1, nlon = 2L.
+sht::GridShape grid_for_band_limit(index_t band_limit);
+
+/// ERA5-style grid: nlat = L + 1, nlon = 2L (ERA5 itself is 721 x 1440 with
+/// L = 720, matching this rule).
+sht::GridShape era5_grid();
+
+/// The paper's four evaluated band limits (Section IV-A).
+inline constexpr index_t kPaperBandLimits[] = {720, 1440, 2880, 5219};
+
+/// Latitude in degrees (+90 north pole .. -90 south pole) of grid row i.
+double latitude_degrees(const sht::GridShape& grid, index_t i);
+
+/// Longitude in degrees [0, 360) of grid column j.
+double longitude_degrees(const sht::GridShape& grid, index_t j);
+
+}  // namespace exaclim::climate

@@ -1,0 +1,53 @@
+#include "climate/storage_model.hpp"
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace exaclim::climate {
+
+StorageReport storage_report(const StorageParams& p) {
+  EXACLIM_CHECK(p.num_steps >= 1 && p.num_ensembles >= 1 && p.band_limit >= 1,
+                "invalid storage parameters");
+  StorageReport r;
+  const double points = static_cast<double>(p.grid.num_points());
+  r.raw_bytes = static_cast<double>(p.num_ensembles) *
+                static_cast<double>(p.num_steps) * points *
+                static_cast<double>(p.bytes_per_value);
+
+  // Per-location: beta0, beta1, beta2, rho, sigma, v plus K (cos, sin) pairs.
+  const double per_location = 6.0 + 2.0 * static_cast<double>(p.harmonics);
+  r.trend_bytes = points * per_location *
+                  static_cast<double>(p.emulator_bytes_per_value);
+  const double l2 = static_cast<double>(p.band_limit) *
+                    static_cast<double>(p.band_limit);
+  r.var_bytes = static_cast<double>(p.ar_order) * l2 *
+                static_cast<double>(p.emulator_bytes_per_value);
+  r.factor_bytes = 0.5 * l2 * (l2 + 1.0) *
+                   static_cast<double>(p.emulator_bytes_per_value) *
+                   p.factor_compression;
+  r.emulator_bytes = r.trend_bytes + r.var_bytes + r.factor_bytes;
+  r.savings_ratio = r.emulator_bytes > 0.0 ? r.raw_bytes / r.emulator_bytes : 0.0;
+
+  const double usd_per_byte_year = p.usd_per_terabyte_year / 1e12;
+  r.raw_usd_per_year = r.raw_bytes * usd_per_byte_year;
+  r.emulator_usd_per_year = r.emulator_bytes * usd_per_byte_year;
+  return r;
+}
+
+std::string format_bytes(double bytes) {
+  static constexpr std::array<const char*, 7> units = {"B",  "KB", "MB", "GB",
+                                                       "TB", "PB", "EB"};
+  int unit = 0;
+  while (bytes >= 1000.0 && unit + 1 < static_cast<int>(units.size())) {
+    bytes /= 1000.0;
+    ++unit;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", bytes, units[static_cast<std::size_t>(unit)]);
+  return buf;
+}
+
+}  // namespace exaclim::climate

@@ -1,0 +1,62 @@
+// Storage economics: the paper's "saving petabytes" headline.
+//
+// Raw ensemble storage grows as R * T * Nlat * Nlon values; the emulator
+// replaces it with per-location trend/scale parameters, the diagonal VAR
+// coefficients, and the Cholesky factor V of the L^2 x L^2 innovation
+// covariance, from which arbitrarily many statistically consistent ensembles
+// can be regenerated. This module quantifies both sides and prices them at
+// NCAR's ~$45/TB/year (Section I).
+#pragma once
+
+#include "common/types.hpp"
+#include "sht/sht.hpp"
+
+namespace exaclim::climate {
+
+struct StorageParams {
+  sht::GridShape grid;
+  index_t num_steps = 0;          ///< T
+  index_t num_ensembles = 1;      ///< R stored by the archive
+  index_t band_limit = 0;         ///< L of the emulator
+  index_t ar_order = 3;           ///< P
+  index_t harmonics = 5;          ///< K
+  index_t bytes_per_value = 4;    ///< archives typically store fp32
+  index_t emulator_bytes_per_value = 8;
+  double usd_per_terabyte_year = 45.0;  ///< NCAR figure from the paper
+  /// Store V in mixed precision? Fraction of V bytes relative to fp64
+  /// (e.g. 0.3 for a DP/HP tile layout).
+  double factor_compression = 1.0;
+};
+
+struct StorageReport {
+  double raw_bytes = 0.0;
+  double emulator_bytes = 0.0;
+  double trend_bytes = 0.0;    ///< per-location parameters
+  double var_bytes = 0.0;      ///< diagonal Phi_p
+  double factor_bytes = 0.0;   ///< V (lower triangle)
+  double savings_ratio = 0.0;  ///< raw / emulator
+  double raw_usd_per_year = 0.0;
+  double emulator_usd_per_year = 0.0;
+};
+
+/// Computes both sides of the ledger.
+StorageReport storage_report(const StorageParams& params);
+
+/// Reference archive sizes from the paper's introduction, for context rows
+/// in the storage bench.
+struct ArchiveReference {
+  const char* name;
+  double bytes;
+};
+inline constexpr ArchiveReference kArchiveSizes[] = {
+    {"CMIP3", 40e12},          // 40 TB
+    {"CMIP5", 2e15},           // 2 PB
+    {"CMIP6 (ESGF)", 28e15},   // 28 PB
+    {"NCAR CMIP6 output", 2e15},
+    {"GISS CMIP6 output", 147e12},
+};
+
+/// Pretty byte formatting ("1.21 PB").
+std::string format_bytes(double bytes);
+
+}  // namespace exaclim::climate

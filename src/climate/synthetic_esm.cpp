@@ -1,0 +1,343 @@
+#include "climate/synthetic_esm.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "sht/packing.hpp"
+
+namespace exaclim::climate {
+
+namespace {
+
+/// Smooth, strictly positive stochastic-scale modulation sigma(theta, phi):
+/// the longitudinal dependence breaks axial symmetry on purpose.
+double sigma_true(double theta, double phi) {
+  return 1.0 + 0.25 * std::sin(theta) * std::cos(phi - 0.7);
+}
+
+/// Land/sea-like stationary anisotropic pattern (band-limited by
+/// construction: orders 2 and 3 only).
+double anisotropic_pattern(double theta, double phi) {
+  const double s = std::sin(theta);
+  return 0.6 * s * s * std::cos(2.0 * phi) +
+         0.4 * s * s * s * std::cos(3.0 * phi + 1.0);
+}
+
+}  // namespace
+
+SyntheticEsm generate_synthetic_esm(const SyntheticEsmConfig& config) {
+  const index_t L = config.band_limit;
+  const sht::GridShape grid = config.grid;
+  EXACLIM_CHECK(L >= 4, "band limit must be >= 4 (the mean uses order 3)");
+  EXACLIM_CHECK(grid.nlat >= L + 1 && grid.nlon >= 2 * L - 1,
+                "grid too coarse for the requested band limit");
+  const index_t tau = config.steps_per_year;
+  const index_t num_steps = config.num_years * tau;
+  const index_t num_ensembles = config.num_ensembles;
+
+  SyntheticEsm out;
+  out.forcing = config.forcing.empty() ? historical_forcing(config.num_years)
+                                       : config.forcing;
+  EXACLIM_CHECK(static_cast<index_t>(out.forcing.size()) >= config.num_years,
+                "forcing trajectory shorter than num_years");
+  out.data = ClimateDataset(grid, num_steps, num_ensembles, tau);
+
+  // --- Weather process parameters -------------------------------------
+  // Spectrum C_l ~ (1 + l)^{-alpha}, scaled so the synthesized field variance
+  // is weather_scale^2: Var(Z) = sum_l (2l+1)/(4 pi) C_l.
+  std::vector<double> c_l(static_cast<std::size_t>(L));
+  double field_var = 0.0;
+  for (index_t l = 0; l < L; ++l) {
+    c_l[static_cast<std::size_t>(l)] =
+        std::pow(1.0 + static_cast<double>(l), -config.spectrum_alpha);
+    field_var +=
+        (2.0 * l + 1.0) / (4.0 * kPi) * c_l[static_cast<std::size_t>(l)];
+  }
+  const double spectrum_scale =
+      config.weather_scale * config.weather_scale / field_var;
+  for (auto& v : c_l) v *= spectrum_scale;
+  // Degree-dependent persistence: large scales persist longer.
+  std::vector<double> phi_l(static_cast<std::size_t>(L));
+  for (index_t l = 0; l < L; ++l) {
+    phi_l[static_cast<std::size_t>(l)] =
+        0.8 * std::pow(1.0 + static_cast<double>(l), -0.3);
+  }
+  out.true_ar1 = phi_l[1];
+
+  const sht::SHTPlan plan(L, grid);
+  const index_t n_coeff = sht::tri_count(L);
+
+  // Precompute grid geometry and static fields.
+  const index_t nlat = grid.nlat;
+  const index_t nlon = grid.nlon;
+  std::vector<double> base(static_cast<std::size_t>(grid.num_points()));
+  std::vector<double> beta(static_cast<std::size_t>(grid.num_points()));
+  std::vector<double> sigma(static_cast<std::size_t>(grid.num_points()));
+  for (index_t i = 0; i < nlat; ++i) {
+    const double theta = grid.colatitude(i);
+    const double s2 = std::sin(theta) * std::sin(theta);
+    const double mu = std::cos(theta);  // +1 N pole .. -1 S pole
+    for (index_t j = 0; j < nlon; ++j) {
+      const double phi = grid.longitude(j);
+      const std::size_t p = static_cast<std::size_t>(i * nlon + j);
+      base[p] = config.mean_pole_kelvin +
+                (config.mean_equator_kelvin - config.mean_pole_kelvin) * s2 +
+                config.anisotropy_kelvin * anisotropic_pattern(theta, phi);
+      beta[p] = config.warming_per_forcing *
+                (1.0 + (config.polar_amplification - 1.0) * mu * mu);
+      sigma[p] = sigma_true(theta, phi);
+    }
+  }
+
+  // --- Generate each ensemble member -----------------------------------
+  common::Rng master(config.seed);
+  for (index_t r = 0; r < num_ensembles; ++r) {
+    common::Rng rng = master.split(static_cast<std::uint64_t>(r) + 1);
+
+    // Evolve the coefficient AR(1) processes through time (sequential), then
+    // synthesize fields in parallel.
+    std::vector<std::vector<cplx>> coeff_series(
+        static_cast<std::size_t>(num_steps));
+    std::vector<cplx> state(static_cast<std::size_t>(n_coeff), cplx{0.0, 0.0});
+    // Warm start at the stationary distribution.
+    for (index_t l = 0; l < L; ++l) {
+      const double cl = c_l[static_cast<std::size_t>(l)];
+      state[static_cast<std::size_t>(sht::tri_index(l, 0))] =
+          cplx{rng.normal(0.0, std::sqrt(cl)), 0.0};
+      for (index_t m = 1; m <= l; ++m) {
+        state[static_cast<std::size_t>(sht::tri_index(l, m))] =
+            cplx{rng.normal(0.0, std::sqrt(cl / 2.0)),
+                 rng.normal(0.0, std::sqrt(cl / 2.0))};
+      }
+    }
+    for (index_t t = 0; t < num_steps; ++t) {
+      for (index_t l = 0; l < L; ++l) {
+        const double phi_ar = phi_l[static_cast<std::size_t>(l)];
+        const double cl = c_l[static_cast<std::size_t>(l)];
+        const double innov_sd = std::sqrt(cl * (1.0 - phi_ar * phi_ar));
+        {
+          auto& z = state[static_cast<std::size_t>(sht::tri_index(l, 0))];
+          z = cplx{phi_ar * z.real() + rng.normal(0.0, innov_sd), 0.0};
+        }
+        for (index_t m = 1; m <= l; ++m) {
+          auto& z = state[static_cast<std::size_t>(sht::tri_index(l, m))];
+          const double half_sd = innov_sd / std::sqrt(2.0);
+          z = cplx{phi_ar * z.real() + rng.normal(0.0, half_sd),
+                   phi_ar * z.imag() + rng.normal(0.0, half_sd)};
+        }
+      }
+      coeff_series[static_cast<std::size_t>(t)] = state;
+    }
+
+    // Per-time-step nugget seeds (so parallel synthesis stays deterministic).
+    std::vector<std::uint64_t> nugget_seeds(
+        static_cast<std::size_t>(num_steps));
+    for (auto& s : nugget_seeds) s = rng.next_u64();
+
+    common::parallel_for(0, num_steps, [&](index_t t) {
+      const std::vector<double> weather =
+          plan.synthesize(coeff_series[static_cast<std::size_t>(t)]);
+      auto field = out.data.field(r, t);
+      const index_t year = t / tau;  // 0-based
+      const double x_year = out.forcing[static_cast<std::size_t>(year)];
+      const double season_angle =
+          kTwoPi * static_cast<double>(t % tau) / static_cast<double>(tau);
+      common::Rng nug(nugget_seeds[static_cast<std::size_t>(t)]);
+      for (index_t i = 0; i < nlat; ++i) {
+        const double theta = grid.colatitude(i);
+        const double mu = std::cos(theta);
+        const double sin_theta = std::sin(theta);
+        for (index_t j = 0; j < nlon; ++j) {
+          const double phi = grid.longitude(j);
+          const std::size_t p = static_cast<std::size_t>(i * nlon + j);
+          double v = base[p] + beta[p] * x_year;
+          v += config.seasonal_amplitude * mu * std::cos(season_angle);
+          if (config.steps_per_day > 1) {
+            const double day_angle =
+                kTwoPi * static_cast<double>(t % config.steps_per_day) /
+                static_cast<double>(config.steps_per_day);
+            v += config.diurnal_amplitude * sin_theta *
+                 std::cos(day_angle - phi);
+          }
+          v += sigma[p] * weather[p];
+          v += config.nugget_noise * nug.normal();
+          field[p] = v;
+        }
+      }
+    });
+  }
+
+  // Ground-truth trend at (equator, lon 0) for tests: everything except
+  // weather and nugget.
+  {
+    const index_t i_eq = (nlat - 1) / 2;
+    const double theta = grid.colatitude(i_eq);
+    const double mu = std::cos(theta);
+    const double s2 = std::sin(theta) * std::sin(theta);
+    const double phi = grid.longitude(0);
+    const double b = config.mean_pole_kelvin +
+                     (config.mean_equator_kelvin - config.mean_pole_kelvin) * s2 +
+                     config.anisotropy_kelvin * anisotropic_pattern(theta, phi);
+    const double bt = config.warming_per_forcing *
+                      (1.0 + (config.polar_amplification - 1.0) * mu * mu);
+    out.true_trend_equator.resize(static_cast<std::size_t>(num_steps));
+    for (index_t t = 0; t < num_steps; ++t) {
+      const index_t year = t / tau;
+      double v = b + bt * out.forcing[static_cast<std::size_t>(year)];
+      v += config.seasonal_amplitude * mu *
+           std::cos(kTwoPi * static_cast<double>(t % tau) /
+                    static_cast<double>(tau));
+      if (config.steps_per_day > 1) {
+        const double day_angle =
+            kTwoPi * static_cast<double>(t % config.steps_per_day) /
+            static_cast<double>(config.steps_per_day);
+        v += config.diurnal_amplitude * std::sin(theta) *
+             std::cos(day_angle - phi);
+      }
+      out.true_trend_equator[static_cast<std::size_t>(t)] = v;
+    }
+  }
+  return out;
+}
+
+BivariateEsm generate_bivariate_esm(const SyntheticEsmConfig& config,
+                                    double cross_loading) {
+  EXACLIM_CHECK(cross_loading >= -1.0 && cross_loading <= 1.0,
+                "cross loading must lie in [-1, 1]");
+  const index_t L = config.band_limit;
+  const sht::GridShape grid = config.grid;
+  EXACLIM_CHECK(L >= 4, "band limit must be >= 4");
+  EXACLIM_CHECK(grid.nlat >= L + 1 && grid.nlon >= 2 * L - 1,
+                "grid too coarse for the requested band limit");
+  const index_t tau = config.steps_per_year;
+  const index_t num_steps = config.num_years * tau;
+  const index_t num_ensembles = config.num_ensembles;
+  const index_t n_coeff = sht::tri_count(L);
+
+  BivariateEsm out;
+  out.cross_loading = cross_loading;
+  out.forcing = config.forcing.empty() ? historical_forcing(config.num_years)
+                                       : config.forcing;
+  EXACLIM_CHECK(static_cast<index_t>(out.forcing.size()) >= config.num_years,
+                "forcing trajectory shorter than num_years");
+  out.primary = ClimateDataset(grid, num_steps, num_ensembles, tau);
+  out.secondary = ClimateDataset(grid, num_steps, num_ensembles, tau);
+
+  // Shared spectrum/persistence setup (same scheme as the univariate
+  // generator).
+  std::vector<double> c_l(static_cast<std::size_t>(L));
+  double field_var = 0.0;
+  for (index_t l = 0; l < L; ++l) {
+    c_l[static_cast<std::size_t>(l)] =
+        std::pow(1.0 + static_cast<double>(l), -config.spectrum_alpha);
+    field_var +=
+        (2.0 * l + 1.0) / (4.0 * kPi) * c_l[static_cast<std::size_t>(l)];
+  }
+  const double spectrum_scale =
+      config.weather_scale * config.weather_scale / field_var;
+  for (auto& value : c_l) value *= spectrum_scale;
+  std::vector<double> phi_l(static_cast<std::size_t>(L));
+  for (index_t l = 0; l < L; ++l) {
+    phi_l[static_cast<std::size_t>(l)] =
+        0.8 * std::pow(1.0 + static_cast<double>(l), -0.3);
+  }
+
+  const sht::SHTPlan plan(L, grid);
+  const index_t nlat = grid.nlat;
+  const index_t nlon = grid.nlon;
+
+  // Means: temperature-like for the primary; flat "1000 hPa" plus a zonal
+  // jet-like pattern for the secondary.
+  std::vector<double> base1(static_cast<std::size_t>(grid.num_points()));
+  std::vector<double> base2(static_cast<std::size_t>(grid.num_points()));
+  for (index_t i = 0; i < nlat; ++i) {
+    const double theta = grid.colatitude(i);
+    const double s2 = std::sin(theta) * std::sin(theta);
+    for (index_t j = 0; j < nlon; ++j) {
+      const double phi = grid.longitude(j);
+      const std::size_t p = static_cast<std::size_t>(i * nlon + j);
+      base1[p] = config.mean_pole_kelvin +
+                 (config.mean_equator_kelvin - config.mean_pole_kelvin) * s2 +
+                 config.anisotropy_kelvin * anisotropic_pattern(theta, phi);
+      base2[p] = 1000.0 + 12.0 * std::cos(2.0 * theta) +
+                 2.0 * anisotropic_pattern(theta, phi + 0.5);
+    }
+  }
+  const double ortho = std::sqrt(std::max(0.0, 1.0 - cross_loading * cross_loading));
+  const double secondary_scale = 5.0;  // hPa-ish amplitude
+
+  common::Rng master(config.seed ^ 0xB1BA);
+  for (index_t r = 0; r < num_ensembles; ++r) {
+    common::Rng rng = master.split(static_cast<std::uint64_t>(r) + 1);
+    auto draw_state = [&](std::vector<cplx>& state) {
+      state.assign(static_cast<std::size_t>(n_coeff), cplx{0.0, 0.0});
+      for (index_t l = 0; l < L; ++l) {
+        const double cl = c_l[static_cast<std::size_t>(l)];
+        state[static_cast<std::size_t>(sht::tri_index(l, 0))] =
+            cplx{rng.normal(0.0, std::sqrt(cl)), 0.0};
+        for (index_t m = 1; m <= l; ++m) {
+          state[static_cast<std::size_t>(sht::tri_index(l, m))] =
+              cplx{rng.normal(0.0, std::sqrt(cl / 2.0)),
+                   rng.normal(0.0, std::sqrt(cl / 2.0))};
+        }
+      }
+    };
+    std::vector<cplx> z1;
+    std::vector<cplx> z_indep;
+    draw_state(z1);
+    draw_state(z_indep);
+
+    for (index_t t = 0; t < num_steps; ++t) {
+      auto step_state = [&](std::vector<cplx>& state) {
+        for (index_t l = 0; l < L; ++l) {
+          const double phi_ar = phi_l[static_cast<std::size_t>(l)];
+          const double cl = c_l[static_cast<std::size_t>(l)];
+          const double innov_sd = std::sqrt(cl * (1.0 - phi_ar * phi_ar));
+          auto& z0 = state[static_cast<std::size_t>(sht::tri_index(l, 0))];
+          z0 = cplx{phi_ar * z0.real() + rng.normal(0.0, innov_sd), 0.0};
+          for (index_t m = 1; m <= l; ++m) {
+            auto& z = state[static_cast<std::size_t>(sht::tri_index(l, m))];
+            const double half_sd = innov_sd / std::sqrt(2.0);
+            z = cplx{phi_ar * z.real() + rng.normal(0.0, half_sd),
+                     phi_ar * z.imag() + rng.normal(0.0, half_sd)};
+          }
+        }
+      };
+      step_state(z1);
+      step_state(z_indep);
+
+      std::vector<cplx> z2(static_cast<std::size_t>(n_coeff));
+      for (std::size_t c = 0; c < z2.size(); ++c) {
+        z2[c] = cross_loading * z1[c] + ortho * z_indep[c];
+      }
+      const auto weather1 = plan.synthesize(z1);
+      const auto weather2 = plan.synthesize(z2);
+
+      const index_t year = t / tau;
+      const double x_year = out.forcing[static_cast<std::size_t>(year)];
+      const double season_angle =
+          kTwoPi * static_cast<double>(t % tau) / static_cast<double>(tau);
+      auto f1 = out.primary.field(r, t);
+      auto f2 = out.secondary.field(r, t);
+      for (index_t i = 0; i < nlat; ++i) {
+        const double theta = grid.colatitude(i);
+        const double mu = std::cos(theta);
+        for (index_t j = 0; j < nlon; ++j) {
+          const std::size_t p = static_cast<std::size_t>(i * nlon + j);
+          double v1 = base1[p] + config.warming_per_forcing * x_year;
+          v1 += config.seasonal_amplitude * mu * std::cos(season_angle);
+          v1 += weather1[p] + config.nugget_noise * rng.normal();
+          f1[p] = v1;
+          double v2 = base2[p];
+          v2 += secondary_scale / config.weather_scale * weather2[p];
+          v2 += config.nugget_noise * rng.normal();
+          f2[p] = v2;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace exaclim::climate

@@ -1,0 +1,69 @@
+// Error handling for ExaClim.
+//
+// Follows the C++ Core Guidelines: report precondition violations and
+// unrecoverable runtime failures with exceptions carrying enough context to
+// diagnose the call site, and keep the checking macros cheap enough to leave
+// enabled in release builds (all checks here guard O(N^3)-scale work).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace exaclim {
+
+/// Base class for all ExaClim errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition (bad argument, bad state).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A numerical routine failed (non-positive-definite pivot, divergence, ...).
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+/// An I/O operation failed.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* kind, const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (std::string(kind) == "EXACLIM_NUMERIC") throw NumericalError(os.str());
+  throw InvalidArgument(os.str());
+}
+}  // namespace detail
+
+}  // namespace exaclim
+
+/// Precondition check: throws exaclim::InvalidArgument with location context.
+#define EXACLIM_CHECK(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::exaclim::detail::throw_check_failure("EXACLIM_CHECK", #cond,         \
+                                             __FILE__, __LINE__, (msg));     \
+    }                                                                        \
+  } while (false)
+
+/// Numerical-failure check: throws exaclim::NumericalError.
+#define EXACLIM_NUMERIC_CHECK(cond, msg)                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::exaclim::detail::throw_check_failure("EXACLIM_NUMERIC", #cond,       \
+                                             __FILE__, __LINE__, (msg));     \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,52 @@
+#include "common/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace exaclim::common {
+
+void write_csv(const std::string& path, const std::vector<std::string>& header,
+               const std::vector<std::vector<double>>& rows) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) out << ',';
+    out << header[i];
+  }
+  out << '\n';
+  out.precision(10);
+  for (const auto& row : rows) {
+    EXACLIM_CHECK(row.size() == header.size(), "CSV row width mismatch");
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  }
+  if (!out) throw IoError("write failed: " + path);
+}
+
+void write_pgm(const std::string& path, const std::vector<double>& field,
+               index_t rows, index_t cols) {
+  EXACLIM_CHECK(rows > 0 && cols > 0, "PGM dimensions must be positive");
+  EXACLIM_CHECK(static_cast<index_t>(field.size()) == rows * cols,
+                "field size must equal rows*cols");
+  const auto [mn_it, mx_it] = std::minmax_element(field.begin(), field.end());
+  const double mn = *mn_it;
+  const double span = (*mx_it > mn) ? (*mx_it - mn) : 1.0;
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  out << "P5\n" << cols << ' ' << rows << "\n255\n";
+  std::vector<unsigned char> bytes(field.size());
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    bytes[i] = static_cast<unsigned char>(255.0 * (field[i] - mn) / span);
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw IoError("write failed: " + path);
+}
+
+}  // namespace exaclim::common

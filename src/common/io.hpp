@@ -1,0 +1,22 @@
+// Lightweight result writers: CSV tables for benchmark series and PGM images
+// for global temperature maps (Figures 2 and 4 visual artifacts).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace exaclim::common {
+
+/// Writes a CSV file with a header row and double-valued rows.
+void write_csv(const std::string& path, const std::vector<std::string>& header,
+               const std::vector<std::vector<double>>& rows);
+
+/// Writes a grayscale PGM image of a row-major field (rows x cols), linearly
+/// mapping [min(field), max(field)] to [0, 255]. Used to visually compare
+/// simulated vs emulated temperature maps.
+void write_pgm(const std::string& path, const std::vector<double>& field,
+               index_t rows, index_t cols);
+
+}  // namespace exaclim::common

@@ -1,0 +1,64 @@
+#include "common/math.hpp"
+
+#include <cmath>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace exaclim::common {
+
+double log_factorial(index_t n) {
+  EXACLIM_CHECK(n >= 0, "log_factorial requires n >= 0");
+  static std::vector<double> table;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    table.resize(4097);
+    table[0] = 0.0;
+    for (std::size_t i = 1; i < table.size(); ++i) {
+      table[i] = table[i - 1] + std::log(static_cast<double>(i));
+    }
+  });
+  if (static_cast<std::size_t>(n) < table.size()) {
+    return table[static_cast<std::size_t>(n)];
+  }
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double log_binomial(index_t n, index_t k) {
+  EXACLIM_CHECK(n >= 0 && k >= 0 && k <= n, "log_binomial requires 0 <= k <= n");
+  return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
+}
+
+double kahan_sum(const std::vector<double>& values) {
+  double sum = 0.0;
+  double carry = 0.0;
+  for (double v : values) {
+    const double y = v - carry;
+    const double t = sum + y;
+    carry = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+double rel_l2_error(const std::vector<double>& a, const std::vector<double>& b) {
+  EXACLIM_CHECK(a.size() == b.size(), "rel_l2_error requires equal sizes");
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    num += d * d;
+    den += b[i] * b[i];
+  }
+  if (den == 0.0) return std::sqrt(num);
+  return std::sqrt(num / den);
+}
+
+index_t next_pow2(index_t n) {
+  EXACLIM_CHECK(n >= 1, "next_pow2 requires n >= 1");
+  index_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace exaclim::common

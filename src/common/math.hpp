@@ -1,0 +1,30 @@
+// Small numerical helpers shared across modules.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace exaclim::common {
+
+/// log(n!) with a cached table for small n and lgamma beyond; exact enough
+/// for Wigner-d seed values up to degree several thousand.
+double log_factorial(index_t n);
+
+/// log of the binomial coefficient C(n, k).
+double log_binomial(index_t n, index_t k);
+
+/// Kahan-compensated sum of a range.
+double kahan_sum(const std::vector<double>& values);
+
+/// Relative L2 difference ||a - b|| / ||b|| (returns ||a|| if b is zero).
+double rel_l2_error(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Next power of two >= n (n >= 1).
+index_t next_pow2(index_t n);
+
+/// True if n is a power of two.
+constexpr bool is_pow2(index_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+}  // namespace exaclim::common

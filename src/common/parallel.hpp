@@ -1,0 +1,68 @@
+// Minimal fork-join parallel_for used where full task-graph machinery
+// (runtime/) would be overkill: embarrassingly parallel loops over time
+// slots, grid points, or coefficient indices.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace exaclim::common {
+
+/// Number of worker threads to use by default (hardware concurrency, >= 1).
+inline unsigned default_thread_count() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1u : hc;
+}
+
+/// Runs body(i) for i in [begin, end) across `threads` workers with dynamic
+/// chunked scheduling. Exceptions from the body propagate to the caller
+/// (first one wins). With threads <= 1 the loop runs inline.
+inline void parallel_for(index_t begin, index_t end,
+                         const std::function<void(index_t)>& body,
+                         unsigned threads = default_thread_count()) {
+  const index_t n = end - begin;
+  if (n <= 0) return;
+  if (threads <= 1 || n == 1) {
+    for (index_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const unsigned workers =
+      static_cast<unsigned>(std::min<index_t>(threads, n));
+  // Chunked dynamic scheduling: keep chunks big enough to amortize the
+  // atomic fetch, small enough to balance uneven iterations.
+  const index_t chunk = std::max<index_t>(1, n / (workers * 8));
+  std::atomic<index_t> next{begin};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+
+  auto work = [&] {
+    for (;;) {
+      const index_t lo = next.fetch_add(chunk);
+      if (lo >= end || failed.load(std::memory_order_relaxed)) return;
+      const index_t hi = std::min(lo + chunk, end);
+      try {
+        for (index_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!failed.exchange(true)) error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned w = 1; w < workers; ++w) pool.emplace_back(work);
+  work();
+  for (auto& t : pool) t.join();
+  if (failed && error) std::rethrow_exception(error);
+}
+
+}  // namespace exaclim::common

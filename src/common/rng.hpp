@@ -1,0 +1,51 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// ExaClim needs reproducible streams that can be split across grid points,
+// time slots, and worker threads without coordination. xoshiro256** provides
+// a fast, high-quality generator with a cheap jump-free split via SplitMix64
+// reseeding, which is the standard recommendation of its authors.
+#pragma once
+
+#include <cstdint>
+
+namespace exaclim::common {
+
+/// SplitMix64: used for seeding and stream splitting.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** generator (Blackman & Vigna).
+class Rng {
+ public:
+  /// Seeds the four state words from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_u64(std::uint64_t n) noexcept;
+
+  /// Derives an independent stream keyed by `stream_id`; deterministic in
+  /// (this generator's original seed, stream_id).
+  Rng split(std::uint64_t stream_id) const noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace exaclim::common

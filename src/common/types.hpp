@@ -1,0 +1,30 @@
+// Fundamental aliases and constants shared across ExaClim modules.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+namespace exaclim {
+
+using index_t = std::int64_t;  ///< Signed index type for all dimensions.
+using cplx = std::complex<double>;
+
+inline constexpr double kPi = 3.14159265358979323846264338327950288;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/// Number of real spherical-harmonic coefficients for band-limit L
+/// (degrees 0..L-1): sum over l of (2l+1) = L^2.
+constexpr index_t sh_coeff_count(index_t band_limit) {
+  return band_limit * band_limit;
+}
+
+/// Flop count for a dense Cholesky factorization of an n-by-n matrix.
+constexpr double cholesky_flops(double n) { return n * n * n / 3.0; }
+
+/// Flop count for C = alpha*A*B + beta*C with A m-by-k, B k-by-n.
+constexpr double gemm_flops(double m, double n, double k) {
+  return 2.0 * m * n * k;
+}
+
+}  // namespace exaclim

@@ -1,0 +1,36 @@
+#include "core/complexity.hpp"
+
+#include "common/error.hpp"
+
+namespace exaclim::core {
+
+double axisymmetric_design_flops(index_t band_limit, double num_steps) {
+  EXACLIM_CHECK(band_limit >= 1 && num_steps >= 1.0, "invalid cost inputs");
+  const double l = static_cast<double>(band_limit);
+  return l * l * l * num_steps + l * l * l * l;
+}
+
+double anisotropic_design_flops(index_t band_limit, double num_steps) {
+  EXACLIM_CHECK(band_limit >= 1 && num_steps >= 1.0, "invalid cost inputs");
+  const double l = static_cast<double>(band_limit);
+  const double l2 = l * l;
+  return l2 * l2 * num_steps + l2 * l2 * l2;
+}
+
+double resolution_factor(index_t band_limit_new, index_t steps_per_year_new,
+                         index_t band_limit_old, index_t steps_per_year_old) {
+  EXACLIM_CHECK(band_limit_new >= 1 && band_limit_old >= 1 &&
+                    steps_per_year_new >= 1 && steps_per_year_old >= 1,
+                "invalid resolution inputs");
+  return (static_cast<double>(band_limit_new) /
+          static_cast<double>(band_limit_old)) *
+         (static_cast<double>(steps_per_year_new) /
+          static_cast<double>(steps_per_year_old));
+}
+
+double paper_headline_factor() {
+  // 28x spatial (3.5 km vs ~100 km) times 8760x temporal (hourly vs annual).
+  return 28.0 * 8760.0;
+}
+
+}  // namespace exaclim::core

@@ -1,0 +1,33 @@
+// Emulator-design cost model (Figure 1).
+//
+// The paper positions emulators on a (spatial resolution, temporal
+// resolution) plane by the flop cost of their design:
+//   axially symmetric models:        O(L^3 T + L^4)
+//   longitudinally anisotropic:      O(L^4 T + L^6)
+// This work is an anisotropic design made feasible at hourly/3.5 km scales
+// by HPC (the green star). These helpers evaluate the cost expressions and
+// the headline 245,280x resolution factor.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace exaclim::core {
+
+/// Design cost (flops) of an axially symmetric emulator.
+double axisymmetric_design_flops(index_t band_limit, double num_steps);
+
+/// Design cost (flops) of a longitudinally anisotropic emulator (this work's
+/// model class): SHT O(L^3 T) + covariance O(L^4 T) + Cholesky O(L^6).
+double anisotropic_design_flops(index_t band_limit, double num_steps);
+
+/// Spatio-temporal resolution advance factor between two emulators:
+/// (L_new / L_old) * (steps_per_year_new / steps_per_year_old).
+double resolution_factor(index_t band_limit_new, index_t steps_per_year_new,
+                         index_t band_limit_old, index_t steps_per_year_old);
+
+/// The paper's headline comparison: L 5219 hourly vs L 186 (~100 km) annual
+/// -> 28 x 8760 = 245,280. Provided as a named constant for tests and
+/// benches.
+double paper_headline_factor();
+
+}  // namespace exaclim::core

@@ -1,0 +1,38 @@
+// Emulator configuration.
+#pragma once
+
+#include "linalg/precision_policy.hpp"
+#include "stats/trend.hpp"
+
+namespace exaclim::core {
+
+struct EmulatorConfig {
+  index_t band_limit = 16;      ///< L: spherical-harmonic truncation degree
+  index_t ar_order = 3;         ///< P (paper uses 3)
+  index_t harmonics = 5;        ///< K periodic terms in the trend (paper: 5)
+  index_t steps_per_year = 64;  ///< tau (8760 hourly, 365 daily, 12 monthly)
+
+  /// Precision variant for the Cholesky of the innovation covariance.
+  linalg::PrecisionVariant cholesky_variant = linalg::PrecisionVariant::DP;
+  index_t tile_size = 128;           ///< nb for the tiled solver
+  bool use_parallel_runtime = true;  ///< factor U via the task runtime
+  unsigned threads = 0;              ///< 0 = hardware concurrency
+
+  double jitter_base = 1e-10;  ///< diagonal perturbation scale (Eq. 9 repair)
+
+  /// Profile grid for the trend's rho; empty = default {0, .05, ..., .95}.
+  std::vector<double> rho_grid;
+
+  /// Burn-in steps discarded when simulating the VAR forward.
+  index_t emulation_burn_in = 64;
+
+  stats::TrendFitConfig trend_config() const {
+    stats::TrendFitConfig c;
+    c.harmonics = harmonics;
+    c.period = steps_per_year;
+    c.rho_grid = rho_grid;
+    return c;
+  }
+};
+
+}  // namespace exaclim::core

@@ -1,0 +1,161 @@
+#include "core/consistency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sht/sht.hpp"
+
+namespace exaclim::core {
+
+namespace {
+
+/// Per-point time-mean and SD across all ensembles.
+void temporal_moments(const climate::ClimateDataset& ds,
+                      std::vector<double>& mean_field,
+                      std::vector<double>& sd_field) {
+  const index_t np = ds.grid().num_points();
+  const index_t n = ds.num_steps() * ds.num_ensembles();
+  mean_field.assign(static_cast<std::size_t>(np), 0.0);
+  sd_field.assign(static_cast<std::size_t>(np), 0.0);
+  for (index_t r = 0; r < ds.num_ensembles(); ++r) {
+    for (index_t t = 0; t < ds.num_steps(); ++t) {
+      const auto field = ds.field(r, t);
+      for (index_t p = 0; p < np; ++p) {
+        mean_field[static_cast<std::size_t>(p)] +=
+            field[static_cast<std::size_t>(p)];
+      }
+    }
+  }
+  for (auto& v : mean_field) v /= static_cast<double>(n);
+  for (index_t r = 0; r < ds.num_ensembles(); ++r) {
+    for (index_t t = 0; t < ds.num_steps(); ++t) {
+      const auto field = ds.field(r, t);
+      for (index_t p = 0; p < np; ++p) {
+        const double d = field[static_cast<std::size_t>(p)] -
+                         mean_field[static_cast<std::size_t>(p)];
+        sd_field[static_cast<std::size_t>(p)] += d * d;
+      }
+    }
+  }
+  for (auto& v : sd_field) v = std::sqrt(v / static_cast<double>(n - 1));
+}
+
+double rmse(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += (a[i] - b[i]) * (a[i] - b[i]);
+  }
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+/// Subsamples pooled values (cap the KS cost on big datasets).
+std::vector<double> pooled_sample(const climate::ClimateDataset& ds,
+                                  std::size_t cap = 200000) {
+  std::vector<double> out;
+  const auto& raw = ds.raw();
+  const std::size_t stride = std::max<std::size_t>(1, raw.size() / cap);
+  out.reserve(raw.size() / stride + 1);
+  for (std::size_t i = 0; i < raw.size(); i += stride) out.push_back(raw[i]);
+  return out;
+}
+
+/// Mean spherical power spectrum of detrended (per-point-mean-removed)
+/// fields over a subsample of time steps.
+std::vector<double> mean_spectrum(const climate::ClimateDataset& ds,
+                                  const std::vector<double>& mean_field,
+                                  index_t band_limit) {
+  const sht::SHTPlan plan(band_limit, ds.grid());
+  std::vector<double> spec(static_cast<std::size_t>(band_limit), 0.0);
+  const index_t step = std::max<index_t>(1, ds.num_steps() / 16);
+  index_t count = 0;
+  std::vector<double> anomaly(
+      static_cast<std::size_t>(ds.grid().num_points()));
+  for (index_t r = 0; r < ds.num_ensembles(); ++r) {
+    for (index_t t = 0; t < ds.num_steps(); t += step) {
+      const auto field = ds.field(r, t);
+      for (std::size_t p = 0; p < anomaly.size(); ++p) {
+        anomaly[p] = field[p] - mean_field[p];
+      }
+      const auto coeffs = plan.analyze(anomaly);
+      const auto s = plan.power_spectrum(coeffs);
+      for (std::size_t l = 0; l < spec.size(); ++l) spec[l] += s[l];
+      ++count;
+    }
+  }
+  for (auto& v : spec) v /= static_cast<double>(count);
+  return spec;
+}
+
+}  // namespace
+
+ConsistencyReport evaluate_consistency(const climate::ClimateDataset& sim,
+                                       const climate::ClimateDataset& emu,
+                                       index_t band_limit) {
+  EXACLIM_CHECK(sim.grid().nlat == emu.grid().nlat &&
+                    sim.grid().nlon == emu.grid().nlon,
+                "datasets must share a grid");
+  ConsistencyReport report;
+
+  const auto pooled_sim = pooled_sample(sim);
+  const auto pooled_emu = pooled_sample(emu);
+  report.pooled = stats::compare_moments(pooled_sim, pooled_emu);
+
+  std::vector<double> sim_mean, sim_sd, emu_mean, emu_sd;
+  temporal_moments(sim, sim_mean, sim_sd);
+  temporal_moments(emu, emu_mean, emu_sd);
+  const double sim_spatial_sd = stats::standard_deviation(sim_mean);
+  report.mean_field_rel_rmse =
+      rmse(sim_mean, emu_mean) / (sim_spatial_sd > 0.0 ? sim_spatial_sd : 1.0);
+  const double mean_sd = stats::mean(sim_sd);
+  report.sd_field_rel_rmse =
+      rmse(sim_sd, emu_sd) / (mean_sd > 0.0 ? mean_sd : 1.0);
+
+  // ACF at a diagonal probe set of grid points.
+  {
+    const index_t np = sim.grid().num_points();
+    const index_t probes = std::min<index_t>(16, np);
+    const index_t max_lag =
+        std::min<index_t>(5, sim.num_steps() / 4);
+    double acc = 0.0;
+    index_t terms = 0;
+    for (index_t k = 0; k < probes; ++k) {
+      const index_t p = k * (np / probes);
+      const index_t lat = p / sim.grid().nlon;
+      const index_t lon = p % sim.grid().nlon;
+      const auto ts_sim = sim.time_series(0, lat, lon);
+      const auto ts_emu = emu.time_series(0, lat, lon);
+      if (stats::variance(ts_sim) <= 0.0 || stats::variance(ts_emu) <= 0.0) {
+        continue;
+      }
+      const auto acf_sim = stats::autocorrelation(ts_sim, max_lag);
+      const auto acf_emu = stats::autocorrelation(ts_emu, max_lag);
+      for (index_t lag = 1; lag <= max_lag; ++lag) {
+        acc += std::abs(acf_sim[static_cast<std::size_t>(lag)] -
+                        acf_emu[static_cast<std::size_t>(lag)]);
+        ++terms;
+      }
+    }
+    report.acf_mad = terms > 0 ? acc / static_cast<double>(terms) : 0.0;
+  }
+
+  // Spherical power spectra of anomalies.
+  {
+    const auto spec_sim = mean_spectrum(sim, sim_mean, band_limit);
+    const auto spec_emu = mean_spectrum(emu, emu_mean, band_limit);
+    double acc = 0.0;
+    index_t terms = 0;
+    for (index_t l = 1; l < band_limit; ++l) {
+      const double a = spec_sim[static_cast<std::size_t>(l)];
+      const double b = spec_emu[static_cast<std::size_t>(l)];
+      if (a > 0.0 && b > 0.0) {
+        acc += std::abs(std::log10(a / b));
+        ++terms;
+      }
+    }
+    report.spectrum_log10_mad = terms > 0 ? acc / static_cast<double>(terms) : 0.0;
+  }
+  return report;
+}
+
+}  // namespace exaclim::core

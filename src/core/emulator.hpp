@@ -1,0 +1,91 @@
+// The exascale climate emulator (the paper's primary contribution).
+//
+// Training (Section III-A, Figure 3 pipeline):
+//   1. Per grid point: fit the distributed-lag + harmonic mean model m_t and
+//      scale sigma by profiled MLE (Eq. 2), form the standardized stochastic
+//      component Z^(r)_t = (y - m_t) / sigma.
+//   2. Per time slot: fast SHT of Z into packed coefficients f_t in R^{L^2};
+//      the truncation residual epsilon estimates the nugget v^2 per point.
+//   3. Per coefficient: diagonal VAR(P) — scalar AR(P) fits shared across
+//      the ensemble.
+//   4. Innovation covariance U-hat (Eq. 9) with diagonal perturbation when
+//      rank deficient, then mixed-precision tiled Cholesky U = V V^T.
+// Emulation (Section III-B): xi ~ N(0, U) via V, VAR forward pass, inverse
+// SHT, add epsilon, scale by sigma, add m_t.
+//
+// All per-point / per-slot / per-coefficient stages run through
+// common::parallel_for; the Cholesky runs on the task runtime.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "climate/dataset.hpp"
+#include "core/config.hpp"
+#include "linalg/cholesky.hpp"
+#include "sht/sht.hpp"
+#include "stats/ar.hpp"
+#include "stats/trend.hpp"
+
+namespace exaclim::core {
+
+/// Timing/diagnostics of one training run.
+struct TrainReport {
+  double trend_seconds = 0.0;
+  double sht_seconds = 0.0;
+  double ar_seconds = 0.0;
+  double covariance_seconds = 0.0;
+  double cholesky_seconds = 0.0;
+  double total_seconds = 0.0;
+  double covariance_jitter = 0.0;
+  bool covariance_deficient = false;
+  linalg::CholeskyStats cholesky;
+  double cholesky_gflops = 0.0;
+  index_t innovation_samples = 0;  ///< R (T - P)
+};
+
+/// A trained emulator. Copyable; serializable via core/serialize.hpp.
+class ClimateEmulator {
+ public:
+  explicit ClimateEmulator(EmulatorConfig config);
+
+  const EmulatorConfig& config() const { return config_; }
+
+  /// Trains on an ensemble dataset with the given annual forcing trajectory
+  /// (length >= dataset years). Throws on dimension mismatches.
+  TrainReport train(const climate::ClimateDataset& data,
+                    std::span<const double> annual_forcing);
+
+  bool is_trained() const { return trained_; }
+
+  /// Generates `num_ensembles` emulated members of `num_steps` steps under
+  /// `annual_forcing` (may differ from training forcing: scenario mode).
+  /// Deterministic in `seed`.
+  climate::ClimateDataset emulate(index_t num_steps, index_t num_ensembles,
+                                  std::span<const double> annual_forcing,
+                                  std::uint64_t seed) const;
+
+  // --- Introspection (tests, serialization, science diagnostics) ---------
+  const sht::GridShape& grid() const { return grid_; }
+  const std::vector<stats::TrendModel>& trend_models() const { return trend_; }
+  const std::vector<stats::ArModel>& ar_models() const { return ar_; }
+  const linalg::Matrix& cholesky_factor() const { return factor_; }
+  const std::vector<double>& nugget_variance() const { return nugget_var_; }
+
+  // Used by deserialization.
+  void restore(sht::GridShape grid, std::vector<stats::TrendModel> trend,
+               std::vector<stats::ArModel> ar, linalg::Matrix factor,
+               std::vector<double> nugget_var);
+
+ private:
+  EmulatorConfig config_;
+  bool trained_ = false;
+  sht::GridShape grid_{};
+  std::vector<stats::TrendModel> trend_;  ///< one per grid point
+  std::vector<stats::ArModel> ar_;        ///< one per packed coefficient
+  linalg::Matrix factor_;                 ///< V, lower Cholesky of U-hat
+  std::vector<double> nugget_var_;        ///< v^2 per grid point
+  std::shared_ptr<const sht::SHTPlan> plan_;  ///< rebuilt on train/restore
+};
+
+}  // namespace exaclim::core

@@ -1,0 +1,292 @@
+#include "core/multivariate.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
+#include "linalg/solve.hpp"
+#include "runtime/tiled_cholesky_rt.hpp"
+#include "sht/packing.hpp"
+#include "stats/covariance.hpp"
+
+namespace exaclim::core {
+
+MultiVariateEmulator::MultiVariateEmulator(EmulatorConfig config)
+    : config_(std::move(config)) {
+  EXACLIM_CHECK(config_.band_limit >= 4, "band limit must be >= 4");
+  EXACLIM_CHECK(config_.ar_order >= 1, "AR order must be >= 1");
+}
+
+MultiVarTrainReport MultiVariateEmulator::train(
+    const std::vector<const climate::ClimateDataset*>& variables,
+    std::span<const double> annual_forcing) {
+  EXACLIM_CHECK(variables.size() >= 1, "need at least one variable");
+  const index_t num_vars = static_cast<index_t>(variables.size());
+  const climate::ClimateDataset& first = *variables.front();
+  for (const auto* v : variables) {
+    EXACLIM_CHECK(v != nullptr, "null dataset");
+    EXACLIM_CHECK(v->grid().nlat == first.grid().nlat &&
+                      v->grid().nlon == first.grid().nlon &&
+                      v->num_steps() == first.num_steps() &&
+                      v->num_ensembles() == first.num_ensembles() &&
+                      v->steps_per_year() == first.steps_per_year(),
+                  "variables must share grid/time/ensemble layout");
+  }
+  const index_t L = config_.band_limit;
+  const index_t T = first.num_steps();
+  const index_t R = first.num_ensembles();
+  const index_t P = config_.ar_order;
+  const index_t num_points = first.grid().num_points();
+  const index_t n_coeff = sh_coeff_count(L);
+  const index_t joint_dim = num_vars * n_coeff;
+  EXACLIM_CHECK(T > 2 * P, "too few time steps for the AR order");
+
+  MultiVarTrainReport report;
+  common::Timer total;
+  grid_ = first.grid();
+  num_variables_ = num_vars;
+  plan_ = std::make_shared<const sht::SHTPlan>(L, grid_);
+
+  // Per-variable trend/scale and standardized-coefficient extraction,
+  // written into the joint (R*T) x (V*L^2) matrix.
+  trend_.assign(static_cast<std::size_t>(num_vars), {});
+  nugget_var_.assign(static_cast<std::size_t>(num_vars), {});
+  linalg::Matrix f(R * T, joint_dim);
+  const stats::TrendFitConfig trend_cfg = config_.trend_config();
+  const unsigned threads =
+      config_.threads == 0 ? common::default_thread_count() : config_.threads;
+
+  for (index_t v = 0; v < num_vars; ++v) {
+    const climate::ClimateDataset& data = *variables[static_cast<std::size_t>(v)];
+    auto& var_trend = trend_[static_cast<std::size_t>(v)];
+    var_trend.assign(static_cast<std::size_t>(num_points), stats::TrendModel{});
+    common::parallel_for(
+        0, num_points,
+        [&](index_t p) {
+          std::vector<double> y(static_cast<std::size_t>(R * T));
+          for (index_t r = 0; r < R; ++r) {
+            for (index_t t = 0; t < T; ++t) {
+              y[static_cast<std::size_t>(r * T + t)] =
+                  data.field(r, t)[static_cast<std::size_t>(p)];
+            }
+          }
+          var_trend[static_cast<std::size_t>(p)] =
+              stats::fit_trend(y, R, T, annual_forcing, trend_cfg);
+        },
+        threads);
+
+    std::vector<std::vector<double>> trend_series_per_point(
+        static_cast<std::size_t>(num_points));
+    common::parallel_for(0, num_points, [&](index_t p) {
+      trend_series_per_point[static_cast<std::size_t>(p)] = stats::trend_series(
+          var_trend[static_cast<std::size_t>(p)], T, annual_forcing);
+    });
+
+    auto& nug = nugget_var_[static_cast<std::size_t>(v)];
+    nug.assign(static_cast<std::size_t>(num_points), 0.0);
+    std::mutex nug_mu;
+    common::parallel_for(
+        0, R * T,
+        [&](index_t rt) {
+          const index_t r = rt / T;
+          const index_t t = rt % T;
+          const auto obs = data.field(r, t);
+          std::vector<double> z(static_cast<std::size_t>(num_points));
+          for (index_t p = 0; p < num_points; ++p) {
+            z[static_cast<std::size_t>(p)] =
+                (obs[static_cast<std::size_t>(p)] -
+                 trend_series_per_point[static_cast<std::size_t>(p)]
+                                       [static_cast<std::size_t>(t)]) /
+                var_trend[static_cast<std::size_t>(p)].sigma;
+          }
+          const auto coeffs = plan_->analyze(z);
+          const auto packed = sht::pack_real(L, coeffs);
+          std::copy(packed.begin(), packed.end(),
+                    f.data() + static_cast<std::size_t>(rt) *
+                                   static_cast<std::size_t>(joint_dim) +
+                        static_cast<std::size_t>(v * n_coeff));
+          const auto back = plan_->synthesize(coeffs);
+          std::lock_guard<std::mutex> lock(nug_mu);
+          for (index_t p = 0; p < num_points; ++p) {
+            const double e = z[static_cast<std::size_t>(p)] -
+                             back[static_cast<std::size_t>(p)];
+            nug[static_cast<std::size_t>(p)] += e * e;
+          }
+        },
+        threads);
+    for (auto& value : nug) value /= static_cast<double>(R * T);
+  }
+
+  // Diagonal VAR(P) per joint coordinate.
+  ar_.assign(static_cast<std::size_t>(joint_dim), stats::ArModel{});
+  common::parallel_for(
+      0, joint_dim,
+      [&](index_t c) {
+        std::vector<double> series(static_cast<std::size_t>(R * T));
+        for (index_t rt = 0; rt < R * T; ++rt) {
+          series[static_cast<std::size_t>(rt)] = f(rt, c);
+        }
+        ar_[static_cast<std::size_t>(c)] =
+            stats::fit_ar_ensemble(series, R, T, P);
+      },
+      threads);
+
+  // Joint innovation covariance across all variables' coefficients.
+  const index_t n_samples = R * (T - P);
+  linalg::Matrix xi(n_samples, joint_dim);
+  common::parallel_for(0, joint_dim, [&](index_t c) {
+    index_t row = 0;
+    const auto& phi = ar_[static_cast<std::size_t>(c)].phi;
+    for (index_t r = 0; r < R; ++r) {
+      for (index_t t = P; t < T; ++t) {
+        double pred = 0.0;
+        for (index_t a = 0; a < P; ++a) {
+          pred += phi[static_cast<std::size_t>(a)] * f(r * T + t - 1 - a, c);
+        }
+        xi(row, c) = f(r * T + t, c) - pred;
+        ++row;
+      }
+    }
+  });
+  stats::PreparedCovariance prepared =
+      stats::prepare_covariance(xi, config_.jitter_base);
+  report.covariance_jitter = prepared.jitter;
+  report.covariance_deficient = prepared.was_deficient;
+  report.innovation_samples = n_samples;
+  report.joint_dimension = joint_dim;
+
+  // Correlation matrix kept for cross-variable diagnostics.
+  innovation_corr_ = prepared.u;
+  for (index_t i = 0; i < joint_dim; ++i) {
+    for (index_t j = 0; j < joint_dim; ++j) {
+      const double d = std::sqrt(prepared.u(i, i) * prepared.u(j, j));
+      innovation_corr_(i, j) = d > 0.0 ? prepared.u(i, j) / d : 0.0;
+    }
+  }
+
+  const index_t nb = std::min(config_.tile_size, joint_dim);
+  const index_t nt = (joint_dim + nb - 1) / nb;
+  linalg::TiledSymmetricMatrix tiled = linalg::TiledSymmetricMatrix::from_dense(
+      prepared.u, nb, linalg::make_band_policy(nt, config_.cholesky_variant));
+  runtime::RtCholeskyOptions rt_opt;
+  rt_opt.threads = config_.threads;
+  runtime::cholesky_tiled_parallel(tiled, rt_opt);
+  factor_ = tiled.to_dense(/*lower_only=*/true);
+
+  trained_ = true;
+  report.total_seconds = total.seconds();
+  return report;
+}
+
+double MultiVariateEmulator::innovation_cross_correlation(index_t a,
+                                                          index_t b) const {
+  EXACLIM_CHECK(trained_, "emulator has not been trained");
+  EXACLIM_CHECK(a >= 0 && a < num_variables_ && b >= 0 && b < num_variables_,
+                "variable index out of range");
+  const index_t n_coeff = sh_coeff_count(config_.band_limit);
+  double acc = 0.0;
+  for (index_t i = 0; i < n_coeff; ++i) {
+    acc += std::abs(innovation_corr_(a * n_coeff + i, b * n_coeff + i));
+  }
+  return acc / static_cast<double>(n_coeff);
+}
+
+std::vector<climate::ClimateDataset> MultiVariateEmulator::emulate(
+    index_t num_steps, index_t num_ensembles,
+    std::span<const double> annual_forcing, std::uint64_t seed) const {
+  EXACLIM_CHECK(trained_, "emulator has not been trained");
+  const index_t L = config_.band_limit;
+  const index_t n_coeff = sh_coeff_count(L);
+  const index_t joint_dim = num_variables_ * n_coeff;
+  const index_t num_points = grid_.num_points();
+  const index_t P = config_.ar_order;
+  const index_t burn = config_.emulation_burn_in + P;
+  const index_t tau = config_.steps_per_year;
+  EXACLIM_CHECK(static_cast<index_t>(annual_forcing.size()) >=
+                    (num_steps + tau - 1) / tau,
+                "forcing trajectory shorter than requested emulation");
+
+  std::vector<climate::ClimateDataset> out;
+  out.reserve(static_cast<std::size_t>(num_variables_));
+  for (index_t v = 0; v < num_variables_; ++v) {
+    out.emplace_back(grid_, num_steps, num_ensembles, tau);
+  }
+
+  // Per-variable trend series (shared across ensembles).
+  std::vector<std::vector<std::vector<double>>> trend_series(
+      static_cast<std::size_t>(num_variables_));
+  for (index_t v = 0; v < num_variables_; ++v) {
+    auto& per_point = trend_series[static_cast<std::size_t>(v)];
+    per_point.resize(static_cast<std::size_t>(num_points));
+    common::parallel_for(0, num_points, [&](index_t p) {
+      per_point[static_cast<std::size_t>(p)] = stats::trend_series(
+          trend_[static_cast<std::size_t>(v)][static_cast<std::size_t>(p)],
+          num_steps, annual_forcing);
+    });
+  }
+
+  common::Rng master(seed);
+  for (index_t r = 0; r < num_ensembles; ++r) {
+    common::Rng rng = master.split(static_cast<std::uint64_t>(r) + 0xC0FFEE);
+    linalg::Matrix coeff_series(num_steps, joint_dim);
+    std::vector<std::vector<double>> history(
+        static_cast<std::size_t>(P),
+        std::vector<double>(static_cast<std::size_t>(joint_dim), 0.0));
+    std::vector<double> current(static_cast<std::size_t>(joint_dim));
+    for (index_t t = -burn; t < num_steps; ++t) {
+      const std::vector<double> innovation = linalg::sample_mvn(factor_, rng);
+      for (index_t c = 0; c < joint_dim; ++c) {
+        double value = innovation[static_cast<std::size_t>(c)];
+        const auto& phi = ar_[static_cast<std::size_t>(c)].phi;
+        for (index_t a = 0; a < P; ++a) {
+          value += phi[static_cast<std::size_t>(a)]
+                   * history[static_cast<std::size_t>(a)][static_cast<std::size_t>(c)];
+        }
+        current[static_cast<std::size_t>(c)] = value;
+      }
+      for (index_t a = P - 1; a >= 1; --a) {
+        history[static_cast<std::size_t>(a)] =
+            history[static_cast<std::size_t>(a - 1)];
+      }
+      if (P >= 1) history[0] = current;
+      if (t >= 0) {
+        std::copy(current.begin(), current.end(),
+                  coeff_series.data() + static_cast<std::size_t>(t) *
+                                            static_cast<std::size_t>(joint_dim));
+      }
+    }
+
+    std::vector<std::uint64_t> nugget_seeds(static_cast<std::size_t>(num_steps));
+    for (auto& s : nugget_seeds) s = rng.next_u64();
+
+    common::parallel_for(
+        0, num_steps,
+        [&](index_t t) {
+          common::Rng nug(nugget_seeds[static_cast<std::size_t>(t)]);
+          for (index_t v = 0; v < num_variables_; ++v) {
+            std::vector<double> packed(
+                coeff_series.row(t).begin() + v * n_coeff,
+                coeff_series.row(t).begin() + (v + 1) * n_coeff);
+            const auto coeffs = sht::unpack_real(L, packed);
+            const auto field = plan_->synthesize(coeffs);
+            auto dst = out[static_cast<std::size_t>(v)].field(r, t);
+            const auto& nugget = nugget_var_[static_cast<std::size_t>(v)];
+            const auto& tm_all = trend_[static_cast<std::size_t>(v)];
+            const auto& series =
+                trend_series[static_cast<std::size_t>(v)];
+            for (index_t p = 0; p < num_points; ++p) {
+              double z = field[static_cast<std::size_t>(p)];
+              z += std::sqrt(nugget[static_cast<std::size_t>(p)]) * nug.normal();
+              dst[static_cast<std::size_t>(p)] =
+                  series[static_cast<std::size_t>(p)][static_cast<std::size_t>(t)] +
+                  tm_all[static_cast<std::size_t>(p)].sigma * z;
+            }
+          }
+        },
+        config_.threads == 0 ? common::default_thread_count() : config_.threads);
+  }
+  return out;
+}
+
+}  // namespace exaclim::core

@@ -1,0 +1,212 @@
+#include "core/serialize.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/half.hpp"
+
+namespace exaclim::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'E', 'X', 'A', 'C', 'M', 'D', 'L', '3'};
+
+void write_raw(std::ofstream& out, const void* data, std::size_t bytes) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(bytes));
+}
+
+void read_raw(std::ifstream& in, void* data, std::size_t bytes) {
+  in.read(reinterpret_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (!in) throw IoError("truncated emulator model file");
+}
+
+void write_vec(std::ofstream& out, const std::vector<double>& v) {
+  const index_t n = static_cast<index_t>(v.size());
+  write_raw(out, &n, sizeof(n));
+  write_raw(out, v.data(), v.size() * sizeof(double));
+}
+
+std::vector<double> read_vec(std::ifstream& in) {
+  index_t n = 0;
+  read_raw(in, &n, sizeof(n));
+  EXACLIM_CHECK(n >= 0, "corrupt model file: negative vector length");
+  std::vector<double> v(static_cast<std::size_t>(n));
+  read_raw(in, v.data(), v.size() * sizeof(double));
+  return v;
+}
+
+void write_factor(std::ofstream& out, const linalg::Matrix& v,
+                  FactorStorage storage) {
+  const index_t n = v.rows();
+  switch (storage) {
+    case FactorStorage::FP64: {
+      std::vector<double> row;
+      for (index_t i = 0; i < n; ++i) {
+        row.assign(v.row(i).begin(), v.row(i).begin() + i + 1);
+        write_raw(out, row.data(), row.size() * sizeof(double));
+      }
+      break;
+    }
+    case FactorStorage::FP32: {
+      std::vector<float> row;
+      for (index_t i = 0; i < n; ++i) {
+        row.resize(static_cast<std::size_t>(i + 1));
+        for (index_t j = 0; j <= i; ++j) row[static_cast<std::size_t>(j)] =
+            static_cast<float>(v(i, j));
+        write_raw(out, row.data(), row.size() * sizeof(float));
+      }
+      break;
+    }
+    case FactorStorage::FP16Scaled: {
+      // Per-row scaling keeps each row inside the binary16 range regardless
+      // of the factor's dynamic range.
+      std::vector<std::uint16_t> row;
+      for (index_t i = 0; i < n; ++i) {
+        double max_abs = 0.0;
+        for (index_t j = 0; j <= i; ++j) {
+          max_abs = std::max(max_abs, std::abs(v(i, j)));
+        }
+        const float scale =
+            max_abs > 0.0 ? static_cast<float>(max_abs / 32768.0) : 1.0f;
+        write_raw(out, &scale, sizeof(scale));
+        row.resize(static_cast<std::size_t>(i + 1));
+        for (index_t j = 0; j <= i; ++j) {
+          row[static_cast<std::size_t>(j)] = common::float_to_half_bits(
+              static_cast<float>(v(i, j)) / scale);
+        }
+        write_raw(out, row.data(), row.size() * sizeof(std::uint16_t));
+      }
+      break;
+    }
+  }
+}
+
+linalg::Matrix read_factor(std::ifstream& in, index_t n,
+                           FactorStorage storage) {
+  linalg::Matrix v(n, n);
+  switch (storage) {
+    case FactorStorage::FP64: {
+      std::vector<double> row;
+      for (index_t i = 0; i < n; ++i) {
+        row.resize(static_cast<std::size_t>(i + 1));
+        read_raw(in, row.data(), row.size() * sizeof(double));
+        for (index_t j = 0; j <= i; ++j) v(i, j) = row[static_cast<std::size_t>(j)];
+      }
+      break;
+    }
+    case FactorStorage::FP32: {
+      std::vector<float> row;
+      for (index_t i = 0; i < n; ++i) {
+        row.resize(static_cast<std::size_t>(i + 1));
+        read_raw(in, row.data(), row.size() * sizeof(float));
+        for (index_t j = 0; j <= i; ++j) v(i, j) = row[static_cast<std::size_t>(j)];
+      }
+      break;
+    }
+    case FactorStorage::FP16Scaled: {
+      std::vector<std::uint16_t> row;
+      for (index_t i = 0; i < n; ++i) {
+        float scale = 1.0f;
+        read_raw(in, &scale, sizeof(scale));
+        row.resize(static_cast<std::size_t>(i + 1));
+        read_raw(in, row.data(), row.size() * sizeof(std::uint16_t));
+        for (index_t j = 0; j <= i; ++j) {
+          v(i, j) = static_cast<double>(
+              common::half_bits_to_float(row[static_cast<std::size_t>(j)]) *
+              scale);
+        }
+      }
+      break;
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+void save_emulator(const ClimateEmulator& emulator, const std::string& path,
+                   FactorStorage factor_storage) {
+  EXACLIM_CHECK(emulator.is_trained(), "cannot save an untrained emulator");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  out.write(kMagic, sizeof(kMagic));
+
+  const EmulatorConfig& cfg = emulator.config();
+  const index_t header[6] = {cfg.band_limit,       cfg.ar_order,
+                             cfg.harmonics,        cfg.steps_per_year,
+                             emulator.grid().nlat, emulator.grid().nlon};
+  write_raw(out, header, sizeof(header));
+  const auto storage_byte = static_cast<std::uint8_t>(factor_storage);
+  write_raw(out, &storage_byte, 1);
+
+  for (const auto& tm : emulator.trend_models()) {
+    const double scalars[5] = {tm.beta0, tm.beta1, tm.beta2, tm.rho, tm.sigma};
+    write_raw(out, scalars, sizeof(scalars));
+    write_vec(out, tm.cos_coeff);
+    write_vec(out, tm.sin_coeff);
+  }
+  for (const auto& am : emulator.ar_models()) {
+    write_vec(out, am.phi);
+    write_raw(out, &am.innovation_variance, sizeof(double));
+  }
+  write_factor(out, emulator.cholesky_factor(), factor_storage);
+  write_vec(out, emulator.nugget_variance());
+  if (!out) throw IoError("write failed: " + path);
+}
+
+ClimateEmulator load_emulator(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open for reading: " + path);
+  char magic[8];
+  read_raw(in, magic, sizeof(magic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw IoError("not an ExaClim model file: " + path);
+  }
+  index_t header[6];
+  read_raw(in, header, sizeof(header));
+  std::uint8_t storage_byte = 0;
+  read_raw(in, &storage_byte, 1);
+  EXACLIM_CHECK(storage_byte <= 2, "corrupt model file: bad factor storage");
+  const auto storage = static_cast<FactorStorage>(storage_byte);
+
+  EmulatorConfig cfg;
+  cfg.band_limit = header[0];
+  cfg.ar_order = header[1];
+  cfg.harmonics = header[2];
+  cfg.steps_per_year = header[3];
+  const sht::GridShape grid{header[4], header[5]};
+
+  ClimateEmulator emulator(cfg);
+  std::vector<stats::TrendModel> trend(
+      static_cast<std::size_t>(grid.num_points()));
+  for (auto& tm : trend) {
+    double scalars[5];
+    read_raw(in, scalars, sizeof(scalars));
+    tm.beta0 = scalars[0];
+    tm.beta1 = scalars[1];
+    tm.beta2 = scalars[2];
+    tm.rho = scalars[3];
+    tm.sigma = scalars[4];
+    tm.cos_coeff = read_vec(in);
+    tm.sin_coeff = read_vec(in);
+    tm.period = cfg.steps_per_year;
+  }
+  std::vector<stats::ArModel> ar(
+      static_cast<std::size_t>(sh_coeff_count(cfg.band_limit)));
+  for (auto& am : ar) {
+    am.phi = read_vec(in);
+    read_raw(in, &am.innovation_variance, sizeof(double));
+  }
+  linalg::Matrix factor =
+      read_factor(in, sh_coeff_count(cfg.band_limit), storage);
+  std::vector<double> nugget = read_vec(in);
+
+  emulator.restore(grid, std::move(trend), std::move(ar), std::move(factor),
+                   std::move(nugget));
+  return emulator;
+}
+
+}  // namespace exaclim::core

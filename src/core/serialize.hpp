@@ -1,0 +1,33 @@
+// Binary serialization of trained emulators.
+//
+// This *is* the storage-savings mechanism: a saved model file replaces the
+// raw multi-petabyte archive, because any number of statistically consistent
+// ensemble members can be regenerated from it. The dominant term is the
+// L^2 x L^2 Cholesky factor V, so the file format supports storing V in
+// reduced precision — the storage-side mirror of the solver's tile
+// precision policies (fp16 rows are scaled per row so the wide dynamic
+// range of the factor survives the 5-bit exponent).
+#pragma once
+
+#include <string>
+
+#include "core/emulator.hpp"
+
+namespace exaclim::core {
+
+/// Storage precision of the Cholesky factor V inside a model file.
+enum class FactorStorage : std::uint8_t {
+  FP64 = 0,        ///< lossless (8 B/element)
+  FP32 = 1,        ///< ~1e-7 relative loss (4 B/element)
+  FP16Scaled = 2,  ///< per-row scaled binary16 (2 B/element + 4 B/row)
+};
+
+/// Writes the trained model (throws InvalidArgument if untrained). Only the
+/// lower triangle of V is stored.
+void save_emulator(const ClimateEmulator& emulator, const std::string& path,
+                   FactorStorage factor_storage = FactorStorage::FP64);
+
+/// Reads a model written by save_emulator (any factor storage).
+ClimateEmulator load_emulator(const std::string& path);
+
+}  // namespace exaclim::core

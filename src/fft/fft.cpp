@@ -1,0 +1,203 @@
+#include "fft/fft.hpp"
+
+#include <cmath>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace exaclim::fft {
+
+using common::is_pow2;
+using common::next_pow2;
+
+namespace {
+
+/// Precomputed machinery for an iterative radix-2 transform of length n=2^k.
+struct Radix2 {
+  index_t n = 0;
+  std::vector<index_t> bit_reverse;       // permutation table
+  std::vector<cplx> twiddles_fwd;         // e^{-2pi i j / n}, j < n/2
+  std::vector<cplx> twiddles_inv;         // e^{+2pi i j / n}, j < n/2
+
+  explicit Radix2(index_t length) : n(length) {
+    bit_reverse.resize(static_cast<std::size_t>(n));
+    int log2n = 0;
+    while ((index_t{1} << log2n) < n) ++log2n;
+    for (index_t i = 0; i < n; ++i) {
+      index_t rev = 0;
+      for (int b = 0; b < log2n; ++b) {
+        if (i & (index_t{1} << b)) rev |= index_t{1} << (log2n - 1 - b);
+      }
+      bit_reverse[static_cast<std::size_t>(i)] = rev;
+    }
+    twiddles_fwd.resize(static_cast<std::size_t>(n / 2));
+    twiddles_inv.resize(static_cast<std::size_t>(n / 2));
+    for (index_t j = 0; j < n / 2; ++j) {
+      const double ang = -kTwoPi * static_cast<double>(j) / static_cast<double>(n);
+      twiddles_fwd[static_cast<std::size_t>(j)] = {std::cos(ang), std::sin(ang)};
+      twiddles_inv[static_cast<std::size_t>(j)] = {std::cos(ang), -std::sin(ang)};
+    }
+  }
+
+  void execute(cplx* data, bool inverse_dir) const {
+    const auto& tw = inverse_dir ? twiddles_inv : twiddles_fwd;
+    for (index_t i = 0; i < n; ++i) {
+      const index_t j = bit_reverse[static_cast<std::size_t>(i)];
+      if (i < j) std::swap(data[i], data[j]);
+    }
+    for (index_t len = 2; len <= n; len <<= 1) {
+      const index_t half = len >> 1;
+      const index_t stride = n / len;
+      for (index_t base = 0; base < n; base += len) {
+        for (index_t j = 0; j < half; ++j) {
+          const cplx w = tw[static_cast<std::size_t>(j * stride)];
+          const cplx u = data[base + j];
+          const cplx v = data[base + j + half] * w;
+          data[base + j] = u + v;
+          data[base + j + half] = u - v;
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+struct Plan::Impl {
+  index_t n = 0;
+  bool pow2 = false;
+
+  // Radix-2 path.
+  std::unique_ptr<Radix2> radix2;
+
+  // Bluestein path: convolution length m (power of two), chirp a_n, and the
+  // forward FFT of the chirp filter b.
+  index_t m = 0;
+  std::unique_ptr<Radix2> conv_fft;
+  std::vector<cplx> chirp;      // w_j = exp(-i*pi*j^2/n) (forward direction)
+  std::vector<cplx> filter_fft; // FFT of b_j = conj chirp, circularly extended
+
+  explicit Impl(index_t length) : n(length) {
+    EXACLIM_CHECK(n >= 1, "FFT length must be >= 1");
+    pow2 = is_pow2(n);
+    if (pow2) {
+      radix2 = std::make_unique<Radix2>(n);
+      return;
+    }
+    m = next_pow2(2 * n - 1);
+    conv_fft = std::make_unique<Radix2>(m);
+    chirp.resize(static_cast<std::size_t>(n));
+    for (index_t j = 0; j < n; ++j) {
+      // j^2 mod 2n keeps the argument small for huge n without changing the
+      // value of exp(-i*pi*j^2/n).
+      const index_t jsq = (j * j) % (2 * n);
+      const double ang = -kPi * static_cast<double>(jsq) / static_cast<double>(n);
+      chirp[static_cast<std::size_t>(j)] = {std::cos(ang), std::sin(ang)};
+    }
+    std::vector<cplx> b(static_cast<std::size_t>(m), cplx{0.0, 0.0});
+    b[0] = std::conj(chirp[0]);
+    for (index_t j = 1; j < n; ++j) {
+      const cplx v = std::conj(chirp[static_cast<std::size_t>(j)]);
+      b[static_cast<std::size_t>(j)] = v;
+      b[static_cast<std::size_t>(m - j)] = v;
+    }
+    conv_fft->execute(b.data(), /*inverse_dir=*/false);
+    filter_fft = std::move(b);
+  }
+
+  void bluestein(cplx* data, bool inverse_dir) const {
+    // For the inverse direction the chirp is conjugated; we reuse the forward
+    // tables by conjugating input and output (DFT_inv(x) = conj(DFT(conj x))/N,
+    // applied below by the caller for normalization).
+    std::vector<cplx> a(static_cast<std::size_t>(m), cplx{0.0, 0.0});
+    if (!inverse_dir) {
+      for (index_t j = 0; j < n; ++j) {
+        a[static_cast<std::size_t>(j)] = data[j] * chirp[static_cast<std::size_t>(j)];
+      }
+    } else {
+      for (index_t j = 0; j < n; ++j) {
+        a[static_cast<std::size_t>(j)] =
+            std::conj(data[j]) * chirp[static_cast<std::size_t>(j)];
+      }
+    }
+    conv_fft->execute(a.data(), false);
+    for (index_t j = 0; j < m; ++j) {
+      a[static_cast<std::size_t>(j)] *= filter_fft[static_cast<std::size_t>(j)];
+    }
+    conv_fft->execute(a.data(), true);
+    const double inv_m = 1.0 / static_cast<double>(m);
+    if (!inverse_dir) {
+      for (index_t k = 0; k < n; ++k) {
+        data[k] = a[static_cast<std::size_t>(k)] * inv_m *
+                  chirp[static_cast<std::size_t>(k)];
+      }
+    } else {
+      for (index_t k = 0; k < n; ++k) {
+        data[k] = std::conj(a[static_cast<std::size_t>(k)] * inv_m *
+                            chirp[static_cast<std::size_t>(k)]);
+      }
+    }
+  }
+
+  void execute(cplx* data, bool inverse_dir) const {
+    if (n == 1) return;
+    if (pow2) {
+      radix2->execute(data, inverse_dir);
+    } else {
+      bluestein(data, inverse_dir);
+    }
+    if (inverse_dir) {
+      const double inv_n = 1.0 / static_cast<double>(n);
+      for (index_t j = 0; j < n; ++j) data[j] *= inv_n;
+    }
+  }
+};
+
+Plan::Plan(index_t n) : impl_(std::make_unique<Impl>(n)) {}
+Plan::~Plan() = default;
+Plan::Plan(Plan&&) noexcept = default;
+Plan& Plan::operator=(Plan&&) noexcept = default;
+
+index_t Plan::size() const { return impl_->n; }
+void Plan::forward(cplx* data) const { impl_->execute(data, false); }
+void Plan::inverse(cplx* data) const { impl_->execute(data, true); }
+
+std::shared_ptr<const Plan> get_plan(index_t n) {
+  static std::mutex mu;
+  static std::unordered_map<index_t, std::shared_ptr<const Plan>> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  auto plan = std::make_shared<const Plan>(n);
+  cache.emplace(n, plan);
+  return plan;
+}
+
+void forward(std::vector<cplx>& data) {
+  get_plan(static_cast<index_t>(data.size()))->forward(data.data());
+}
+
+void inverse(std::vector<cplx>& data) {
+  get_plan(static_cast<index_t>(data.size()))->inverse(data.data());
+}
+
+std::vector<cplx> dft_reference(const std::vector<cplx>& x, bool inverse_dir) {
+  const index_t n = static_cast<index_t>(x.size());
+  std::vector<cplx> out(x.size());
+  const double sign = inverse_dir ? 1.0 : -1.0;
+  for (index_t k = 0; k < n; ++k) {
+    cplx acc{0.0, 0.0};
+    for (index_t j = 0; j < n; ++j) {
+      const double ang =
+          sign * kTwoPi * static_cast<double>((j * k) % n) / static_cast<double>(n);
+      acc += x[static_cast<std::size_t>(j)] * cplx{std::cos(ang), std::sin(ang)};
+    }
+    out[static_cast<std::size_t>(k)] =
+        inverse_dir ? acc / static_cast<double>(n) : acc;
+  }
+  return out;
+}
+
+}  // namespace exaclim::fft

@@ -1,0 +1,290 @@
+#include "linalg/cholesky.hpp"
+
+#include <map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "linalg/precision_policy.hpp"
+
+namespace exaclim::linalg {
+
+namespace {
+
+/// Representation an operand must be delivered in. F16R means "a float
+/// buffer whose values have been rounded through binary16" — the operand form
+/// consumed by tensor-core style fp16 GEMMs.
+enum class Repr : std::uint8_t { F64, F32, F16R };
+
+Repr operand_repr(Precision out_precision) {
+  switch (out_precision) {
+    case Precision::FP64: return Repr::F64;
+    case Precision::FP32: return Repr::F32;
+    case Precision::FP16: return Repr::F16R;
+  }
+  return Repr::F64;
+}
+
+/// One converted operand: at most one of the two buffers is filled.
+struct Operand {
+  const double* d = nullptr;
+  const float* f = nullptr;
+};
+
+/// Executes tile tasks and manages operand conversion/caching.
+class Engine {
+ public:
+  Engine(TiledSymmetricMatrix& a, const CholeskyOptions& opt,
+         CholeskyStats& stats)
+      : a_(a), opt_(opt), stats_(stats) {}
+
+  void run() {
+    const index_t nt = a_.num_tile_rows();
+    common::Timer total;
+    for (index_t k = 0; k < nt; ++k) {
+      potrf(k);
+      for (index_t i = k + 1; i < nt; ++i) trsm(i, k);
+      for (index_t i = k + 1; i < nt; ++i) {
+        syrk(i, k);
+        for (index_t j = k + 1; j < i; ++j) gemm(i, j, k);
+      }
+      // Sender-side conversion caches only serve consumers within panel k.
+      cache_.clear();
+    }
+    stats_.seconds = total.seconds();
+    const double n = static_cast<double>(a_.dim());
+    stats_.flops = n * n * n / 3.0;
+  }
+
+ private:
+  // --- Operand delivery ----------------------------------------------------
+
+  /// Returns tile (i, j) in representation `repr`. Sender placement caches
+  /// the converted copy so later consumers reuse it; Receiver placement
+  /// converts into private scratch each call.
+  Operand fetch(index_t i, index_t j, Repr repr, std::vector<double>& dscratch,
+                std::vector<float>& fscratch) {
+    const TileBuffer& t = a_.tile(i, j);
+    // Fast paths: the storage already has the right representation.
+    if (repr == Repr::F64 && t.precision() == Precision::FP64) {
+      return {.d = t.f64(), .f = nullptr};
+    }
+    if (repr == Repr::F32 && t.precision() == Precision::FP32) {
+      return {.d = nullptr, .f = t.f32()};
+    }
+    // FP16 storage is already half-rounded; widening to float is exactly the
+    // F16R form (and also serves plain F32 requests).
+    if ((repr == Repr::F16R || repr == Repr::F32) &&
+        t.precision() == Precision::FP16) {
+      return {.d = nullptr, .f = fetch_f32_of_f16(i, j, t, fscratch)};
+    }
+    if (opt_.placement == ConversionPlacement::Sender) {
+      auto& entry = cache_[{i, j, repr}];
+      if (entry.d.empty() && entry.f.empty()) convert_into(t, repr, entry);
+      return {.d = entry.d.empty() ? nullptr : entry.d.data(),
+              .f = entry.f.empty() ? nullptr : entry.f.data()};
+    }
+    CacheEntry local;
+    convert_into(t, repr, local);
+    if (!local.d.empty()) {
+      dscratch = std::move(local.d);
+      return {.d = dscratch.data(), .f = nullptr};
+    }
+    fscratch = std::move(local.f);
+    return {.d = nullptr, .f = fscratch.data()};
+  }
+
+  struct CacheEntry {
+    std::vector<double> d;
+    std::vector<float> f;
+  };
+
+  const float* fetch_f32_of_f16(index_t i, index_t j, const TileBuffer& t,
+                                std::vector<float>& fscratch) {
+    if (opt_.placement == ConversionPlacement::Sender) {
+      auto& entry = cache_[{i, j, Repr::F32}];
+      if (entry.f.empty()) {
+        entry.f.resize(static_cast<std::size_t>(t.count()));
+        common::Timer timer;
+        convert_f16_to_f32(t.f16(), entry.f.data(), t.count());
+        account_conversion(t.count(), 4, timer.seconds());
+      }
+      return entry.f.data();
+    }
+    fscratch.resize(static_cast<std::size_t>(t.count()));
+    common::Timer timer;
+    convert_f16_to_f32(t.f16(), fscratch.data(), t.count());
+    account_conversion(t.count(), 4, timer.seconds());
+    return fscratch.data();
+  }
+
+  void convert_into(const TileBuffer& t, Repr repr, CacheEntry& out) {
+    common::Timer timer;
+    const index_t count = t.count();
+    switch (repr) {
+      case Repr::F64:
+        out.d.resize(static_cast<std::size_t>(count));
+        t.store_f64(out.d.data());
+        account_conversion(count, 8, timer.seconds());
+        break;
+      case Repr::F32:
+        out.f.resize(static_cast<std::size_t>(count));
+        t.to_f32(out.f.data());
+        account_conversion(count, 4, timer.seconds());
+        break;
+      case Repr::F16R:
+        out.f.resize(static_cast<std::size_t>(count));
+        t.to_f32(out.f.data());
+        round_through_f16(out.f.data(), count);
+        account_conversion(count, 4, timer.seconds());
+        break;
+    }
+  }
+
+  void account_conversion(index_t elements, std::size_t bytes_per_element,
+                          double seconds) {
+    stats_.element_conversions += static_cast<double>(elements);
+    stats_.converted_bytes +=
+        static_cast<double>(elements) * static_cast<double>(bytes_per_element);
+    stats_.convert_seconds += seconds;
+  }
+
+  // --- Tile tasks -----------------------------------------------------------
+
+  void potrf(index_t k) {
+    common::Timer timer;
+    TileBuffer& t = a_.tile(k, k);
+    const index_t n = t.rows();
+    if (t.precision() == Precision::FP64) {
+      potrf_lower_f64(t.f64(), n);
+    } else {
+      // Non-DP diagonal tiles are legal but discouraged; factor via a double
+      // scratch so the pivot test is reliable.
+      std::vector<double> scratch(static_cast<std::size_t>(n * n));
+      t.store_f64(scratch.data());
+      potrf_lower_f64(scratch.data(), n);
+      t.load_f64(scratch.data());
+    }
+    stats_.potrf_seconds += timer.seconds();
+    ++stats_.tasks;
+  }
+
+  void trsm(index_t i, index_t k) {
+    common::Timer timer;
+    TileBuffer& b = a_.tile(i, k);
+    const index_t m = b.rows();
+    const index_t n = b.cols();
+    std::vector<double> dscratch;
+    std::vector<float> fscratch;
+    switch (b.precision()) {
+      case Precision::FP64: {
+        const Operand l = fetch(k, k, Repr::F64, dscratch, fscratch);
+        trsm_rlt_f64(l.d, b.f64(), m, n);
+        break;
+      }
+      case Precision::FP32: {
+        const Operand l = fetch(k, k, Repr::F32, dscratch, fscratch);
+        trsm_rlt_f32(l.f, b.f32(), m, n);
+        break;
+      }
+      case Precision::FP16: {
+        const Operand l = fetch(k, k, Repr::F32, dscratch, fscratch);
+        std::vector<float> x(static_cast<std::size_t>(m * n));
+        convert_f16_to_f32(b.f16(), x.data(), m * n);
+        trsm_rlt_f32(l.f, x.data(), m, n);
+        convert_f32_to_f16(x.data(), b.f16(), m * n);
+        break;
+      }
+    }
+    stats_.trsm_seconds += timer.seconds();
+    ++stats_.tasks;
+  }
+
+  void syrk(index_t i, index_t k) {
+    common::Timer timer;
+    TileBuffer& c = a_.tile(i, i);
+    const index_t m = c.rows();
+    const index_t kk = a_.tile(i, k).cols();
+    std::vector<double> dscratch;
+    std::vector<float> fscratch;
+    switch (c.precision()) {
+      case Precision::FP64: {
+        const Operand in = fetch(i, k, Repr::F64, dscratch, fscratch);
+        syrk_ln_minus_f64(in.d, c.f64(), m, kk);
+        break;
+      }
+      case Precision::FP32: {
+        const Operand in = fetch(i, k, Repr::F32, dscratch, fscratch);
+        syrk_ln_minus_f32(in.f, c.f32(), m, kk);
+        break;
+      }
+      case Precision::FP16: {
+        const Operand in = fetch(i, k, Repr::F16R, dscratch, fscratch);
+        std::vector<float> cs(static_cast<std::size_t>(m * m));
+        convert_f16_to_f32(c.f16(), cs.data(), m * m);
+        syrk_ln_minus_f32(in.f, cs.data(), m, kk);
+        convert_f32_to_f16(cs.data(), c.f16(), m * m);
+        break;
+      }
+    }
+    stats_.syrk_seconds += timer.seconds();
+    ++stats_.tasks;
+  }
+
+  void gemm(index_t i, index_t j, index_t k) {
+    common::Timer timer;
+    TileBuffer& c = a_.tile(i, j);
+    const index_t m = c.rows();
+    const index_t n = c.cols();
+    const index_t kk = a_.tile(i, k).cols();
+    const Repr repr = operand_repr(c.precision());
+    std::vector<double> dsa, dsb;
+    std::vector<float> fsa, fsb;
+    const Operand a_op = fetch(i, k, repr, dsa, fsa);
+    const Operand b_op = fetch(j, k, repr, dsb, fsb);
+    switch (c.precision()) {
+      case Precision::FP64:
+        gemm_nt_minus_f64(a_op.d, b_op.d, c.f64(), m, n, kk);
+        break;
+      case Precision::FP32:
+        gemm_nt_minus_f32(a_op.f, b_op.f, c.f32(), m, n, kk);
+        break;
+      case Precision::FP16: {
+        std::vector<float> cs(static_cast<std::size_t>(m * n));
+        convert_f16_to_f32(c.f16(), cs.data(), m * n);
+        gemm_nt_minus_f32(a_op.f, b_op.f, cs.data(), m, n, kk);
+        convert_f32_to_f16(cs.data(), c.f16(), m * n);
+        break;
+      }
+    }
+    stats_.gemm_seconds += timer.seconds();
+    ++stats_.tasks;
+  }
+
+  TiledSymmetricMatrix& a_;
+  const CholeskyOptions& opt_;
+  CholeskyStats& stats_;
+  std::map<std::tuple<index_t, index_t, Repr>, CacheEntry> cache_;
+};
+
+}  // namespace
+
+CholeskyStats cholesky_tiled(TiledSymmetricMatrix& a,
+                             const CholeskyOptions& options) {
+  CholeskyStats stats;
+  Engine engine(a, options, stats);
+  engine.run();
+  return stats;
+}
+
+Matrix cholesky_mixed_dense(const Matrix& a, index_t nb, PrecisionVariant v,
+                            CholeskyStats* stats) {
+  const index_t nt = (a.rows() + nb - 1) / nb;
+  TiledSymmetricMatrix tiled =
+      TiledSymmetricMatrix::from_dense(a, nb, make_band_policy(nt, v));
+  const CholeskyStats s = cholesky_tiled(tiled);
+  if (stats != nullptr) *stats = s;
+  return tiled.to_dense(/*lower_only=*/true);
+}
+
+}  // namespace exaclim::linalg

@@ -1,0 +1,62 @@
+// Sequential mixed-precision tile Cholesky (right-looking).
+//
+// Factorizes a TiledSymmetricMatrix in place: on return the lower-triangle
+// tiles hold L with A ~= L L^T, each tile still in its assigned storage
+// precision. The task structure matches the paper (Section V-A):
+//   POTRF(k,k)  -> broadcasts to TRSM(i,k), i > k
+//   TRSM(i,k)   -> broadcasts to GEMM(i,j,k) in row i / column i, SYRK(i,k)
+// Tasks compute in the precision class of their *output* tile; fp16 tiles
+// compute with half-rounded operands and fp32 accumulation (tensor-core
+// semantics). Inputs arriving in a different precision are converted either
+//   * at the "sender" (once per produced tile and target precision, shared by
+//     all consumers — the paper's optimized placement), or
+//   * at the "receiver" (every consuming task converts privately — the
+//     baseline of [34] that Fig. 5 compares against).
+// On CPU the distinction shows up as conversion work and memory traffic; the
+// perfmodel replays the same choice with communication costs at scale.
+//
+// The runtime-parallel version with the same semantics lives in
+// runtime/tiled_cholesky_rt.hpp.
+#pragma once
+
+#include "linalg/precision_policy.hpp"
+#include "linalg/tile_matrix.hpp"
+
+namespace exaclim::linalg {
+
+/// Where precision conversions happen (see file comment).
+enum class ConversionPlacement { Sender, Receiver };
+
+struct CholeskyOptions {
+  ConversionPlacement placement = ConversionPlacement::Sender;
+};
+
+/// Execution statistics for one factorization.
+struct CholeskyStats {
+  double seconds = 0.0;          ///< wall time
+  double flops = 0.0;            ///< nominal flops, n^3/3
+  double element_conversions = 0.0;  ///< elements converted between precisions
+  double converted_bytes = 0.0;  ///< bytes written by conversions
+  index_t tasks = 0;             ///< tile tasks executed
+  double potrf_seconds = 0.0;
+  double trsm_seconds = 0.0;
+  double syrk_seconds = 0.0;
+  double gemm_seconds = 0.0;
+  double convert_seconds = 0.0;
+
+  double gflops_per_second() const {
+    return seconds > 0.0 ? flops / seconds * 1e-9 : 0.0;
+  }
+};
+
+/// Factorizes `a` in place. Throws NumericalError if a diagonal tile is not
+/// positive definite.
+CholeskyStats cholesky_tiled(TiledSymmetricMatrix& a,
+                             const CholeskyOptions& options = {});
+
+/// Convenience: factorizes a dense SPD matrix through the tiled solver with
+/// the given variant and returns the dense lower factor (upper zeroed).
+Matrix cholesky_mixed_dense(const Matrix& a, index_t nb, PrecisionVariant v,
+                            CholeskyStats* stats = nullptr);
+
+}  // namespace exaclim::linalg

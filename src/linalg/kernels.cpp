@@ -1,0 +1,173 @@
+#include "linalg/kernels.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace exaclim::linalg {
+
+std::string precision_name(Precision p) {
+  switch (p) {
+    case Precision::FP64: return "DP";
+    case Precision::FP32: return "SP";
+    case Precision::FP16: return "HP";
+  }
+  return "??";
+}
+
+std::size_t precision_bytes(Precision p) {
+  switch (p) {
+    case Precision::FP64: return 8;
+    case Precision::FP32: return 4;
+    case Precision::FP16: return 2;
+  }
+  return 0;
+}
+
+namespace {
+
+/// Generic blocked Cholesky on a tile; T is float or double.
+template <typename T>
+void potrf_impl(T* a, index_t n) {
+  for (index_t kk = 0; kk < n; ++kk) {
+    T pivot = a[kk * n + kk];
+    EXACLIM_NUMERIC_CHECK(pivot > T(0),
+                          "tile is not positive definite (tile POTRF)");
+    const T lkk = std::sqrt(pivot);
+    a[kk * n + kk] = lkk;
+    const T inv = T(1) / lkk;
+    for (index_t i = kk + 1; i < n; ++i) a[i * n + kk] *= inv;
+    // Rank-1 update of the trailing lower triangle.
+    for (index_t j = kk + 1; j < n; ++j) {
+      const T ljk = a[j * n + kk];
+      if (ljk == T(0)) continue;
+      for (index_t i = j; i < n; ++i) {
+        a[i * n + j] -= a[i * n + kk] * ljk;
+      }
+    }
+  }
+}
+
+/// X * L^T = B: for each row x of B solve x L^T = b, i.e. a forward
+/// substitution across columns since L^T is upper-triangular.
+template <typename T>
+void trsm_impl(const T* l, T* b, index_t m, index_t n) {
+  for (index_t r = 0; r < m; ++r) {
+    T* x = b + r * n;
+    for (index_t j = 0; j < n; ++j) {
+      T acc = x[j];
+      for (index_t p = 0; p < j; ++p) acc -= x[p] * l[j * n + p];
+      EXACLIM_NUMERIC_CHECK(l[j * n + j] != T(0), "singular TRSM pivot");
+      x[j] = acc / l[j * n + j];
+    }
+  }
+}
+
+/// C -= A * B^T with k-inner dot products; the j-by-4 unroll keeps four
+/// accumulators live so the compiler vectorizes the shared A row loads.
+template <typename T>
+void gemm_impl(const T* a, const T* b, T* c, index_t m, index_t n, index_t k) {
+  index_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const T* b0 = b + (j + 0) * k;
+    const T* b1 = b + (j + 1) * k;
+    const T* b2 = b + (j + 2) * k;
+    const T* b3 = b + (j + 3) * k;
+    for (index_t i = 0; i < m; ++i) {
+      const T* ai = a + i * k;
+      T acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+      for (index_t p = 0; p < k; ++p) {
+        const T av = ai[p];
+        acc0 += av * b0[p];
+        acc1 += av * b1[p];
+        acc2 += av * b2[p];
+        acc3 += av * b3[p];
+      }
+      T* ci = c + i * n + j;
+      ci[0] -= acc0;
+      ci[1] -= acc1;
+      ci[2] -= acc2;
+      ci[3] -= acc3;
+    }
+  }
+  for (; j < n; ++j) {
+    const T* bj = b + j * k;
+    for (index_t i = 0; i < m; ++i) {
+      const T* ai = a + i * k;
+      T acc = 0;
+      for (index_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+      c[i * n + j] -= acc;
+    }
+  }
+}
+
+/// C(lower) -= A A^T.
+template <typename T>
+void syrk_impl(const T* a, T* c, index_t m, index_t k) {
+  for (index_t i = 0; i < m; ++i) {
+    const T* ai = a + i * k;
+    for (index_t j = 0; j <= i; ++j) {
+      const T* aj = a + j * k;
+      T acc = 0;
+      for (index_t p = 0; p < k; ++p) acc += ai[p] * aj[p];
+      c[i * m + j] -= acc;
+    }
+  }
+}
+
+}  // namespace
+
+void potrf_lower_f64(double* a, index_t n) { potrf_impl(a, n); }
+void potrf_lower_f32(float* a, index_t n) { potrf_impl(a, n); }
+
+void trsm_rlt_f64(const double* l, double* b, index_t m, index_t n) {
+  trsm_impl(l, b, m, n);
+}
+void trsm_rlt_f32(const float* l, float* b, index_t m, index_t n) {
+  trsm_impl(l, b, m, n);
+}
+
+void gemm_nt_minus_f64(const double* a, const double* b, double* c, index_t m,
+                       index_t n, index_t k) {
+  gemm_impl(a, b, c, m, n, k);
+}
+void gemm_nt_minus_f32(const float* a, const float* b, float* c, index_t m,
+                       index_t n, index_t k) {
+  gemm_impl(a, b, c, m, n, k);
+}
+
+void syrk_ln_minus_f64(const double* a, double* c, index_t m, index_t k) {
+  syrk_impl(a, c, m, k);
+}
+void syrk_ln_minus_f32(const float* a, float* c, index_t m, index_t k) {
+  syrk_impl(a, c, m, k);
+}
+
+void convert_f64_to_f32(const double* src, float* dst, index_t count) {
+  for (index_t i = 0; i < count; ++i) dst[i] = static_cast<float>(src[i]);
+}
+void convert_f32_to_f64(const float* src, double* dst, index_t count) {
+  for (index_t i = 0; i < count; ++i) dst[i] = static_cast<double>(src[i]);
+}
+void convert_f64_to_f16(const double* src, common::half* dst, index_t count) {
+  for (index_t i = 0; i < count; ++i) {
+    dst[i] = common::half(static_cast<float>(src[i]));
+  }
+}
+void convert_f16_to_f64(const common::half* src, double* dst, index_t count) {
+  for (index_t i = 0; i < count; ++i) dst[i] = static_cast<double>(src[i]);
+}
+void convert_f32_to_f16(const float* src, common::half* dst, index_t count) {
+  for (index_t i = 0; i < count; ++i) dst[i] = common::half(src[i]);
+}
+void convert_f16_to_f32(const common::half* src, float* dst, index_t count) {
+  for (index_t i = 0; i < count; ++i) dst[i] = static_cast<float>(src[i]);
+}
+
+void round_through_f16(float* data, index_t count) {
+  for (index_t i = 0; i < count; ++i) {
+    data[i] = static_cast<float>(common::half(data[i]));
+  }
+}
+
+}  // namespace exaclim::linalg

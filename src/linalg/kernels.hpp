@@ -1,0 +1,71 @@
+// Per-precision BLAS3 kernels for the tile-based mixed-precision Cholesky.
+//
+// The paper runs POTRF/TRSM/SYRK/GEMM tile kernels in fp64, fp32 or fp16
+// (tensor cores: fp16 inputs, fp32 accumulation). We reproduce the same
+// numerics on the CPU:
+//   * FP64 kernels: plain double arithmetic.
+//   * FP32 kernels: plain float arithmetic.
+//   * FP16 "tensor-core" path: operands are rounded through IEEE binary16 and
+//     the multiply-accumulate runs in fp32 (see gemm/syrk callers in
+//     cholesky.cpp), which is exactly the V100/A100/H100/MI250X tensor-core
+//     contract the paper relies on.
+//
+// All tiles are row-major with a leading dimension equal to the tile width.
+// Kernels take explicit (m, n, k) so ragged edge tiles work.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/half.hpp"
+#include "common/types.hpp"
+
+namespace exaclim::linalg {
+
+/// Storage/compute precision of a tile.
+enum class Precision : std::uint8_t { FP64 = 0, FP32 = 1, FP16 = 2 };
+
+/// Human-readable name ("DP", "SP", "HP") matching the paper's terminology.
+std::string precision_name(Precision p);
+
+/// Bytes per element.
+std::size_t precision_bytes(Precision p);
+
+// --- Factorization kernels -------------------------------------------------
+
+/// In-place lower Cholesky of the n x n tile `a`. Throws NumericalError on a
+/// non-positive pivot. Strictly-upper entries are left untouched.
+void potrf_lower_f64(double* a, index_t n);
+void potrf_lower_f32(float* a, index_t n);
+
+/// Solves X * L^T = B for X, overwriting B (m x n), with L the n x n lower
+/// Cholesky factor of the panel's diagonal tile. This is the tile TRSM of the
+/// right-looking factorization.
+void trsm_rlt_f64(const double* l, double* b, index_t m, index_t n);
+void trsm_rlt_f32(const float* l, float* b, index_t m, index_t n);
+
+/// C (m x n) -= A (m x k) * B (n x k)^T. The trailing-update GEMM.
+void gemm_nt_minus_f64(const double* a, const double* b, double* c, index_t m,
+                       index_t n, index_t k);
+void gemm_nt_minus_f32(const float* a, const float* b, float* c, index_t m,
+                       index_t n, index_t k);
+
+/// C (m x m, lower triangle incl. diagonal) -= A (m x k) * A^T.
+void syrk_ln_minus_f64(const double* a, double* c, index_t m, index_t k);
+void syrk_ln_minus_f32(const float* a, float* c, index_t m, index_t k);
+
+// --- Precision conversion ---------------------------------------------------
+
+/// Element-wise conversions (round-to-nearest-even where narrowing).
+void convert_f64_to_f32(const double* src, float* dst, index_t count);
+void convert_f32_to_f64(const float* src, double* dst, index_t count);
+void convert_f64_to_f16(const double* src, common::half* dst, index_t count);
+void convert_f16_to_f64(const common::half* src, double* dst, index_t count);
+void convert_f32_to_f16(const float* src, common::half* dst, index_t count);
+void convert_f16_to_f32(const common::half* src, float* dst, index_t count);
+
+/// Rounds a float buffer through binary16 in place (tensor-core operand
+/// rounding without a separate half buffer).
+void round_through_f16(float* data, index_t count);
+
+}  // namespace exaclim::linalg

@@ -1,0 +1,117 @@
+#include "linalg/precision_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace exaclim::linalg {
+
+std::string variant_name(PrecisionVariant v) {
+  switch (v) {
+    case PrecisionVariant::DP: return "DP";
+    case PrecisionVariant::DP_SP: return "DP/SP";
+    case PrecisionVariant::DP_SP_HP: return "DP/SP/HP";
+    case PrecisionVariant::DP_HP: return "DP/HP";
+  }
+  return "??";
+}
+
+PrecisionVariant parse_variant(const std::string& name) {
+  for (PrecisionVariant v : kAllVariants) {
+    if (variant_name(v) == name) return v;
+  }
+  throw InvalidArgument("unknown precision variant: " + name);
+}
+
+PrecisionMap make_band_policy(index_t nt, PrecisionVariant v, index_t dp_band,
+                              double sp_fraction) {
+  EXACLIM_CHECK(nt >= 1, "tile count must be >= 1");
+  EXACLIM_CHECK(dp_band >= 0, "dp_band must be >= 0");
+  EXACLIM_CHECK(sp_fraction >= 0.0 && sp_fraction <= 1.0,
+                "sp_fraction must lie in [0, 1]");
+  PrecisionMap map;
+  map.nt = nt;
+  map.name = variant_name(v);
+  map.tiles.assign(static_cast<std::size_t>(nt * (nt + 1) / 2),
+                   Precision::FP64);
+  if (v == PrecisionVariant::DP) return map;
+
+  const Precision low = (v == PrecisionVariant::DP_SP) ? Precision::FP32
+                                                       : Precision::FP16;
+  // For DP/SP/HP: find the band distance cut so that tiles with
+  // dp_band < |i-j| <= sp_cut are fp32 and make up >= sp_fraction of all
+  // lower-triangle tiles.
+  index_t sp_cut = dp_band;
+  if (v == PrecisionVariant::DP_SP_HP) {
+    const double total = static_cast<double>(nt * (nt + 1) / 2);
+    double sp_tiles = 0.0;
+    while (sp_cut < nt - 1 && sp_tiles / total < sp_fraction) {
+      ++sp_cut;
+      sp_tiles += static_cast<double>(nt - sp_cut);  // tiles at distance sp_cut
+    }
+  }
+  for (index_t i = 0; i < nt; ++i) {
+    for (index_t j = 0; j <= i; ++j) {
+      const index_t dist = i - j;
+      Precision p = Precision::FP64;
+      if (dist > dp_band) {
+        p = (v == PrecisionVariant::DP_SP_HP && dist <= sp_cut)
+                ? Precision::FP32
+                : low;
+      }
+      map.at(i, j) = p;
+    }
+  }
+  return map;
+}
+
+PrecisionMap make_tile_centric_policy(const Matrix& a, index_t nb,
+                                      double sp_threshold,
+                                      double hp_threshold) {
+  EXACLIM_CHECK(a.rows() == a.cols(), "matrix must be square");
+  EXACLIM_CHECK(sp_threshold >= hp_threshold,
+                "sp_threshold must be >= hp_threshold");
+  const index_t n = a.rows();
+  const index_t nt = (n + nb - 1) / nb;
+  PrecisionMap map;
+  map.nt = nt;
+  map.name = "tile-centric";
+  map.tiles.assign(static_cast<std::size_t>(nt * (nt + 1) / 2),
+                   Precision::FP64);
+
+  // Per-tile Frobenius norms of the lower triangle.
+  std::vector<double> norms(map.tiles.size(), 0.0);
+  double max_norm = 0.0;
+  for (index_t i = 0; i < nt; ++i) {
+    const index_t r0 = i * nb;
+    const index_t r1 = std::min(n, r0 + nb);
+    for (index_t j = 0; j <= i; ++j) {
+      const index_t c0 = j * nb;
+      const index_t c1 = std::min(n, c0 + nb);
+      double acc = 0.0;
+      for (index_t r = r0; r < r1; ++r) {
+        for (index_t c = c0; c < c1; ++c) acc += a(r, c) * a(r, c);
+      }
+      const double norm = std::sqrt(acc);
+      norms[static_cast<std::size_t>(i * (i + 1) / 2 + j)] = norm;
+      max_norm = std::max(max_norm, norm);
+    }
+  }
+  if (max_norm == 0.0) return map;
+  for (index_t i = 0; i < nt; ++i) {
+    for (index_t j = 0; j <= i; ++j) {
+      if (i == j) continue;  // diagonal stays fp64 for a stable POTRF
+      const double rel =
+          norms[static_cast<std::size_t>(i * (i + 1) / 2 + j)] / max_norm;
+      if (rel < hp_threshold) {
+        map.at(i, j) = Precision::FP16;
+      } else if (rel < sp_threshold) {
+        map.at(i, j) = Precision::FP32;
+      }
+    }
+  }
+  return map;
+}
+
+}  // namespace exaclim::linalg

@@ -1,0 +1,115 @@
+// PLASMA-style tile layout for symmetric matrices with per-tile precision.
+//
+// The covariance matrix U-hat of the emulator (Eq. 9) is symmetric positive
+// definite with correlation strength decaying away from the diagonal; the
+// paper exploits this by storing far-off-diagonal tiles in lower precision.
+// TiledSymmetricMatrix stores only the lower triangle of tiles; each tile
+// owns a byte buffer whose element type is given by its Precision tag
+// (exactly PaRSEC's "tiles of varied precision need different storage").
+#pragma once
+
+#include <vector>
+
+#include "common/half.hpp"
+#include "common/types.hpp"
+#include "linalg/kernels.hpp"
+#include "linalg/matrix.hpp"
+
+namespace exaclim::linalg {
+
+/// Per-tile precision assignment for the lower triangle of an nt x nt tile
+/// grid; produced by the policies in precision_policy.hpp.
+struct PrecisionMap {
+  index_t nt = 0;
+  std::vector<Precision> tiles;  // packed lower triangle, idx = i*(i+1)/2 + j
+  std::string name;              // e.g. "DP/HP"
+
+  Precision at(index_t i, index_t j) const {
+    return tiles[static_cast<std::size_t>(i * (i + 1) / 2 + j)];
+  }
+  Precision& at(index_t i, index_t j) {
+    return tiles[static_cast<std::size_t>(i * (i + 1) / 2 + j)];
+  }
+
+  /// Fraction of lower-triangle tiles held at precision p.
+  double fraction(Precision p) const;
+
+  /// Total bytes for tile storage of an n x n matrix with tile size nb.
+  double storage_bytes(index_t n, index_t nb) const;
+};
+
+/// A single tile: owning buffer + precision tag.
+class TileBuffer {
+ public:
+  TileBuffer() = default;
+  TileBuffer(Precision p, index_t rows, index_t cols);
+
+  Precision precision() const { return prec_; }
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t count() const { return rows_ * cols_; }
+
+  double* f64();
+  const double* f64() const;
+  float* f32();
+  const float* f32() const;
+  common::half* f16();
+  const common::half* f16() const;
+
+  /// Loads from a double source (rounding into the tile's precision).
+  void load_f64(const double* src);
+  /// Stores to a double destination (widening from the tile's precision).
+  void store_f64(double* dst) const;
+  /// Copies this tile into a float scratch buffer (size count()).
+  void to_f32(float* dst) const;
+  /// Overwrites this tile from a float scratch buffer.
+  void from_f32(const float* src);
+
+ private:
+  Precision prec_ = Precision::FP64;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<std::byte> bytes_;
+};
+
+/// Symmetric matrix stored as lower-triangle tiles of mixed precision.
+class TiledSymmetricMatrix {
+ public:
+  /// Builds zero-initialized storage for an n x n matrix with tile size nb
+  /// and the given per-tile precision map (map.nt must equal ceil(n/nb)).
+  TiledSymmetricMatrix(index_t n, index_t nb, PrecisionMap map);
+
+  /// Fills tiles from a dense symmetric matrix (values are rounded into each
+  /// tile's storage precision — this is the "lossy load" the paper's accuracy
+  /// study quantifies).
+  static TiledSymmetricMatrix from_dense(const Matrix& a, index_t nb,
+                                         PrecisionMap map);
+
+  /// Reconstructs a dense matrix in double precision. If `lower_only`, the
+  /// strictly-upper part is left zero (used after factorization, where tiles
+  /// hold the lower Cholesky factor).
+  Matrix to_dense(bool lower_only = false) const;
+
+  index_t dim() const { return n_; }
+  index_t tile_size() const { return nb_; }
+  index_t num_tile_rows() const { return nt_; }
+  /// Number of rows in tile-row i (ragged last tile).
+  index_t tile_rows(index_t i) const;
+
+  TileBuffer& tile(index_t i, index_t j);
+  const TileBuffer& tile(index_t i, index_t j) const;
+
+  const PrecisionMap& precision_map() const { return map_; }
+
+  /// Total bytes held by tile buffers.
+  double storage_bytes() const;
+
+ private:
+  index_t n_ = 0;
+  index_t nb_ = 0;
+  index_t nt_ = 0;
+  PrecisionMap map_;
+  std::vector<TileBuffer> tiles_;  // packed lower triangle
+};
+
+}  // namespace exaclim::linalg

@@ -1,0 +1,71 @@
+#include "perfmodel/calibration.hpp"
+
+#include "common/error.hpp"
+#include "perfmodel/machine.hpp"
+
+namespace exaclim::perfmodel {
+
+void apply_calibration(MachineSpec& machine) {
+  // DP and SP tile GEMM land near classic dense-solver efficiencies; HP
+  // tensor kernels are much farther from peak at Cholesky tile sizes (the
+  // paper's Table I implies 9-20% of FP16 peak depending on the part).
+  if (machine.name == "Summit") {
+    // Anchored on Fig. 6: DP at 61.7% of peak on 2,048 nodes; DP/HP at
+    // ~305 PFlop/s; Table I's 25 TFlop/s/GPU.
+    machine.dp_efficiency = 0.63;
+    machine.sp_efficiency = 0.70;
+    machine.hp_efficiency = 0.21;
+    machine.gpu_aware_comm = true;
+  } else if (machine.name == "Frontier") {
+    // Anchored on Table I (54.6 TF/GPU at 1,024 nodes) and Fig. 8's weak
+    // decline toward 27 TF/GPU at 9,025 nodes (host-staged MPI).
+    machine.dp_efficiency = 0.62;
+    machine.sp_efficiency = 0.55;
+    machine.hp_efficiency = 0.14;
+    machine.gpu_aware_comm = false;
+    machine.staging_penalty = 3.0;
+  } else if (machine.name == "Alps") {
+    machine.dp_efficiency = 0.65;
+    machine.sp_efficiency = 0.17;
+    machine.hp_efficiency = 0.11;
+    machine.gpu_aware_comm = false;
+  } else if (machine.name == "Leonardo") {
+    machine.dp_efficiency = 0.68;
+    machine.sp_efficiency = 0.30;
+    machine.hp_efficiency = 0.21;
+    machine.gpu_aware_comm = true;
+  } else {
+    throw InvalidArgument("no calibration for machine: " + machine.name);
+  }
+}
+
+const std::vector<TableIRow>& paper_table1() {
+  static const std::vector<TableIRow> rows = {
+      {"Frontier", 4096, 8.39e6, 223.7, 54.6},
+      {"Alps", 4096, 10.49e6, 384.2, 93.8},
+      {"Leonardo", 4096, 8.39e6, 243.1, 57.2},
+      {"Summit", 6144, 6.29e6, 153.6, 25.0},
+  };
+  return rows;
+}
+
+const std::vector<Fig8Point>& paper_fig8() {
+  static const std::vector<Fig8Point> points = {
+      {"Leonardo", 1024, 8.39e6, 243.0},
+      {"Summit", 3072, 12.58e6, 375.0},
+      {"Alps", 1024, 10.49e6, 364.0},
+      {"Alps", 1600, 14.42e6, 623.0},
+      {"Alps", 1936, 15.73e6, 739.0},
+      {"Frontier", 2048, 12.58e6, 316.0},
+      {"Frontier", 4096, 16.78e6, 523.0},
+      {"Frontier", 6400, 20.97e6, 715.0},
+      {"Frontier", 9025, 27.24e6, 976.0},
+  };
+  return points;
+}
+
+Fig6Anchors paper_fig6() { return {}; }
+Fig7Strong paper_fig7_strong() { return {}; }
+Fig5Anchors paper_fig5() { return {}; }
+
+}  // namespace exaclim::perfmodel

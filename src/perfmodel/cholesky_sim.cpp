@@ -1,0 +1,298 @@
+#include "perfmodel/cholesky_sim.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "perfmodel/event_sim.hpp"
+
+namespace exaclim::perfmodel {
+
+using linalg::Precision;
+using linalg::PrecisionVariant;
+
+namespace {
+
+/// Band-distance cut below which DP/SP/HP stores fp32 (mirrors
+/// make_band_policy so the analytic model and the real solver agree).
+index_t sp_cut_for(index_t nt, PrecisionVariant v, index_t dp_band,
+                   double sp_fraction) {
+  if (v != PrecisionVariant::DP_SP_HP) return dp_band;
+  const double total = static_cast<double>(nt) * static_cast<double>(nt + 1) / 2.0;
+  double sp_tiles = 0.0;
+  index_t cut = dp_band;
+  while (cut < nt - 1 && sp_tiles / total < sp_fraction) {
+    ++cut;
+    sp_tiles += static_cast<double>(nt - cut);
+  }
+  return cut;
+}
+
+Precision precision_at_distance(index_t d, PrecisionVariant v, index_t dp_band,
+                                index_t sp_cut) {
+  if (v == PrecisionVariant::DP || d <= dp_band) return Precision::FP64;
+  if (v == PrecisionVariant::DP_SP) return Precision::FP32;
+  if (v == PrecisionVariant::DP_SP_HP && d <= sp_cut) return Precision::FP32;
+  return Precision::FP16;
+}
+
+Precision low_precision(PrecisionVariant v) {
+  switch (v) {
+    case PrecisionVariant::DP: return Precision::FP64;
+    case PrecisionVariant::DP_SP: return Precision::FP32;
+    default: return Precision::FP16;
+  }
+}
+
+/// Effective element conversion throughput per GPU (bandwidth-bound; GPUs
+/// convert at near memory speed, so this term is small by design).
+constexpr double kConvertElementsPerSecond = 5e10;
+
+/// Starvation penalty factor for bandwidth-first (legacy) collectives: the
+/// fraction of bulk communication that ends up serialized behind the panel's
+/// critical path when many concurrent broadcasts maximize bandwidth at the
+/// expense of individual latency (Section III-C). Calibrated against Fig. 5.
+constexpr double kStarvationFactor = 0.35;
+
+}  // namespace
+
+SimResult simulate_cholesky(const SimConfig& cfg) {
+  EXACLIM_CHECK(cfg.nodes >= 1, "need at least one node");
+  EXACLIM_CHECK(cfg.matrix_size >= 1.0 && cfg.tile_size >= 1,
+                "invalid matrix/tile size");
+  const MachineSpec& m = cfg.machine;
+  const index_t gpus = cfg.nodes * m.gpus_per_node;
+  const double nb = static_cast<double>(cfg.tile_size);
+  const index_t nt = static_cast<index_t>(
+      std::ceil(cfg.matrix_size / static_cast<double>(cfg.tile_size)));
+  const index_t sp_cut =
+      sp_cut_for(nt, cfg.variant, cfg.dp_band, cfg.sp_fraction);
+  const double nb3 = nb * nb * nb;
+  const double nb2 = nb * nb;
+
+  // ---- Per-precision flops, comm bytes, conversions (exact per band
+  // distance, O(nt) total) ------------------------------------------------
+  double flops_by_prec[3] = {0.0, 0.0, 0.0};
+  double comm_bytes = 0.0;
+  double conversions = 0.0;  // elements
+
+  const ProcessGrid grid = make_process_grid(gpus);
+  const double recipients =
+      static_cast<double>(grid.rows - 1 + grid.cols - 1);
+  const Precision low = low_precision(cfg.variant);
+  const double bytes_low =
+      static_cast<double>(linalg::precision_bytes(low));
+
+  // POTRF + SYRK (diagonal, fp64).
+  const double nt_d = static_cast<double>(nt);
+  flops_by_prec[0] += nt_d * nb3 / 3.0;                 // POTRF
+  flops_by_prec[0] += nt_d * (nt_d - 1.0) / 2.0 * nb3;  // SYRK updates
+  // Diagonal-tile broadcasts to the TRSMs in their column.
+  comm_bytes += nt_d * static_cast<double>(grid.rows - 1) * nb2 * 8.0;
+
+  double total_gemms = 0.0;
+  for (index_t d = 1; d < nt; ++d) {
+    const double count = static_cast<double>(nt - d);
+    const Precision p = precision_at_distance(d, cfg.variant, cfg.dp_band, sp_cut);
+    const std::size_t pi = static_cast<std::size_t>(p);
+    // One TRSM per lower tile.
+    flops_by_prec[pi] += count * nb3;
+    // GEMMs into tiles at this distance: tile (i,j), j = 0..nt-1-d gets j
+    // updates of 2 nb^3 flops.
+    const double gemms = count * (count - 1.0) / 2.0;
+    flops_by_prec[pi] += 2.0 * gemms * nb3;
+    total_gemms += gemms;
+    // Panel-tile broadcast volume: every lower tile is broadcast once along
+    // its process row and column. Sender-side conversion ships the consumer
+    // (low) precision; otherwise the storage precision travels.
+    const double bytes_per_element =
+        cfg.sender_conversion
+            ? bytes_low
+            : static_cast<double>(linalg::precision_bytes(p));
+    comm_bytes += count * recipients * nb2 * bytes_per_element;
+  }
+  // Conversion work: sender converts each panel tile once; receiver converts
+  // both operands of (approximately) every low-precision GEMM.
+  if (cfg.variant != PrecisionVariant::DP) {
+    if (cfg.sender_conversion) {
+      conversions = nt_d * (nt_d + 1.0) / 2.0 * nb2;
+    } else {
+      conversions = 2.0 * total_gemms * nb2;
+    }
+  }
+
+  const double n = cfg.matrix_size;
+  SimResult r;
+  r.flops = n * n * n / 3.0;
+
+  // ---- Pipeline terms -----------------------------------------------------
+  double t_comp = 0.0;
+  for (int p = 0; p < 3; ++p) {
+    const double rate = m.gpu_rate_flops(static_cast<Precision>(p));
+    if (flops_by_prec[p] > 0.0) {
+      t_comp += flops_by_prec[p] / (static_cast<double>(gpus) * rate);
+    }
+  }
+  const double t_conv =
+      conversions / (static_cast<double>(gpus) * kConvertElementsPerSecond);
+  const double t_comm =
+      comm_bytes / (static_cast<double>(cfg.nodes) * m.node_injection_gbs * 1e9);
+  // Non-overlappable panel chain: POTRF + one TRSM depth + broadcast-tree
+  // latency per panel step.
+  const double rate_dp = m.gpu_rate_flops(Precision::FP64);
+  const double bcast_latency =
+      std::log2(std::max<double>(2.0, static_cast<double>(gpus))) *
+      m.link_latency_us * 1e-6;
+  const double t_panel =
+      nt_d * (nb3 / 3.0 / rate_dp + nb3 / rate_dp + bcast_latency +
+              nb2 * 8.0 / (m.node_injection_gbs * 1e9));
+  const double t_starve =
+      cfg.latency_first_collectives ? 0.0 : kStarvationFactor * t_comm;
+
+  r.compute_seconds = t_comp;
+  r.convert_seconds = t_conv;
+  r.comm_seconds = t_comm;
+  r.panel_seconds = t_panel;
+  r.starvation_seconds = t_starve;
+  r.comm_bytes = comm_bytes;
+  if (m.gpu_aware_comm) {
+    // Device-to-device transfers overlap with trailing-update compute.
+    r.seconds = std::max(t_comp + t_conv, t_comm) + t_panel + t_starve;
+  } else {
+    // Host-staged transfers (no CUDA-aware MPI yet on Frontier/Alps per the
+    // paper): costlier and serialized against compute.
+    r.comm_seconds = t_comm * m.staging_penalty;
+    r.seconds = t_comp + t_conv + r.comm_seconds + t_panel + t_starve;
+  }
+  r.pflops = r.flops / r.seconds / 1e15;
+  r.fraction_of_dp_peak = r.pflops / m.dp_peak_pflops(cfg.nodes);
+  r.tflops_per_gpu = r.flops / r.seconds / 1e12 / static_cast<double>(gpus);
+  return r;
+}
+
+double max_matrix_size(const MachineSpec& machine, index_t nodes,
+                       PrecisionVariant variant, index_t tile_size,
+                       double fill_fraction) {
+  EXACLIM_CHECK(fill_fraction > 0.0 && fill_fraction <= 1.0,
+                "fill fraction must lie in (0, 1]");
+  // Average bytes per element of the lower triangle under the band policy,
+  // evaluated in the large-nt limit (band fraction -> 0).
+  double avg_bytes = 8.0;
+  switch (variant) {
+    case PrecisionVariant::DP: avg_bytes = 8.0; break;
+    case PrecisionVariant::DP_SP: avg_bytes = 4.0; break;
+    case PrecisionVariant::DP_SP_HP: avg_bytes = 0.95 * 2.0 + 0.05 * 4.0; break;
+    case PrecisionVariant::DP_HP: avg_bytes = 2.0; break;
+  }
+  (void)tile_size;
+  const double total_bytes = static_cast<double>(nodes) *
+                             static_cast<double>(machine.gpus_per_node) *
+                             machine.gpu.memory_gb * 1e9 * fill_fraction;
+  // Lower triangle holds n^2/2 elements.
+  return std::sqrt(2.0 * total_bytes / avg_bytes);
+}
+
+SimGraph build_cholesky_sim_graph(index_t nt, index_t nb,
+                                  PrecisionVariant variant,
+                                  const ProcessGrid& grid, index_t dp_band,
+                                  double sp_fraction) {
+  EXACLIM_CHECK(nt >= 1 && nb >= 1, "invalid tile grid");
+  SimGraph sim;
+  const index_t sp_cut = sp_cut_for(nt, variant, dp_band, sp_fraction);
+  const double nb3 = static_cast<double>(nb) * nb * nb;
+  const double nb2 = static_cast<double>(nb) * nb;
+
+  std::vector<runtime::DataHandle> tiles(
+      static_cast<std::size_t>(nt * (nt + 1) / 2));
+  for (index_t i = 0; i < nt; ++i) {
+    for (index_t j = 0; j <= i; ++j) {
+      tiles[static_cast<std::size_t>(i * (i + 1) / 2 + j)] =
+          sim.graph.create_handle("");
+    }
+  }
+  auto handle = [&](index_t i, index_t j) {
+    return tiles[static_cast<std::size_t>(i * (i + 1) / 2 + j)];
+  };
+  auto push = [&](runtime::Task&& task, Precision p, index_t out_i,
+                  index_t out_j) {
+    sim.graph.submit(std::move(task));
+    sim.task_precision.push_back(p);
+    sim.task_owner.push_back(tile_owner(grid, out_i, out_j));
+    sim.task_bytes.push_back(
+        nb2 * static_cast<double>(linalg::precision_bytes(p)));
+  };
+  auto prec_of = [&](index_t i, index_t j) {
+    return precision_at_distance(i - j, variant, dp_band, sp_cut);
+  };
+
+  for (index_t k = 0; k < nt; ++k) {
+    const int prio = static_cast<int>(4 * (nt - k));
+    {
+      runtime::Task t;
+      t.kind = runtime::TaskKind::Potrf;
+      t.priority = prio + 3;
+      t.weight = nb3 / 3.0;
+      t.accesses = {{handle(k, k), runtime::Access::ReadWrite}};
+      push(std::move(t), Precision::FP64, k, k);
+    }
+    for (index_t i = k + 1; i < nt; ++i) {
+      runtime::Task t;
+      t.kind = runtime::TaskKind::Trsm;
+      t.priority = prio + 2;
+      t.weight = nb3;
+      t.accesses = {{handle(k, k), runtime::Access::Read},
+                    {handle(i, k), runtime::Access::ReadWrite}};
+      push(std::move(t), prec_of(i, k), i, k);
+    }
+    for (index_t i = k + 1; i < nt; ++i) {
+      {
+        runtime::Task t;
+        t.kind = runtime::TaskKind::Syrk;
+        t.priority = prio + 1;
+        t.weight = nb3;
+        t.accesses = {{handle(i, k), runtime::Access::Read},
+                      {handle(i, i), runtime::Access::ReadWrite}};
+        push(std::move(t), Precision::FP64, i, i);
+      }
+      for (index_t j = k + 1; j < i; ++j) {
+        runtime::Task t;
+        t.kind = runtime::TaskKind::Gemm;
+        t.priority = prio;
+        t.weight = 2.0 * nb3;
+        t.accesses = {{handle(i, k), runtime::Access::Read},
+                      {handle(j, k), runtime::Access::Read},
+                      {handle(i, j), runtime::Access::ReadWrite}};
+        push(std::move(t), prec_of(i, j), i, j);
+      }
+    }
+  }
+  return sim;
+}
+
+SimResult simulate_cholesky_events(const SimGraph& sim,
+                                   const MachineSpec& machine,
+                                   index_t num_processes, index_t nb) {
+  const double proc_bw =
+      machine.node_injection_gbs * 1e9 /
+      static_cast<double>(machine.gpus_per_node);
+  auto task_seconds = [&](runtime::TaskId id) {
+    const Precision p = sim.task_precision[static_cast<std::size_t>(id)];
+    return sim.graph.task(id).weight / machine.gpu_rate_flops(p);
+  };
+  auto owner = [&](runtime::TaskId id) {
+    return sim.task_owner[static_cast<std::size_t>(id)] % num_processes;
+  };
+  auto edge_seconds = [&](runtime::TaskId from, runtime::TaskId) {
+    return machine.link_latency_us * 1e-6 +
+           sim.task_bytes[static_cast<std::size_t>(from)] / proc_bw;
+  };
+  const EventSimResult ev = simulate_graph(sim.graph, num_processes,
+                                           task_seconds, owner, edge_seconds);
+  (void)nb;
+  SimResult r;
+  r.seconds = ev.makespan_seconds;
+  r.flops = sim.graph.total_weight();  // task weights are flops
+  r.pflops = r.flops / r.seconds / 1e15;
+  return r;
+}
+
+}  // namespace exaclim::perfmodel

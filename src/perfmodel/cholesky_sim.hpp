@@ -1,0 +1,86 @@
+// Performance model of distributed mixed-precision tile Cholesky.
+//
+// Two engines:
+//
+//  * simulate_cholesky (analytic) — a pipeline/roofline model usable at the
+//    paper's operating points (matrix sizes to 27.24M, 36k GPUs), where the
+//    task DAG (~nt^3/6 tasks, nt > 10^4) is far too large to enumerate:
+//       makespan = max(T_compute + T_convert, T_comm) + T_panel [+ penalty]
+//    with per-precision compute split from the band policy (flops counted
+//    exactly per band distance), communication volume from the 2D
+//    block-cyclic broadcast pattern (each panel tile travels to ~pr + pc
+//    processes, in consumer precision under sender-side conversion, in
+//    storage precision otherwise), the non-overlappable panel chain
+//    (POTRF + TRSM + broadcast-tree latency per step), and a starvation
+//    penalty when collectives are bandwidth-first (the legacy PaRSEC
+//    behaviour the paper fixed, Section III-C).
+//
+//  * build_cholesky_sim_graph + event_sim — an explicit-DAG discrete-event
+//    replay for small tile counts, used by tests to validate the analytic
+//    model's scaling behaviour against honest list scheduling.
+#pragma once
+
+#include "linalg/precision_policy.hpp"
+#include "perfmodel/distribution.hpp"
+#include "perfmodel/machine.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace exaclim::perfmodel {
+
+struct SimConfig {
+  MachineSpec machine;
+  index_t nodes = 1;
+  double matrix_size = 1e6;   ///< n
+  index_t tile_size = 2048;   ///< nb
+  linalg::PrecisionVariant variant = linalg::PrecisionVariant::DP;
+  bool sender_conversion = true;       ///< "new" conversion placement
+  bool latency_first_collectives = true;  ///< "new" collective ordering
+  index_t dp_band = 1;
+  double sp_fraction = 0.05;
+};
+
+struct SimResult {
+  double seconds = 0.0;
+  double flops = 0.0;   ///< n^3/3
+  double pflops = 0.0;  ///< achieved rate
+  double compute_seconds = 0.0;
+  double comm_seconds = 0.0;
+  double panel_seconds = 0.0;
+  double convert_seconds = 0.0;
+  double starvation_seconds = 0.0;
+  double comm_bytes = 0.0;
+  double fraction_of_dp_peak = 0.0;
+  double tflops_per_gpu = 0.0;
+};
+
+/// Analytic model (any size).
+SimResult simulate_cholesky(const SimConfig& config);
+
+/// Largest matrix that fits device memory across `nodes` nodes for the given
+/// variant (fill_fraction leaves room for runtime buffers, as the paper
+/// notes). Used to pick Table-I-style "max out the memory" sizes.
+double max_matrix_size(const MachineSpec& machine, index_t nodes,
+                       linalg::PrecisionVariant variant,
+                       index_t tile_size = 2048, double fill_fraction = 0.85);
+
+/// Structural DAG of the tiled Cholesky for the event simulator: tasks carry
+/// flop weights and band-policy precisions but no executable bodies.
+struct SimGraph {
+  runtime::TaskGraph graph;
+  std::vector<linalg::Precision> task_precision;  ///< per task id
+  std::vector<index_t> task_owner;                ///< per task id (process)
+  std::vector<double> task_bytes;                 ///< output tile bytes
+};
+
+SimGraph build_cholesky_sim_graph(index_t nt, index_t nb,
+                                  linalg::PrecisionVariant variant,
+                                  const ProcessGrid& grid, index_t dp_band = 1,
+                                  double sp_fraction = 0.05);
+
+/// Runs the event simulator over a structural graph on the given machine
+/// (one worker per process; edges pay latency + bytes/bandwidth).
+SimResult simulate_cholesky_events(const SimGraph& sim,
+                                   const MachineSpec& machine,
+                                   index_t num_processes, index_t nb);
+
+}  // namespace exaclim::perfmodel

@@ -1,0 +1,22 @@
+#include "perfmodel/distribution.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace exaclim::perfmodel {
+
+ProcessGrid make_process_grid(index_t num_processes) {
+  EXACLIM_CHECK(num_processes >= 1, "need at least one process");
+  index_t rows = static_cast<index_t>(
+      std::floor(std::sqrt(static_cast<double>(num_processes))));
+  while (rows > 1 && num_processes % rows != 0) --rows;
+  return ProcessGrid{rows, num_processes / rows};
+}
+
+index_t tile_owner(const ProcessGrid& grid, index_t i, index_t j) {
+  EXACLIM_CHECK(i >= 0 && j >= 0, "tile indices must be non-negative");
+  return (i % grid.rows) * grid.cols + (j % grid.cols);
+}
+
+}  // namespace exaclim::perfmodel

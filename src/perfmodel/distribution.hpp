@@ -1,0 +1,21 @@
+// 2D block-cyclic tile distribution, as used by distributed tile Cholesky.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace exaclim::perfmodel {
+
+/// Process grid (pr x pc) chosen as close to square as possible.
+struct ProcessGrid {
+  index_t rows = 1;
+  index_t cols = 1;
+  index_t size() const { return rows * cols; }
+};
+
+/// Squarest factorization of p.
+ProcessGrid make_process_grid(index_t num_processes);
+
+/// Owner rank of tile (i, j) under 2D block-cyclic distribution.
+index_t tile_owner(const ProcessGrid& grid, index_t i, index_t j);
+
+}  // namespace exaclim::perfmodel

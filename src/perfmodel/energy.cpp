@@ -1,0 +1,53 @@
+#include "perfmodel/energy.hpp"
+
+#include "common/error.hpp"
+
+namespace exaclim::perfmodel {
+
+EnergyModel energy_model_for(const MachineSpec& machine) {
+  EnergyModel m;
+  if (machine.name == "Summit") {
+    m.gpu_busy_watts = 300.0;  // V100 SXM2 TDP
+    m.gpu_idle_watts = 70.0;
+  } else if (machine.name == "Frontier") {
+    m.gpu_busy_watts = 560.0;  // MI250X MCM TDP
+    m.gpu_idle_watts = 110.0;
+  } else if (machine.name == "Alps") {
+    m.gpu_busy_watts = 700.0;  // GH200 module under load
+    m.gpu_idle_watts = 140.0;
+  } else if (machine.name == "Leonardo") {
+    m.gpu_busy_watts = 400.0;  // A100 SXM TDP
+    m.gpu_idle_watts = 90.0;
+  }
+  return m;
+}
+
+EnergyReport estimate_energy(const MachineSpec& machine, index_t nodes,
+                             const SimResult& result) {
+  EXACLIM_CHECK(nodes >= 1, "need at least one node");
+  EXACLIM_CHECK(result.seconds > 0.0, "simulate before estimating energy");
+  const EnergyModel model = energy_model_for(machine);
+  const double gpus = static_cast<double>(nodes) *
+                      static_cast<double>(machine.gpus_per_node);
+
+  // GPUs draw busy power while computing/converting and idle power for the
+  // rest of the makespan (waiting on communication or the panel chain).
+  const double busy_seconds =
+      std::min(result.seconds, result.compute_seconds + result.convert_seconds);
+  const double idle_seconds = result.seconds - busy_seconds;
+
+  EnergyReport report;
+  report.compute_megajoules =
+      gpus * model.gpu_busy_watts * busy_seconds / 1e6;
+  report.idle_megajoules = gpus * model.gpu_idle_watts * idle_seconds / 1e6;
+  report.network_megajoules =
+      result.comm_bytes * model.network_nj_per_byte * 1e-9 / 1e6;
+  report.total_megajoules = report.compute_megajoules +
+                            report.idle_megajoules +
+                            report.network_megajoules;
+  report.gflops_per_watt =
+      result.flops / 1e9 / (report.total_megajoules * 1e6);
+  return report;
+}
+
+}  // namespace exaclim::perfmodel

@@ -1,0 +1,38 @@
+// Energy model for the cluster Cholesky.
+//
+// The paper's mixed-precision line of work ([35], cited in Section III-D)
+// motivates low precision with *energy* as well as time; and the paper's
+// closing argument — shifting climate modelling from communication-bound
+// fp64 PDE kernels to dense low-precision tensor kernels as "a more
+// sustainable swim lane" — is an energy claim. This module attaches a
+// first-order energy estimate to SimResult: GPUs draw near-TDP for the
+// busy portion of the makespan plus an idle floor, and the network charges
+// per byte moved.
+#pragma once
+
+#include "perfmodel/cholesky_sim.hpp"
+
+namespace exaclim::perfmodel {
+
+struct EnergyModel {
+  double gpu_busy_watts = 300.0;   ///< per-GPU draw under GEMM load
+  double gpu_idle_watts = 80.0;    ///< per-GPU floor while waiting
+  double network_nj_per_byte = 60.0;  ///< end-to-end per-byte cost
+};
+
+/// Published-TDP-based model for each catalogue machine.
+EnergyModel energy_model_for(const MachineSpec& machine);
+
+struct EnergyReport {
+  double compute_megajoules = 0.0;
+  double idle_megajoules = 0.0;
+  double network_megajoules = 0.0;
+  double total_megajoules = 0.0;
+  double gflops_per_watt = 0.0;
+};
+
+/// Energy of one simulated factorization.
+EnergyReport estimate_energy(const MachineSpec& machine, index_t nodes,
+                             const SimResult& result);
+
+}  // namespace exaclim::perfmodel

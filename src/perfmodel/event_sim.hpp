@@ -1,0 +1,42 @@
+// Discrete-event simulation of a TaskGraph on a modelled machine.
+//
+// Validates the analytic cluster model (cholesky_sim.hpp) at tile counts
+// small enough to enumerate the DAG: each task runs on a fixed owner worker
+// (list scheduling, priority-ordered), and an edge between tasks with
+// different owners pays a communication delay. This is the same DAG the real
+// runtime executes, so agreement between measured (runtime), event-simulated
+// and analytic numbers at small scale justifies trusting the analytic model
+// at paper scale (see tests/perfmodel_test.cpp).
+#pragma once
+
+#include <functional>
+
+#include "runtime/task_graph.hpp"
+
+namespace exaclim::perfmodel {
+
+struct EventSimResult {
+  double makespan_seconds = 0.0;
+  double busy_seconds = 0.0;     ///< summed execution time
+  index_t tasks = 0;
+  double comm_delay_seconds = 0.0;  ///< summed edge delays actually waited on
+
+  double efficiency(index_t workers) const {
+    return makespan_seconds > 0.0
+               ? busy_seconds /
+                     (makespan_seconds * static_cast<double>(workers))
+               : 0.0;
+  }
+};
+
+/// Simulates the graph. `task_seconds(id)` gives execution time,
+/// `owner(id)` the worker a task must run on, and
+/// `edge_seconds(from, to)` the transfer delay when owners differ
+/// (return 0 for free edges).
+EventSimResult simulate_graph(
+    const runtime::TaskGraph& graph, index_t num_workers,
+    const std::function<double(runtime::TaskId)>& task_seconds,
+    const std::function<index_t(runtime::TaskId)>& owner,
+    const std::function<double(runtime::TaskId, runtime::TaskId)>& edge_seconds);
+
+}  // namespace exaclim::perfmodel

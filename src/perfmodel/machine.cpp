@@ -1,0 +1,71 @@
+#include "perfmodel/machine.hpp"
+
+#include "common/error.hpp"
+#include "perfmodel/calibration.hpp"
+
+namespace exaclim::perfmodel {
+
+MachineSpec summit() {
+  MachineSpec m;
+  m.name = "Summit";
+  m.total_nodes = 4608;
+  m.gpus_per_node = 6;
+  // V100 SXM2: 7.8 DP, 15.7 SP, 125 FP16-tensor TFlop/s; the paper quotes
+  // the 2X/16X SP/HP ratios.
+  m.gpu = {"V100", 7.8, 15.7, 125.0, 16.0};
+  m.node_injection_gbs = 25.0;  // dual-rail EDR (2 x 12.5 GB/s)
+  m.link_latency_us = 1.5;
+  apply_calibration(m);
+  return m;
+}
+
+MachineSpec frontier() {
+  MachineSpec m;
+  m.name = "Frontier";
+  m.total_nodes = 9472;
+  m.gpus_per_node = 4;  // MI250X MCMs, as counted by the paper
+  // MI250X (both GCDs): 47.9 DP, 95.7 SP, 383 FP16 TFlop/s.
+  m.gpu = {"MI250X", 47.9, 95.7, 383.0, 128.0};
+  m.node_injection_gbs = 100.0;  // 4 x 25 GB/s Slingshot-11 NICs
+  m.link_latency_us = 2.0;
+  apply_calibration(m);
+  return m;
+}
+
+MachineSpec alps() {
+  MachineSpec m;
+  m.name = "Alps";
+  m.total_nodes = 2688;
+  m.gpus_per_node = 4;
+  // GH200's H100: 34 DP (vector; the paper's 14.7X/29.5X ratios are against
+  // this), ~500 TF32, ~990 FP16-tensor TFlop/s, 96 GB HBM3.
+  m.gpu = {"GH200", 34.0, 500.0, 990.0, 96.0};
+  m.node_injection_gbs = 100.0;
+  m.link_latency_us = 2.0;
+  apply_calibration(m);
+  return m;
+}
+
+MachineSpec leonardo() {
+  MachineSpec m;
+  m.name = "Leonardo";
+  m.total_nodes = 3456;
+  m.gpus_per_node = 4;
+  // A100 SXM 64GB: 9.7 DP vector (paper ratios 16X/32X), 156 TF32, 312
+  // FP16-tensor TFlop/s.
+  m.gpu = {"A100", 9.7, 156.0, 312.0, 64.0};
+  m.node_injection_gbs = 25.0;  // 2 x HDR100-ish injection
+  m.link_latency_us = 1.5;
+  apply_calibration(m);
+  return m;
+}
+
+MachineSpec machine_by_name(const std::string& name) {
+  if (name == "Summit") return summit();
+  if (name == "Frontier") return frontier();
+  if (name == "Alps") return alps();
+  if (name == "Leonardo") return leonardo();
+  throw InvalidArgument("unknown machine: " + name);
+}
+
+}  // namespace exaclim::perfmodel

@@ -1,0 +1,18 @@
+#include "runtime/data_handle.hpp"
+
+#include "common/error.hpp"
+
+namespace exaclim::runtime {
+
+DataHandle HandleRegistry::create(std::string name) {
+  names_.push_back(std::move(name));
+  return DataHandle{static_cast<index_t>(names_.size()) - 1};
+}
+
+const std::string& HandleRegistry::name(DataHandle h) const {
+  EXACLIM_CHECK(h.valid() && h.id < static_cast<index_t>(names_.size()),
+                "invalid data handle");
+  return names_[static_cast<std::size_t>(h.id)];
+}
+
+}  // namespace exaclim::runtime

@@ -1,0 +1,44 @@
+// Logical data handles for the task runtime.
+//
+// A DataHandle names a datum (e.g. "tile (3,1)" or "converted copy of tile
+// (3,1) in F16R form") without owning storage. Tasks declare which handles
+// they read and write; the TaskGraph infers dependencies from the program
+// order of those accesses exactly like a superscalar processor renames
+// registers — the same model StarPU/OpenMP-tasks use and the dataflow PaRSEC
+// compiles its parameterized task graphs down to.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace exaclim::runtime {
+
+/// Opaque identifier for a logical datum within one TaskGraph.
+struct DataHandle {
+  index_t id = -1;
+  bool valid() const { return id >= 0; }
+};
+
+/// How a task touches a handle.
+enum class Access : std::uint8_t { Read, Write, ReadWrite };
+
+/// One declared access.
+struct DataAccess {
+  DataHandle handle;
+  Access mode = Access::Read;
+};
+
+/// Registry of handles (names are kept for tracing/debugging only).
+class HandleRegistry {
+ public:
+  DataHandle create(std::string name);
+  const std::string& name(DataHandle h) const;
+  index_t size() const { return static_cast<index_t>(names_.size()); }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace exaclim::runtime

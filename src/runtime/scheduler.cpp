@@ -1,0 +1,155 @@
+#include "runtime/scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace exaclim::runtime {
+
+namespace {
+
+/// Per-worker deque guarded by a light mutex. Tile tasks run for micro- to
+/// milliseconds, so contention on these locks is negligible; this keeps the
+/// stealing logic obviously correct.
+struct WorkerQueue {
+  std::mutex mu;
+  std::deque<TaskId> tasks;
+
+  void push(TaskId id) {
+    std::lock_guard<std::mutex> lock(mu);
+    tasks.push_back(id);
+  }
+  bool pop_local_best(const TaskGraph& graph, TaskId& out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (tasks.empty()) return false;
+    // Pick the highest-priority entry; ties go to the most recently pushed
+    // (LIFO keeps caches warm).
+    auto best = tasks.end() - 1;
+    for (auto it = tasks.begin(); it != tasks.end(); ++it) {
+      if (graph.task(*it).priority > graph.task(*best).priority) best = it;
+    }
+    out = *best;
+    tasks.erase(best);
+    return true;
+  }
+  bool steal(TaskId& out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (tasks.empty()) return false;
+    out = tasks.front();  // steal the oldest (FIFO end) — classic Cilk rule
+    tasks.pop_front();
+    return true;
+  }
+};
+
+}  // namespace
+
+RunStats execute(const TaskGraph& graph, const SchedulerOptions& options,
+                 Trace* trace) {
+  const index_t n = graph.num_tasks();
+  RunStats stats;
+  const unsigned threads =
+      options.threads == 0
+          ? std::max(1u, std::thread::hardware_concurrency())
+          : options.threads;
+  stats.threads = threads;
+  if (n == 0) return stats;
+
+  std::vector<std::atomic<index_t>> remaining_preds(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    remaining_preds[static_cast<std::size_t>(i)].store(
+        graph.task(i).num_predecessors, std::memory_order_relaxed);
+  }
+
+  std::vector<WorkerQueue> queues(threads);
+  std::atomic<index_t> completed{0};
+  std::atomic<index_t> steals{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  std::vector<double> busy(threads, 0.0);
+
+  // Seed initial ready tasks round-robin in descending priority so that
+  // high-priority roots start immediately on distinct workers.
+  {
+    std::vector<TaskId> roots;
+    for (index_t i = 0; i < n; ++i) {
+      if (graph.task(i).num_predecessors == 0) roots.push_back(i);
+    }
+    std::stable_sort(roots.begin(), roots.end(), [&](TaskId a, TaskId b) {
+      return graph.task(a).priority > graph.task(b).priority;
+    });
+    unsigned w = 0;
+    for (TaskId id : roots) {
+      queues[w % threads].push(id);
+      ++w;
+    }
+  }
+
+  common::Timer global;
+  auto worker_fn = [&](unsigned me) {
+    common::Timer clock;
+    for (;;) {
+      if (completed.load(std::memory_order_acquire) >= n ||
+          failed.load(std::memory_order_relaxed)) {
+        return;
+      }
+      TaskId id = -1;
+      bool got = queues[me].pop_local_best(graph, id);
+      if (!got) {
+        for (unsigned v = 1; v < threads && !got; ++v) {
+          got = queues[(me + v) % threads].steal(id);
+          if (got) steals.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (!got) {
+        std::this_thread::yield();
+        continue;
+      }
+      const Task& t = graph.task(id);
+      const double t0 = clock.seconds();
+      try {
+        if (t.fn) t.fn();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!failed.exchange(true)) first_error = std::current_exception();
+        completed.fetch_add(1, std::memory_order_release);
+        return;
+      }
+      const double t1 = clock.seconds();
+      busy[me] += t1 - t0;
+      if (trace != nullptr && options.collect_trace) {
+        trace->record({t.name, me, t0, t1});
+      }
+      for (TaskId succ : t.successors) {
+        if (remaining_preds[static_cast<std::size_t>(succ)].fetch_sub(
+                1, std::memory_order_acq_rel) == 1) {
+          queues[me].push(succ);
+        }
+      }
+      completed.fetch_add(1, std::memory_order_release);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (unsigned w = 1; w < threads; ++w) pool.emplace_back(worker_fn, w);
+  worker_fn(0);
+  for (auto& th : pool) th.join();
+
+  stats.seconds = global.seconds();
+  stats.tasks_executed = completed.load();
+  stats.steals = steals.load();
+  for (double b : busy) stats.busy_seconds += b;
+  if (failed && first_error) std::rethrow_exception(first_error);
+  EXACLIM_NUMERIC_CHECK(stats.tasks_executed == n,
+                        "scheduler finished without executing every task");
+  return stats;
+}
+
+}  // namespace exaclim::runtime

@@ -1,0 +1,43 @@
+// Priority work-stealing scheduler for TaskGraph execution.
+//
+// Each worker owns a deque; ready tasks spawned by a worker go to its own
+// deque (data locality, like PaRSEC's locality-aware scheduling), idle
+// workers steal from victims round-robin. Priorities are honored greedily:
+// workers pop the highest-priority task of their local deque; the initial
+// ready set is seeded in priority order.
+#pragma once
+
+#include <vector>
+
+#include "runtime/task_graph.hpp"
+#include "runtime/trace.hpp"
+
+namespace exaclim::runtime {
+
+struct SchedulerOptions {
+  unsigned threads = 0;   ///< 0 = hardware concurrency
+  bool collect_trace = false;
+};
+
+struct RunStats {
+  double seconds = 0.0;
+  index_t tasks_executed = 0;
+  index_t steals = 0;
+  double busy_seconds = 0.0;  ///< summed task durations across workers
+  unsigned threads = 0;
+
+  /// busy / (threads * wall): 1.0 means no idle time at all.
+  double parallel_efficiency() const {
+    return (seconds > 0.0 && threads > 0)
+               ? busy_seconds / (seconds * static_cast<double>(threads))
+               : 0.0;
+  }
+};
+
+/// Executes every task in the graph, respecting dependencies. Rethrows the
+/// first task exception after quiescing the pool. If `trace` is non-null and
+/// options.collect_trace is set, per-task execution records are appended.
+RunStats execute(const TaskGraph& graph, const SchedulerOptions& options = {},
+                 Trace* trace = nullptr);
+
+}  // namespace exaclim::runtime

@@ -1,0 +1,104 @@
+#include "runtime/task_graph.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace exaclim::runtime {
+
+DataHandle TaskGraph::create_handle(std::string name) {
+  const DataHandle h = registry_.create(std::move(name));
+  handle_states_.emplace_back();
+  return h;
+}
+
+void TaskGraph::add_edge(TaskId from, TaskId to) {
+  if (from < 0 || from == to) return;
+  auto& succ = tasks_[static_cast<std::size_t>(from)].successors;
+  if (std::find(succ.begin(), succ.end(), to) != succ.end()) return;
+  succ.push_back(to);
+  ++tasks_[static_cast<std::size_t>(to)].num_predecessors;
+}
+
+TaskId TaskGraph::submit(Task task) {
+  const TaskId id = static_cast<TaskId>(tasks_.size());
+  tasks_.push_back(std::move(task));
+  Task& t = tasks_.back();
+  for (const DataAccess& access : t.accesses) {
+    EXACLIM_CHECK(access.handle.valid() &&
+                      access.handle.id < static_cast<index_t>(handle_states_.size()),
+                  "access references an unknown handle");
+    HandleState& state =
+        handle_states_[static_cast<std::size_t>(access.handle.id)];
+    const bool reads = access.mode != Access::Write;
+    const bool writes = access.mode != Access::Read;
+    if (reads) {
+      add_edge(state.last_writer, id);  // RAW
+    }
+    if (writes) {
+      add_edge(state.last_writer, id);  // WAW
+      for (TaskId reader : state.readers_since_write) {
+        add_edge(reader, id);  // WAR
+      }
+      state.last_writer = id;
+      state.readers_since_write.clear();
+    }
+    if (reads && !writes) {
+      state.readers_since_write.push_back(id);
+    }
+  }
+  return id;
+}
+
+index_t TaskGraph::critical_path_tasks() const {
+  // Tasks are stored in topological order (submission order).
+  std::vector<index_t> depth(tasks_.size(), 1);
+  index_t best = tasks_.empty() ? 0 : 1;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    for (TaskId succ : tasks_[i].successors) {
+      auto& d = depth[static_cast<std::size_t>(succ)];
+      d = std::max(d, depth[i] + 1);
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+double TaskGraph::critical_path_weight() const {
+  std::vector<double> depth(tasks_.size());
+  double best = 0.0;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    depth[i] += tasks_[i].weight;
+    best = std::max(best, depth[i]);
+    for (TaskId succ : tasks_[i].successors) {
+      auto& d = depth[static_cast<std::size_t>(succ)];
+      d = std::max(d, depth[i]);
+    }
+  }
+  return best;
+}
+
+double TaskGraph::total_weight() const {
+  double acc = 0.0;
+  for (const Task& t : tasks_) acc += t.weight;
+  return acc;
+}
+
+bool TaskGraph::validate() const {
+  std::vector<index_t> preds(tasks_.size(), 0);
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    for (TaskId succ : tasks_[i].successors) {
+      if (succ <= static_cast<TaskId>(i) ||
+          succ >= static_cast<TaskId>(tasks_.size())) {
+        return false;  // edge does not point forward: cycle or corruption
+      }
+      ++preds[static_cast<std::size_t>(succ)];
+    }
+  }
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (preds[i] != tasks_[i].num_predecessors) return false;
+  }
+  return true;
+}
+
+}  // namespace exaclim::runtime

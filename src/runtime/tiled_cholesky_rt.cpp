@@ -1,0 +1,388 @@
+#include "runtime/tiled_cholesky_rt.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/kernels.hpp"
+
+namespace exaclim::runtime {
+
+using linalg::ConversionPlacement;
+using linalg::Precision;
+using linalg::TileBuffer;
+
+namespace {
+
+/// Resolves an operand pointer at task-execution time. `copy` non-null means
+/// a sender-side converted buffer exists; otherwise either the storage
+/// already has the right representation or we convert into local scratch
+/// (receiver placement).
+struct ResolvedOperand {
+  const double* d = nullptr;
+  const float* f = nullptr;
+};
+
+}  // namespace
+
+CholeskyGraph::Repr CholeskyGraph::operand_repr(Precision out) {
+  switch (out) {
+    case Precision::FP64: return Repr::F64;
+    case Precision::FP32: return Repr::F32;
+    case Precision::FP16: return Repr::F16R;
+  }
+  return Repr::F64;
+}
+
+CholeskyGraph::Repr CholeskyGraph::natural_repr(Precision storage) {
+  switch (storage) {
+    case Precision::FP64: return Repr::F64;
+    case Precision::FP32: return Repr::F32;
+    case Precision::FP16: return Repr::F16R;  // widened == half-rounded floats
+  }
+  return Repr::F64;
+}
+
+CholeskyGraph::CopySlot& CholeskyGraph::copy_slot(index_t i, index_t j,
+                                                  Repr repr) {
+  auto key = std::make_tuple(i, j, static_cast<int>(repr));
+  auto it = copies_.find(key);
+  if (it == copies_.end()) {
+    it = copies_.emplace(key, std::make_unique<CopySlot>()).first;
+  }
+  return *it->second;
+}
+
+DataHandle CholeskyGraph::ensure_convert(index_t i, index_t j, Repr repr,
+                                         index_t k) {
+  CopySlot& slot = copy_slot(i, j, repr);
+  if (slot.handle.valid()) return slot.handle;
+  TileBuffer& t = a_.tile(i, j);
+  const index_t count = t.count();
+  slot.handle = graph_.create_handle("copy(" + std::to_string(i) + "," +
+                                     std::to_string(j) + ")");
+  Copy* buffer = &slot.buffer;
+  std::function<void()> body;
+  switch (repr) {
+    case Repr::F64:
+      buffer->d.resize(static_cast<std::size_t>(count));
+      body = [&t, buffer, count] { t.store_f64(buffer->d.data()); };
+      break;
+    case Repr::F32:
+      buffer->f.resize(static_cast<std::size_t>(count));
+      body = [&t, buffer, count] { t.to_f32(buffer->f.data()); };
+      break;
+    case Repr::F16R:
+      buffer->f.resize(static_cast<std::size_t>(count));
+      if (t.precision() == Precision::FP16) {
+        body = [&t, buffer, count] { t.to_f32(buffer->f.data()); };
+      } else {
+        body = [&t, buffer, count] {
+          t.to_f32(buffer->f.data());
+          linalg::round_through_f16(buffer->f.data(), count);
+        };
+      }
+      break;
+  }
+  Task task;
+  task.fn = std::move(body);
+  task.name = "CONVERT(" + std::to_string(i) + "," + std::to_string(j) + ")";
+  task.kind = TaskKind::Convert;
+  task.priority = static_cast<int>(3 * (a_.num_tile_rows() - k));
+  task.weight = static_cast<double>(count);
+  task.accesses = {{tile_handle(i, j), Access::Read},
+                   {slot.handle, Access::Write}};
+  graph_.submit(std::move(task));
+  ++convert_tasks_;
+  element_conversions_ += static_cast<double>(count);
+  return slot.handle;
+}
+
+CholeskyGraph::CholeskyGraph(linalg::TiledSymmetricMatrix& a,
+                             ConversionPlacement placement)
+    : a_(a), placement_(placement) {
+  const index_t nt = a_.num_tile_rows();
+  tile_handles_.reserve(static_cast<std::size_t>(nt * (nt + 1) / 2));
+  for (index_t i = 0; i < nt; ++i) {
+    for (index_t j = 0; j <= i; ++j) {
+      tile_handles_.push_back(graph_.create_handle(
+          "tile(" + std::to_string(i) + "," + std::to_string(j) + ")"));
+    }
+  }
+  build();
+}
+
+void CholeskyGraph::build() {
+  const index_t nt = a_.num_tile_rows();
+  const bool sender = placement_ == ConversionPlacement::Sender;
+
+  // Returns the handle a consumer should read for tile (i,j) delivered in
+  // `repr`, creating a sender-side CONVERT task when needed. In receiver
+  // placement the consumer converts privately, so the tile handle is used and
+  // the conversion cost is accounted here (it happens inside the consumer).
+  auto operand_handle = [&](index_t i, index_t j, Repr repr,
+                            index_t k) -> DataHandle {
+    const TileBuffer& t = a_.tile(i, j);
+    const bool direct =
+        (repr == Repr::F64 && t.precision() == Precision::FP64) ||
+        (repr == Repr::F32 && t.precision() == Precision::FP32);
+    if (direct) return tile_handle(i, j);
+    // Everything else is a conversion, including widening FP16 storage (the
+    // widened buffer of an FP16 tile doubles as its F16R form, so F32
+    // requests against FP16 storage share the F16R copy).
+    Repr effective = repr;
+    if (t.precision() == Precision::FP16 && repr == Repr::F32) {
+      effective = Repr::F16R;
+    }
+    if (sender) return ensure_convert(i, j, effective, k);
+    element_conversions_ += static_cast<double>(t.count());
+    return tile_handle(i, j);
+  };
+
+  // Executes a receiver-side (or widening) conversion inside a task body.
+  auto resolve = [](const TileBuffer& t, Repr repr, std::vector<double>& ds,
+                    std::vector<float>& fs) -> ResolvedOperand {
+    if (repr == Repr::F64 && t.precision() == Precision::FP64) {
+      return {.d = t.f64(), .f = nullptr};
+    }
+    if (repr == Repr::F32 && t.precision() == Precision::FP32) {
+      return {.d = nullptr, .f = t.f32()};
+    }
+    switch (repr) {
+      case Repr::F64:
+        ds.resize(static_cast<std::size_t>(t.count()));
+        t.store_f64(ds.data());
+        return {.d = ds.data(), .f = nullptr};
+      case Repr::F32:
+        fs.resize(static_cast<std::size_t>(t.count()));
+        t.to_f32(fs.data());
+        return {.d = nullptr, .f = fs.data()};
+      case Repr::F16R:
+        fs.resize(static_cast<std::size_t>(t.count()));
+        t.to_f32(fs.data());
+        if (t.precision() != Precision::FP16) {
+          linalg::round_through_f16(fs.data(), t.count());
+        }
+        return {.d = nullptr, .f = fs.data()};
+    }
+    return {};
+  };
+
+  for (index_t k = 0; k < nt; ++k) {
+    const int prio_base = static_cast<int>(4 * (nt - k));
+    // POTRF(k,k) — always effectively DP (policies keep diagonals fp64).
+    {
+      TileBuffer& t = a_.tile(k, k);
+      Task task;
+      task.name = "POTRF(" + std::to_string(k) + ")";
+      task.kind = TaskKind::Potrf;
+      task.priority = prio_base + 3;
+      const index_t n = t.rows();
+      task.weight = static_cast<double>(n) * static_cast<double>(n) *
+                    static_cast<double>(n) / 3.0;
+      task.fn = [&t, n] {
+        if (t.precision() == Precision::FP64) {
+          linalg::potrf_lower_f64(t.f64(), n);
+        } else {
+          std::vector<double> scratch(static_cast<std::size_t>(n * n));
+          t.store_f64(scratch.data());
+          linalg::potrf_lower_f64(scratch.data(), n);
+          t.load_f64(scratch.data());
+        }
+      };
+      task.accesses = {{tile_handle(k, k), Access::ReadWrite}};
+      graph_.submit(std::move(task));
+    }
+
+    for (index_t i = k + 1; i < nt; ++i) {
+      // TRSM(i,k): X * L^T = B in the precision class of tile (i,k).
+      TileBuffer& b = a_.tile(i, k);
+      const Precision bp = b.precision();
+      const Repr l_repr = (bp == Precision::FP64) ? Repr::F64 : Repr::F32;
+      const DataHandle l_handle = operand_handle(k, k, l_repr, k);
+      TileBuffer& diag = a_.tile(k, k);
+      Copy* l_copy = nullptr;
+      if (sender && l_handle.id != tile_handle(k, k).id) {
+        l_copy = &copy_slot(k, k, l_repr).buffer;
+      }
+      Task task;
+      task.name = "TRSM(" + std::to_string(i) + "," + std::to_string(k) + ")";
+      task.kind = TaskKind::Trsm;
+      task.priority = prio_base + 2;
+      const index_t m = b.rows();
+      const index_t n = b.cols();
+      task.weight = static_cast<double>(m) * static_cast<double>(n) *
+                    static_cast<double>(n);
+      task.fn = [&b, &diag, l_copy, resolve, m, n, bp, l_repr] {
+        std::vector<double> ds;
+        std::vector<float> fs;
+        ResolvedOperand l;
+        if (l_copy != nullptr) {
+          l = {.d = l_copy->d.empty() ? nullptr : l_copy->d.data(),
+               .f = l_copy->f.empty() ? nullptr : l_copy->f.data()};
+        } else {
+          l = resolve(diag, l_repr, ds, fs);
+        }
+        switch (bp) {
+          case Precision::FP64:
+            linalg::trsm_rlt_f64(l.d, b.f64(), m, n);
+            break;
+          case Precision::FP32:
+            linalg::trsm_rlt_f32(l.f, b.f32(), m, n);
+            break;
+          case Precision::FP16: {
+            std::vector<float> x(static_cast<std::size_t>(m * n));
+            linalg::convert_f16_to_f32(b.f16(), x.data(), m * n);
+            linalg::trsm_rlt_f32(l.f, x.data(), m, n);
+            linalg::convert_f32_to_f16(x.data(), b.f16(), m * n);
+            break;
+          }
+        }
+      };
+      task.accesses = {{l_handle, Access::Read},
+                       {tile_handle(i, k), Access::ReadWrite}};
+      graph_.submit(std::move(task));
+    }
+
+    for (index_t i = k + 1; i < nt; ++i) {
+      // SYRK(i,k): C(i,i) -= A(i,k) A(i,k)^T in the diagonal's precision.
+      {
+        TileBuffer& c = a_.tile(i, i);
+        TileBuffer& in = a_.tile(i, k);
+        const Repr repr = operand_repr(c.precision());
+        const DataHandle in_handle = operand_handle(i, k, repr, k);
+        Copy* in_copy = nullptr;
+        if (sender && in_handle.id != tile_handle(i, k).id) {
+          Repr eff = repr;
+          if (in.precision() == Precision::FP16 && repr == Repr::F32) {
+            eff = Repr::F16R;
+          }
+          in_copy = &copy_slot(i, k, eff).buffer;
+        }
+        Task task;
+        task.name = "SYRK(" + std::to_string(i) + "," + std::to_string(k) + ")";
+        task.kind = TaskKind::Syrk;
+        task.priority = prio_base + 1;
+        const index_t m = c.rows();
+        const index_t kk = in.cols();
+        task.weight =
+            static_cast<double>(m) * static_cast<double>(m) * kk;
+        const Precision cp = c.precision();
+        task.fn = [&c, &in, in_copy, resolve, m, kk, cp, repr] {
+          std::vector<double> ds;
+          std::vector<float> fs;
+          ResolvedOperand op;
+          if (in_copy != nullptr) {
+            op = {.d = in_copy->d.empty() ? nullptr : in_copy->d.data(),
+                  .f = in_copy->f.empty() ? nullptr : in_copy->f.data()};
+          } else {
+            op = resolve(in, repr, ds, fs);
+          }
+          switch (cp) {
+            case Precision::FP64:
+              linalg::syrk_ln_minus_f64(op.d, c.f64(), m, kk);
+              break;
+            case Precision::FP32:
+              linalg::syrk_ln_minus_f32(op.f, c.f32(), m, kk);
+              break;
+            case Precision::FP16: {
+              std::vector<float> cs(static_cast<std::size_t>(m * m));
+              linalg::convert_f16_to_f32(c.f16(), cs.data(), m * m);
+              linalg::syrk_ln_minus_f32(op.f, cs.data(), m, kk);
+              linalg::convert_f32_to_f16(cs.data(), c.f16(), m * m);
+              break;
+            }
+          }
+        };
+        task.accesses = {{in_handle, Access::Read},
+                         {tile_handle(i, i), Access::ReadWrite}};
+        graph_.submit(std::move(task));
+      }
+
+      // GEMM(i,j,k): C(i,j) -= A(i,k) B(j,k)^T in C's precision class.
+      for (index_t j = k + 1; j < i; ++j) {
+        TileBuffer& c = a_.tile(i, j);
+        TileBuffer& ain = a_.tile(i, k);
+        TileBuffer& bin = a_.tile(j, k);
+        const Repr repr = operand_repr(c.precision());
+        const DataHandle a_handle = operand_handle(i, k, repr, k);
+        const DataHandle b_handle = operand_handle(j, k, repr, k);
+        auto copy_for = [&](index_t r, const TileBuffer& t,
+                            DataHandle h) -> Copy* {
+          if (!sender || h.id == tile_handle(r, k).id) return nullptr;
+          Repr eff = repr;
+          if (t.precision() == Precision::FP16 && repr == Repr::F32) {
+            eff = Repr::F16R;
+          }
+          return &copy_slot(r, k, eff).buffer;
+        };
+        Copy* a_copy = copy_for(i, ain, a_handle);
+        Copy* b_copy = copy_for(j, bin, b_handle);
+        Task task;
+        task.name = "GEMM(" + std::to_string(i) + "," + std::to_string(j) +
+                    "," + std::to_string(k) + ")";
+        task.kind = TaskKind::Gemm;
+        task.priority = prio_base;
+        const index_t m = c.rows();
+        const index_t n = c.cols();
+        const index_t kk = ain.cols();
+        task.weight = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                      static_cast<double>(kk);
+        const Precision cp = c.precision();
+        task.fn = [&c, &ain, &bin, a_copy, b_copy, resolve, m, n, kk, cp,
+                   repr] {
+          std::vector<double> dsa, dsb;
+          std::vector<float> fsa, fsb;
+          auto get = [&](const TileBuffer& t, Copy* copy,
+                         std::vector<double>& ds,
+                         std::vector<float>& fs) -> ResolvedOperand {
+            if (copy != nullptr) {
+              return {.d = copy->d.empty() ? nullptr : copy->d.data(),
+                      .f = copy->f.empty() ? nullptr : copy->f.data()};
+            }
+            return resolve(t, repr, ds, fs);
+          };
+          const ResolvedOperand a_op = get(ain, a_copy, dsa, fsa);
+          const ResolvedOperand b_op = get(bin, b_copy, dsb, fsb);
+          switch (cp) {
+            case Precision::FP64:
+              linalg::gemm_nt_minus_f64(a_op.d, b_op.d, c.f64(), m, n, kk);
+              break;
+            case Precision::FP32:
+              linalg::gemm_nt_minus_f32(a_op.f, b_op.f, c.f32(), m, n, kk);
+              break;
+            case Precision::FP16: {
+              std::vector<float> cs(static_cast<std::size_t>(m * n));
+              linalg::convert_f16_to_f32(c.f16(), cs.data(), m * n);
+              linalg::gemm_nt_minus_f32(a_op.f, b_op.f, cs.data(), m, n, kk);
+              linalg::convert_f32_to_f16(cs.data(), c.f16(), m * n);
+              break;
+            }
+          }
+        };
+        task.accesses = {{a_handle, Access::Read},
+                         {b_handle, Access::Read},
+                         {tile_handle(i, j), Access::ReadWrite}};
+        graph_.submit(std::move(task));
+      }
+    }
+  }
+}
+
+RtCholeskyResult cholesky_tiled_parallel(linalg::TiledSymmetricMatrix& a,
+                                         const RtCholeskyOptions& options,
+                                         Trace* trace) {
+  CholeskyGraph builder(a, options.placement);
+  EXACLIM_CHECK(builder.graph().validate(), "Cholesky DAG failed validation");
+  SchedulerOptions sched;
+  sched.threads = options.threads;
+  sched.collect_trace = options.collect_trace;
+  RtCholeskyResult result;
+  result.run = execute(builder.graph(), sched, trace);
+  result.total_tasks = builder.graph().num_tasks();
+  result.convert_tasks = builder.convert_tasks();
+  result.element_conversions = builder.element_conversions();
+  result.critical_path_tasks = builder.graph().critical_path_tasks();
+  return result;
+}
+
+}  // namespace exaclim::runtime

@@ -1,0 +1,96 @@
+// Runtime-parallel mixed-precision tile Cholesky.
+//
+// Builds the POTRF/TRSM/SYRK/GEMM task graph over a TiledSymmetricMatrix and
+// executes it on the work-stealing scheduler. Precision-conversion placement
+// is expressed in the DAG itself:
+//   * Sender placement inserts explicit CONVERT tasks right after the
+//     producing POTRF/TRSM, writing a shared converted copy that all
+//     consumers read — one conversion per (tile, precision), exactly
+//     PaRSEC's sender-side reshaping in the paper (Section V-A).
+//   * Receiver placement performs conversions privately inside each
+//     consuming task (the [34] baseline): no CONVERT tasks, more conversion
+//     work, more memory traffic.
+//
+// The same builder is used by the perfmodel at small tile counts to validate
+// the analytic cluster model against a real DAG.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/tile_matrix.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace exaclim::runtime {
+
+struct RtCholeskyOptions {
+  linalg::ConversionPlacement placement = linalg::ConversionPlacement::Sender;
+  unsigned threads = 0;  ///< 0 = hardware concurrency
+  bool collect_trace = false;
+};
+
+struct RtCholeskyResult {
+  RunStats run;
+  index_t total_tasks = 0;
+  index_t convert_tasks = 0;
+  double element_conversions = 0.0;
+  index_t critical_path_tasks = 0;
+};
+
+/// Factorizes `a` in place in parallel. Throws NumericalError if a diagonal
+/// tile is not positive definite (after quiescing the worker pool).
+RtCholeskyResult cholesky_tiled_parallel(linalg::TiledSymmetricMatrix& a,
+                                         const RtCholeskyOptions& options = {},
+                                         Trace* trace = nullptr);
+
+/// Holds the task graph plus the converted-copy buffers the task bodies
+/// reference; must outlive execution.
+class CholeskyGraph {
+ public:
+  CholeskyGraph(linalg::TiledSymmetricMatrix& a,
+                linalg::ConversionPlacement placement);
+
+  TaskGraph& graph() { return graph_; }
+  const TaskGraph& graph() const { return graph_; }
+  index_t convert_tasks() const { return convert_tasks_; }
+  double element_conversions() const { return element_conversions_; }
+
+ private:
+  struct Copy {
+    std::vector<double> d;
+    std::vector<float> f;
+  };
+  enum class Repr : std::uint8_t { F64, F32, F16R };
+
+  static Repr operand_repr(linalg::Precision out);
+  static Repr natural_repr(linalg::Precision storage);
+
+  /// Handle + buffer for a converted copy, created on first need.
+  struct CopySlot {
+    DataHandle handle;
+    Copy buffer;
+  };
+
+  CopySlot& copy_slot(index_t i, index_t j, Repr repr);
+  /// Ensures a CONVERT task exists producing (i,j) in `repr`; returns the
+  /// handle consumers should read. `producer_handle` is the tile handle.
+  DataHandle ensure_convert(index_t i, index_t j, Repr repr, index_t k);
+
+  DataHandle tile_handle(index_t i, index_t j) const {
+    return tile_handles_[static_cast<std::size_t>(i * (i + 1) / 2 + j)];
+  }
+
+  void build();
+
+  linalg::TiledSymmetricMatrix& a_;
+  linalg::ConversionPlacement placement_;
+  TaskGraph graph_;
+  std::vector<DataHandle> tile_handles_;
+  std::map<std::tuple<index_t, index_t, int>, std::unique_ptr<CopySlot>> copies_;
+  index_t convert_tasks_ = 0;
+  double element_conversions_ = 0.0;
+};
+
+}  // namespace exaclim::runtime

@@ -1,0 +1,30 @@
+#include "runtime/trace.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace exaclim::runtime {
+
+void Trace::record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void Trace::write_chrome_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open trace file: " + path);
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << e.name << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+        << e.worker << ",\"ts\":" << e.start_seconds * 1e6
+        << ",\"dur\":" << (e.end_seconds - e.start_seconds) * 1e6 << '}';
+  }
+  out << "]}\n";
+  if (!out) throw IoError("trace write failed: " + path);
+}
+
+}  // namespace exaclim::runtime

@@ -1,0 +1,35 @@
+// Execution tracing: per-task records exportable as a Chrome trace
+// (chrome://tracing / Perfetto JSON), the moral equivalent of PaRSEC's PINS
+// traces used to diagnose starvation at scale.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace exaclim::runtime {
+
+struct TraceEvent {
+  std::string name;
+  unsigned worker = 0;
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+};
+
+class Trace {
+ public:
+  void record(TraceEvent event);
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Writes Chrome-trace JSON ("traceEvents" array, microsecond timestamps).
+  void write_chrome_json(const std::string& path) const;
+
+ private:
+  std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace exaclim::runtime

@@ -1,0 +1,100 @@
+#include "sht/legendre.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/parallel.hpp"
+
+namespace exaclim::sht {
+
+void legendre_all(index_t band_limit, double x, std::vector<double>& out) {
+  EXACLIM_CHECK(band_limit >= 1, "band_limit must be >= 1");
+  EXACLIM_CHECK(x >= -1.0 && x <= 1.0, "argument must lie in [-1, 1]");
+  const index_t L = band_limit;
+  out.assign(static_cast<std::size_t>(tri_count(L)), 0.0);
+
+  const double s = std::sqrt(std::max(0.0, 1.0 - x * x));  // sin(theta)
+
+  // Pbar_0^0 = sqrt(1/(4 pi)).
+  out[0] = std::sqrt(1.0 / (4.0 * kPi));
+
+  // Diagonal: Pbar_m^m = -sqrt((2m+1)/(2m)) * s * Pbar_{m-1}^{m-1}
+  // (the minus sign is the Condon-Shortley phase).
+  for (index_t m = 1; m < L; ++m) {
+    out[static_cast<std::size_t>(tri_index(m, m))] =
+        -std::sqrt((2.0 * m + 1.0) / (2.0 * m)) * s *
+        out[static_cast<std::size_t>(tri_index(m - 1, m - 1))];
+  }
+  // First off-diagonal: Pbar_{m+1}^m = sqrt(2m+3) * x * Pbar_m^m.
+  for (index_t m = 0; m + 1 < L; ++m) {
+    out[static_cast<std::size_t>(tri_index(m + 1, m))] =
+        std::sqrt(2.0 * m + 3.0) * x *
+        out[static_cast<std::size_t>(tri_index(m, m))];
+  }
+  // Three-term recursion in l:
+  // Pbar_l^m = a * (x * Pbar_{l-1}^m - b * Pbar_{l-2}^m)
+  for (index_t m = 0; m < L; ++m) {
+    for (index_t l = m + 2; l < L; ++l) {
+      const double ld = static_cast<double>(l);
+      const double md = static_cast<double>(m);
+      const double a =
+          std::sqrt((4.0 * ld * ld - 1.0) / (ld * ld - md * md));
+      const double b = std::sqrt(((ld - 1.0) * (ld - 1.0) - md * md) /
+                                 (4.0 * (ld - 1.0) * (ld - 1.0) - 1.0));
+      out[static_cast<std::size_t>(tri_index(l, m))] =
+          a * (x * out[static_cast<std::size_t>(tri_index(l - 1, m))] -
+               b * out[static_cast<std::size_t>(tri_index(l - 2, m))]);
+    }
+  }
+}
+
+double legendre_direct(index_t l, index_t m, double x) {
+  EXACLIM_CHECK(l >= 0 && m >= 0 && m <= l, "need 0 <= m <= l");
+  EXACLIM_CHECK(l <= 30, "legendre_direct is a low-degree testing oracle");
+  // P_l^m(x) = (-1)^m (1-x^2)^{m/2} d^m/dx^m P_l(x), with
+  // P_l(x) = 2^{-l} sum_k C(l,k)^2 (x-1)^{l-k} (x+1)^k differentiated via the
+  // explicit Rodrigues sum:
+  // P_l^m(x) = (-1)^m 2^{-l} (1-x^2)^{m/2} *
+  //            sum_{k=ceil((l+m)/2)}^{l} C(l,k) C(2k-l, ... }
+  // Use instead the standard hypergeometric-style sum:
+  // P_l^m(x) = (-1)^m (1-x^2)^{m/2} / 2^l *
+  //            sum_j (-1)^j C(l, j) C(2l-2j, l) (l-2j)!/(l-2j-m)! x^{l-2j-m}
+  // for l-2j-m >= 0.
+  double sum = 0.0;
+  for (index_t j = 0; 2 * j <= l - m; ++j) {
+    const index_t pow_x = l - 2 * j - m;
+    const double lb = common::log_binomial(l, j) +
+                      common::log_binomial(2 * (l - j), l) +
+                      common::log_factorial(l - 2 * j) -
+                      common::log_factorial(pow_x);
+    const double term = std::exp(lb) * std::pow(x, static_cast<double>(pow_x));
+    sum += (j % 2 == 0) ? term : -term;
+  }
+  const double plm = ((m % 2 == 0) ? 1.0 : -1.0) *
+                     std::pow(1.0 - x * x, 0.5 * static_cast<double>(m)) *
+                     std::ldexp(sum, static_cast<int>(-l));
+  const double norm =
+      std::exp(0.5 * (std::log(2.0 * l + 1.0) - std::log(4.0 * kPi) +
+                      common::log_factorial(l - m) -
+                      common::log_factorial(l + m)));
+  return norm * plm;
+}
+
+LegendreTable::LegendreTable(index_t band_limit,
+                             const std::vector<double>& colatitudes)
+    : band_limit_(band_limit),
+      num_theta_(colatitudes.size()),
+      row_size_(static_cast<std::size_t>(tri_count(band_limit))) {
+  EXACLIM_CHECK(band_limit >= 1, "band_limit must be >= 1");
+  values_.resize(num_theta_ * row_size_);
+  common::parallel_for(0, static_cast<index_t>(num_theta_), [&](index_t i) {
+    std::vector<double> row_values;
+    legendre_all(band_limit_, std::cos(colatitudes[static_cast<std::size_t>(i)]),
+                 row_values);
+    std::copy(row_values.begin(), row_values.end(),
+              values_.begin() + static_cast<std::size_t>(i) * row_size_);
+  });
+}
+
+}  // namespace exaclim::sht

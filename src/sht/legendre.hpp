@@ -1,0 +1,62 @@
+// Fully-normalized associated Legendre functions.
+//
+// We use the "spherical-harmonic normalized" functions
+//   Pbar_l^m(x) = sqrt((2l+1)/(4*pi) * (l-m)!/(l+m)!) * P_l^m(x),
+// with the Condon-Shortley phase included in P_l^m, so that
+//   Y_lm(theta, phi) = Pbar_l^m(cos theta) * exp(i*m*phi)
+// is the orthonormal basis of the paper (Section III-A.1) and
+//   Y_lm(theta, 0) = sqrt((2l+1)/(4*pi)) * d^l_{m,0}(theta)
+// ties into the Wigner-d machinery of the fast SHT.
+//
+// The standard (m,m) -> (m+1,m) -> three-term-in-l recursion on normalized
+// values is stable to degrees far beyond anything ExaClim uses.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace exaclim::sht {
+
+/// Index into a packed (l, m) triangle with m >= 0: l*(l+1)/2 + m.
+constexpr index_t tri_index(index_t l, index_t m) { return l * (l + 1) / 2 + m; }
+
+/// Number of (l, m>=0) pairs for degrees l < band_limit.
+constexpr index_t tri_count(index_t band_limit) {
+  return band_limit * (band_limit + 1) / 2;
+}
+
+/// Computes Pbar_l^m(x) for all 0 <= m <= l < band_limit at a single x in
+/// [-1, 1], into out[tri_index(l, m)]. out is resized as needed.
+void legendre_all(index_t band_limit, double x, std::vector<double>& out);
+
+/// Reference implementation for a single (l, m) via the explicit Rodrigues
+/// sum; accurate to l ~ 25, used as a testing oracle only.
+double legendre_direct(index_t l, index_t m, double x);
+
+/// Precomputed table of Pbar_l^m(cos theta_i) for a set of colatitudes.
+/// Layout: row i holds the packed triangle for theta_i.
+class LegendreTable {
+ public:
+  LegendreTable(index_t band_limit, const std::vector<double>& colatitudes);
+
+  index_t band_limit() const { return band_limit_; }
+  index_t num_theta() const { return static_cast<index_t>(num_theta_); }
+
+  /// Packed triangle for colatitude i (size tri_count(band_limit)).
+  const double* row(index_t i) const {
+    return values_.data() + static_cast<std::size_t>(i) * row_size_;
+  }
+
+  double value(index_t i, index_t l, index_t m) const {
+    return row(i)[tri_index(l, m)];
+  }
+
+ private:
+  index_t band_limit_;
+  std::size_t num_theta_;
+  std::size_t row_size_;
+  std::vector<double> values_;
+};
+
+}  // namespace exaclim::sht

@@ -1,0 +1,49 @@
+#include "sht/resample.hpp"
+
+#include "common/error.hpp"
+
+namespace exaclim::sht {
+
+std::vector<cplx> resample_coefficients(index_t src_band_limit,
+                                        std::span<const cplx> coeffs,
+                                        index_t dst_band_limit) {
+  EXACLIM_CHECK(src_band_limit >= 1 && dst_band_limit >= 1,
+                "band limits must be >= 1");
+  EXACLIM_CHECK(static_cast<index_t>(coeffs.size()) ==
+                    tri_count(src_band_limit),
+                "coefficient count must match the source band limit");
+  std::vector<cplx> out(static_cast<std::size_t>(tri_count(dst_band_limit)),
+                        cplx{0.0, 0.0});
+  const index_t copy_degrees = std::min(src_band_limit, dst_band_limit);
+  for (index_t l = 0; l < copy_degrees; ++l) {
+    for (index_t m = 0; m <= l; ++m) {
+      out[static_cast<std::size_t>(tri_index(l, m))] =
+          coeffs[static_cast<std::size_t>(tri_index(l, m))];
+    }
+  }
+  return out;
+}
+
+std::vector<double> resample_field(std::span<const double> field,
+                                   index_t src_band_limit, GridShape src_grid,
+                                   index_t dst_band_limit,
+                                   GridShape dst_grid) {
+  const SHTPlan src_plan(src_band_limit, src_grid);
+  const SHTPlan dst_plan(dst_band_limit, dst_grid);
+  const auto coeffs = src_plan.analyze(field);
+  const auto resampled =
+      resample_coefficients(src_band_limit, coeffs, dst_band_limit);
+  return dst_plan.synthesize(resampled);
+}
+
+std::vector<double> upsample_to_band_limit(std::span<const double> field,
+                                           index_t src_band_limit,
+                                           GridShape src_grid,
+                                           index_t dst_band_limit) {
+  EXACLIM_CHECK(dst_band_limit >= src_band_limit,
+                "upsample requires a higher destination band limit");
+  return resample_field(field, src_band_limit, src_grid, dst_band_limit,
+                        GridShape{dst_band_limit + 1, 2 * dst_band_limit});
+}
+
+}  // namespace exaclim::sht

@@ -1,0 +1,40 @@
+// Spectral resampling between grid resolutions.
+//
+// The paper upscales ERA5 from 0.25 degrees to band limits 1440/2880/5219
+// (Section IV-A) to exercise higher resolutions. The natural instrument for
+// that is the SHT itself: analyze on the source grid, zero-pad (or truncate)
+// the coefficient triangle, synthesize on the target grid. Upsampling is
+// exact on the original band; downsampling is the L2-optimal projection —
+// both stronger properties than the paper's spline interpolation, which the
+// spectral basis's "unified representation of data with different grid
+// resolutions" (Section II-A) explicitly enables.
+#pragma once
+
+#include <span>
+
+#include "sht/sht.hpp"
+
+namespace exaclim::sht {
+
+/// Re-expresses packed coefficients at a different band limit: zero-pads new
+/// degrees when growing, drops degrees when shrinking.
+std::vector<cplx> resample_coefficients(index_t src_band_limit,
+                                        std::span<const cplx> coeffs,
+                                        index_t dst_band_limit);
+
+/// Resamples a real field between grids through the spectral domain.
+/// `src_band_limit` bounds the content attributed to the source samples;
+/// `dst_band_limit` is the representation used on the target grid (both
+/// grids must satisfy the usual exactness bounds for their band limit).
+std::vector<double> resample_field(std::span<const double> field,
+                                   index_t src_band_limit, GridShape src_grid,
+                                   index_t dst_band_limit, GridShape dst_grid);
+
+/// Convenience: upsample a field to the minimal exact grid of a higher band
+/// limit (nlat = L+1, nlon = 2L), as in the paper's scalability runs.
+std::vector<double> upsample_to_band_limit(std::span<const double> field,
+                                           index_t src_band_limit,
+                                           GridShape src_grid,
+                                           index_t dst_band_limit);
+
+}  // namespace exaclim::sht

@@ -1,0 +1,296 @@
+#include "sht/sht.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sht/packing.hpp"
+
+namespace exaclim::sht {
+
+double colatitude_integral(index_t q) {
+  // I(q) = int_0^pi e^{i q theta} sin(theta) dtheta (Eq. 8). The value is
+  // real for even q and imaginary for odd q; only |q| = 1 survives among odd
+  // q. We return the real coefficient and let callers apply the i factor —
+  // but it is simpler to fold the full complex value into the W accumulation,
+  // so this helper returns the *real* part for even q and is not used for
+  // odd q (see SHTPlan::analyze). Kept public for tests.
+  EXACLIM_CHECK(q % 2 == 0, "colatitude_integral handles even q; odd q is "
+                            "imaginary and handled inline");
+  const double qd = static_cast<double>(q);
+  return 2.0 / (1.0 - qd * qd);
+}
+
+SHTPlan::SHTPlan(index_t band_limit, GridShape grid)
+    : band_limit_(band_limit), grid_(grid) {
+  EXACLIM_CHECK(band_limit >= 1, "band_limit must be >= 1");
+  EXACLIM_CHECK(grid.nlat >= band_limit + 1,
+                "need nlat >= L + 1 for exact colatitude recovery");
+  EXACLIM_CHECK(grid.nlon >= 2 * band_limit - 1,
+                "need nlon >= 2L - 1 for exact longitude recovery");
+  wigner_ = get_wigner_table(band_limit);
+  std::vector<double> colats(static_cast<std::size_t>(grid.nlat));
+  for (index_t i = 0; i < grid.nlat; ++i) {
+    colats[static_cast<std::size_t>(i)] = grid.colatitude(i);
+  }
+  legendre_ = std::make_unique<LegendreTable>(band_limit, colats);
+  fft_lon_ = fft::get_plan(grid.nlon);
+  n_ext_ = 2 * grid.nlat - 2;
+  fft_colat_ = fft::get_plan(n_ext_);
+
+  // I(q) table for q in [-(2L-2), 2L-2]. Odd entries store the *imaginary*
+  // coefficient (i q pi / 2 has imaginary part q pi / 2 for |q| = 1, zero
+  // otherwise); even entries store the real value 2/(1-q^2).
+  const index_t qmax = 2 * (band_limit_ - 1);
+  i_table_.assign(static_cast<std::size_t>(4 * (band_limit_ - 1) + 1), 0.0);
+  for (index_t q = -qmax; q <= qmax; ++q) {
+    double v = 0.0;
+    if (q % 2 == 0) {
+      const double qd = static_cast<double>(q);
+      v = 2.0 / (1.0 - qd * qd);
+    } else if (q == 1) {
+      v = kPi / 2.0;  // imaginary coefficient of I(1) = i pi / 2
+    } else if (q == -1) {
+      v = -kPi / 2.0;
+    }
+    i_table_[static_cast<std::size_t>(q + qmax)] = v;
+  }
+}
+
+std::vector<cplx> SHTPlan::analyze(std::span<const double> field) const {
+  EXACLIM_CHECK(static_cast<index_t>(field.size()) == grid_.num_points(),
+                "field size must be nlat*nlon");
+  const index_t L = band_limit_;
+  const index_t nlat = grid_.nlat;
+  const index_t nlon = grid_.nlon;
+
+  // Step 1: G_m(theta_i) for m = 0..L-1 (real field: negative m are
+  // conjugates and never needed, because we only output z_{l,m>=0}).
+  // Layout: gm[m * nlat + i].
+  std::vector<cplx> gm(static_cast<std::size_t>(L * nlat));
+  {
+    std::vector<cplx> row(static_cast<std::size_t>(nlon));
+    const double scale = kTwoPi / static_cast<double>(nlon);
+    for (index_t i = 0; i < nlat; ++i) {
+      for (index_t j = 0; j < nlon; ++j) {
+        row[static_cast<std::size_t>(j)] =
+            cplx{field[static_cast<std::size_t>(i * nlon + j)], 0.0};
+      }
+      fft_lon_->forward(row.data());
+      for (index_t m = 0; m < L; ++m) {
+        gm[static_cast<std::size_t>(m * nlat + i)] =
+            scale * row[static_cast<std::size_t>(m)];
+      }
+    }
+  }
+
+  // Steps 2-3: per order m, extend along colatitude, recover K_{m,m'}, and
+  // accumulate W_{m,n} = sum_{m'} K_{m,m'} I(n + m').
+  // Layout: w[m * (2L-1) + (n + L-1)].
+  const index_t nw = 2 * L - 1;
+  std::vector<cplx> w(static_cast<std::size_t>(L * nw), cplx{0.0, 0.0});
+  {
+    std::vector<cplx> ext(static_cast<std::size_t>(n_ext_));
+    const index_t qmax = 2 * (L - 1);
+    for (index_t m = 0; m < L; ++m) {
+      const double sign = (m % 2 == 0) ? 1.0 : -1.0;
+      const cplx* g = gm.data() + static_cast<std::size_t>(m * nlat);
+      for (index_t k = 0; k < nlat; ++k) ext[static_cast<std::size_t>(k)] = g[k];
+      for (index_t k = nlat; k < n_ext_; ++k) {
+        ext[static_cast<std::size_t>(k)] = sign * g[n_ext_ - k];
+      }
+      fft_colat_->forward(ext.data());
+      const double inv_next = 1.0 / static_cast<double>(n_ext_);
+      // K_{m,m'} = ext-bin(m' mod n_ext) / n_ext for |m'| <= L-1.
+      cplx* wrow = w.data() + static_cast<std::size_t>(m * nw);
+      for (index_t mp = -(L - 1); mp <= L - 1; ++mp) {
+        const index_t bin = (mp % n_ext_ + n_ext_) % n_ext_;
+        const cplx k_val = ext[static_cast<std::size_t>(bin)] * inv_next;
+        if (k_val == cplx{0.0, 0.0}) continue;
+        for (index_t n = -(L - 1); n <= L - 1; ++n) {
+          const index_t q = n + mp;
+          const double tab =
+              i_table_[static_cast<std::size_t>(q + qmax)];
+          if (tab == 0.0) continue;
+          // Even q: I(q) real. Odd q (only |q| = 1): I(q) = i * tab.
+          if (q % 2 == 0) {
+            wrow[static_cast<std::size_t>(n + L - 1)] += k_val * tab;
+          } else {
+            wrow[static_cast<std::size_t>(n + L - 1)] +=
+                k_val * cplx{0.0, tab};
+          }
+        }
+      }
+    }
+  }
+
+  // Step 4: z_{l,m} = i^{-m} sqrt((2l+1)/(4 pi)) *
+  //                   sum_{n=-l}^{l} d_{n,0} d_{n,m} W_{m,n}.
+  std::vector<cplx> coeffs(static_cast<std::size_t>(tri_count(L)));
+  static const cplx kIPowNeg[4] = {cplx{1, 0}, cplx{0, -1}, cplx{-1, 0},
+                                   cplx{0, 1}};
+  for (index_t l = 0; l < L; ++l) {
+    const double norm = std::sqrt((2.0 * l + 1.0) / (4.0 * kPi));
+    for (index_t m = 0; m <= l; ++m) {
+      cplx acc{0.0, 0.0};
+      const cplx* wrow = w.data() + static_cast<std::size_t>(m * nw);
+      for (index_t n = -l; n <= l; ++n) {
+        const double dn0 = wigner_->value(l, n, 0);
+        const double dnm = wigner_->value(l, n, m);
+        acc += dn0 * dnm * wrow[static_cast<std::size_t>(n + L - 1)];
+      }
+      coeffs[static_cast<std::size_t>(tri_index(l, m))] =
+          kIPowNeg[m % 4] * norm * acc;
+    }
+  }
+  return coeffs;
+}
+
+std::vector<double> SHTPlan::synthesize(std::span<const cplx> coeffs) const {
+  EXACLIM_CHECK(static_cast<index_t>(coeffs.size()) == tri_count(band_limit_),
+                "coefficient count must match band limit");
+  const index_t L = band_limit_;
+  const index_t nlat = grid_.nlat;
+  const index_t nlon = grid_.nlon;
+  std::vector<double> field(static_cast<std::size_t>(grid_.num_points()));
+
+  std::vector<cplx> bins(static_cast<std::size_t>(nlon));
+  std::vector<cplx> h(static_cast<std::size_t>(L));
+  for (index_t i = 0; i < nlat; ++i) {
+    const double* leg = legendre_->row(i);
+    // H_m(theta_i) = sum_{l >= m} z_{l,m} Pbar_l^m(cos theta_i).
+    for (index_t m = 0; m < L; ++m) {
+      cplx acc{0.0, 0.0};
+      for (index_t l = m; l < L; ++l) {
+        acc += coeffs[static_cast<std::size_t>(tri_index(l, m))] *
+               leg[tri_index(l, m)];
+      }
+      h[static_cast<std::size_t>(m)] = acc;
+    }
+    // Z(theta_i, phi_j) = sum_m H_m e^{i m phi_j}; real-field symmetry puts
+    // conj(H_m) into the negative-frequency bins.
+    std::fill(bins.begin(), bins.end(), cplx{0.0, 0.0});
+    bins[0] = h[0];
+    for (index_t m = 1; m < L; ++m) {
+      bins[static_cast<std::size_t>(m)] += h[static_cast<std::size_t>(m)];
+      bins[static_cast<std::size_t>(nlon - m)] +=
+          std::conj(h[static_cast<std::size_t>(m)]);
+    }
+    fft_lon_->inverse(bins.data());
+    for (index_t j = 0; j < nlon; ++j) {
+      field[static_cast<std::size_t>(i * nlon + j)] =
+          bins[static_cast<std::size_t>(j)].real() * static_cast<double>(nlon);
+    }
+  }
+  return field;
+}
+
+std::vector<double> SHTPlan::power_spectrum(std::span<const cplx> coeffs) const {
+  EXACLIM_CHECK(static_cast<index_t>(coeffs.size()) == tri_count(band_limit_),
+                "coefficient count must match band limit");
+  std::vector<double> spectrum(static_cast<std::size_t>(band_limit_), 0.0);
+  for (index_t l = 0; l < band_limit_; ++l) {
+    double acc = std::norm(coeffs[static_cast<std::size_t>(tri_index(l, 0))]);
+    for (index_t m = 1; m <= l; ++m) {
+      acc += 2.0 * std::norm(coeffs[static_cast<std::size_t>(tri_index(l, m))]);
+    }
+    spectrum[static_cast<std::size_t>(l)] = acc / (2.0 * l + 1.0);
+  }
+  return spectrum;
+}
+
+std::vector<cplx> analyze_reference(index_t band_limit, GridShape grid,
+                                    std::span<const double> field) {
+  EXACLIM_CHECK(static_cast<index_t>(field.size()) == grid.num_points(),
+                "field size must be nlat*nlon");
+  const index_t n_coeff = band_limit * band_limit;  // packed real dimension
+  const index_t n_pts = grid.num_points();
+  EXACLIM_CHECK(n_pts >= n_coeff,
+                "reference least-squares needs at least L^2 grid points");
+
+  // Build the synthesis design matrix B (n_pts x n_coeff) over the packed
+  // real representation, then solve the normal equations B^T B c = B^T y.
+  std::vector<double> bt_b(static_cast<std::size_t>(n_coeff * n_coeff), 0.0);
+  std::vector<double> bt_y(static_cast<std::size_t>(n_coeff), 0.0);
+  std::vector<double> leg;
+  std::vector<double> row(static_cast<std::size_t>(n_coeff));
+  const double sqrt2 = std::sqrt(2.0);
+
+  for (index_t i = 0; i < grid.nlat; ++i) {
+    legendre_all(band_limit, std::cos(grid.colatitude(i)), leg);
+    for (index_t j = 0; j < grid.nlon; ++j) {
+      const double phi = grid.longitude(j);
+      for (index_t l = 0; l < band_limit; ++l) {
+        index_t out = l * l;
+        row[static_cast<std::size_t>(out++)] =
+            leg[static_cast<std::size_t>(tri_index(l, 0))];
+        for (index_t m = 1; m <= l; ++m) {
+          const double p = leg[static_cast<std::size_t>(tri_index(l, m))];
+          row[static_cast<std::size_t>(out++)] =
+              sqrt2 * p * std::cos(m * phi);
+          row[static_cast<std::size_t>(out++)] =
+              -sqrt2 * p * std::sin(m * phi);
+        }
+      }
+      const double y = field[static_cast<std::size_t>(i * grid.nlon + j)];
+      for (index_t a = 0; a < n_coeff; ++a) {
+        bt_y[static_cast<std::size_t>(a)] += row[static_cast<std::size_t>(a)] * y;
+        for (index_t b = a; b < n_coeff; ++b) {
+          bt_b[static_cast<std::size_t>(a * n_coeff + b)] +=
+              row[static_cast<std::size_t>(a)] * row[static_cast<std::size_t>(b)];
+        }
+      }
+    }
+  }
+  // Symmetrize and solve with plain Gaussian elimination w/ partial pivoting
+  // (self-contained so the SHT oracle does not depend on linalg/).
+  for (index_t a = 0; a < n_coeff; ++a) {
+    for (index_t b = 0; b < a; ++b) {
+      bt_b[static_cast<std::size_t>(a * n_coeff + b)] =
+          bt_b[static_cast<std::size_t>(b * n_coeff + a)];
+    }
+  }
+  std::vector<double> x = bt_y;
+  for (index_t col = 0; col < n_coeff; ++col) {
+    index_t pivot = col;
+    for (index_t r = col + 1; r < n_coeff; ++r) {
+      if (std::abs(bt_b[static_cast<std::size_t>(r * n_coeff + col)]) >
+          std::abs(bt_b[static_cast<std::size_t>(pivot * n_coeff + col)])) {
+        pivot = r;
+      }
+    }
+    EXACLIM_NUMERIC_CHECK(
+        std::abs(bt_b[static_cast<std::size_t>(pivot * n_coeff + col)]) > 1e-12,
+        "singular reference design matrix");
+    if (pivot != col) {
+      for (index_t c = 0; c < n_coeff; ++c) {
+        std::swap(bt_b[static_cast<std::size_t>(col * n_coeff + c)],
+                  bt_b[static_cast<std::size_t>(pivot * n_coeff + c)]);
+      }
+      std::swap(x[static_cast<std::size_t>(col)],
+                x[static_cast<std::size_t>(pivot)]);
+    }
+    const double inv_p = 1.0 / bt_b[static_cast<std::size_t>(col * n_coeff + col)];
+    for (index_t r = col + 1; r < n_coeff; ++r) {
+      const double f =
+          bt_b[static_cast<std::size_t>(r * n_coeff + col)] * inv_p;
+      if (f == 0.0) continue;
+      for (index_t c = col; c < n_coeff; ++c) {
+        bt_b[static_cast<std::size_t>(r * n_coeff + c)] -=
+            f * bt_b[static_cast<std::size_t>(col * n_coeff + c)];
+      }
+      x[static_cast<std::size_t>(r)] -= f * x[static_cast<std::size_t>(col)];
+    }
+  }
+  for (index_t r = n_coeff - 1; r >= 0; --r) {
+    double acc = x[static_cast<std::size_t>(r)];
+    for (index_t c = r + 1; c < n_coeff; ++c) {
+      acc -= bt_b[static_cast<std::size_t>(r * n_coeff + c)] *
+             x[static_cast<std::size_t>(c)];
+    }
+    x[static_cast<std::size_t>(r)] =
+        acc / bt_b[static_cast<std::size_t>(r * n_coeff + r)];
+  }
+  return unpack_real(band_limit, x);
+}
+
+}  // namespace exaclim::sht

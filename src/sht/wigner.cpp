@@ -1,0 +1,117 @@
+#include "sht/wigner.hpp"
+
+#include <cmath>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/parallel.hpp"
+
+namespace exaclim::sht {
+
+namespace {
+
+/// Exact top-row seed in log space: d^l_{l,m}(pi/2).
+double seed_top_row(index_t l, index_t m) {
+  const double log_mag =
+      0.5 * common::log_binomial(2 * l, l + m) -
+      static_cast<double>(l) * std::log(2.0);
+  const double sign = ((l - m) % 2 == 0) ? 1.0 : -1.0;
+  return sign * std::exp(log_mag);
+}
+
+}  // namespace
+
+WignerPiHalfTable::WignerPiHalfTable(index_t band_limit)
+    : band_limit_(band_limit) {
+  EXACLIM_CHECK(band_limit >= 1, "band_limit must be >= 1");
+  offsets_.resize(static_cast<std::size_t>(band_limit));
+  index_t total = 0;
+  for (index_t l = 0; l < band_limit; ++l) {
+    offsets_[static_cast<std::size_t>(l)] = total;
+    total += (2 * l + 1) * (2 * l + 1);
+  }
+  data_.assign(static_cast<std::size_t>(total), 0.0);
+
+  common::parallel_for(0, band_limit, [&](index_t l) {
+    const index_t dim = 2 * l + 1;
+    double* block = data_.data() +
+                    static_cast<std::size_t>(offsets_[static_cast<std::size_t>(l)]);
+    auto at = [&](index_t mp, index_t m) -> double& {
+      return block[(mp + l) * dim + (m + l)];
+    };
+
+    // Quadrant m >= 0, m' >= 0: seed row m' = l, then recurse downward.
+    for (index_t m = 0; m <= l; ++m) {
+      at(l, m) = seed_top_row(l, m);
+      if (l == 0) continue;
+      // m' = l - 1 uses the two-term form (the d_{l+1,m} term is zero).
+      {
+        const index_t mp = l - 1;
+        const double denom = std::sqrt(static_cast<double>((l + mp + 1) * (l - mp)));
+        at(mp, m) = 2.0 * static_cast<double>(m) * at(mp + 1, m) / denom;
+      }
+      for (index_t mp = l - 2; mp >= 0; --mp) {
+        const double denom =
+            std::sqrt(static_cast<double>((l + mp + 1) * (l - mp)));
+        const double c2 =
+            std::sqrt(static_cast<double>((l - mp - 1) * (l + mp + 2)));
+        at(mp, m) = (2.0 * static_cast<double>(m) * at(mp + 1, m) -
+                     c2 * at(mp + 2, m)) /
+                    denom;
+      }
+    }
+    // d_{m',-m} = (-1)^{l+m'} d_{m',m}  (negative second index, m' >= 0).
+    for (index_t mp = 0; mp <= l; ++mp) {
+      const double s = ((l + mp) % 2 == 0) ? 1.0 : -1.0;
+      for (index_t m = 1; m <= l; ++m) at(mp, -m) = s * at(mp, m);
+    }
+    // d_{-m',m} = (-1)^{l+m} d_{m',m}  (negative first index, any m).
+    for (index_t mp = 1; mp <= l; ++mp) {
+      for (index_t m = -l; m <= l; ++m) {
+        const double s = ((l + std::abs(m)) % 2 == 0) ? 1.0 : -1.0;
+        // note: (-1)^{l+m} == (-1)^{l+|m|}
+        at(-mp, m) = s * at(mp, m);
+      }
+    }
+  });
+}
+
+std::shared_ptr<const WignerPiHalfTable> get_wigner_table(index_t band_limit) {
+  static std::mutex mu;
+  static std::unordered_map<index_t, std::weak_ptr<const WignerPiHalfTable>>
+      cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = cache[band_limit];
+  if (auto existing = slot.lock()) return existing;
+  auto table = std::make_shared<const WignerPiHalfTable>(band_limit);
+  slot = table;
+  return table;
+}
+
+double wigner_d_pi2_direct(index_t l, index_t mp, index_t m) {
+  EXACLIM_CHECK(l >= 0 && std::abs(mp) <= l && std::abs(m) <= l,
+                "need |m'|,|m| <= l");
+  EXACLIM_CHECK(l <= 30, "wigner_d_pi2_direct is a low-degree testing oracle");
+  // Explicit sum (Varshalovich convention, matching the recursion table):
+  // d^l_{m',m}(pi/2) = 2^{-l} * sum_k (-1)^k *
+  //   sqrt((l+m')!(l-m')!(l+m)!(l-m)!) /
+  //   [ (l+m'-k)! k! (l-k-m)! (k+m-m')! ]
+  const double log_pref = 0.5 * (common::log_factorial(l + mp) +
+                                 common::log_factorial(l - mp) +
+                                 common::log_factorial(l + m) +
+                                 common::log_factorial(l - m));
+  double sum = 0.0;
+  for (index_t k = std::max<index_t>(0, mp - m);
+       k <= std::min(l + mp, l - m); ++k) {
+    const double log_den =
+        common::log_factorial(l + mp - k) + common::log_factorial(k) +
+        common::log_factorial(l - k - m) + common::log_factorial(k + m - mp);
+    const double term = std::exp(log_pref - log_den);
+    sum += (k % 2 == 0) ? term : -term;
+  }
+  return std::ldexp(sum, static_cast<int>(-l));
+}
+
+}  // namespace exaclim::sht

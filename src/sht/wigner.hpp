@@ -1,0 +1,68 @@
+// Wigner (small) d-functions at the fixed argument beta = pi/2.
+//
+// The fast SHT of the paper expands d^l_{m,0}(theta) in complex exponentials
+// whose coefficients are products d^l_{m',0}(pi/2) * d^l_{m',m}(pi/2)
+// (Section III-A.1). We therefore need the full d^l(pi/2) matrices for all
+// degrees l < L. They are computed once per band limit via the
+// Trapani-Navaza-style recursion:
+//
+//   seed (top row, exact in log space):
+//     d^l_{l,m}(pi/2) = (-1)^{l-m} * sqrt(C(2l, l+m)) / 2^l
+//   recursion downward in the first index (stable at pi/2):
+//     d_{m',m} = [ 2m * d_{m'+1,m}
+//                  - sqrt((l-m'-1)(l+m'+2)) * d_{m'+2,m} ]
+//                / sqrt((l+m'+1)(l-m'))
+//   symmetries to fill the remaining quadrants:
+//     d_{m',-m} = (-1)^{l+m'} d_{m',m}
+//     d_{-m',m} = (-1)^{l+m}  d_{m',m}
+//
+// The paper's pre-computation strategy (III-A.2) is mirrored here: the table
+// costs O(L^3) once and is shared by every temporal observation.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace exaclim::sht {
+
+/// Dense table of d^l_{m',m}(pi/2) for all l < band_limit, |m'|,|m| <= l.
+class WignerPiHalfTable {
+ public:
+  explicit WignerPiHalfTable(index_t band_limit);
+
+  index_t band_limit() const { return band_limit_; }
+
+  /// d^l_{mp,m}(pi/2); requires |mp| <= l, |m| <= l, l < band_limit.
+  double value(index_t l, index_t mp, index_t m) const {
+    const index_t dim = 2 * l + 1;
+    return data_[static_cast<std::size_t>(offsets_[static_cast<std::size_t>(l)] +
+                                          (mp + l) * dim + (m + l))];
+  }
+
+  /// Pointer to the row {d^l_{mp,m} : m = -l..l} for fixed (l, mp).
+  const double* row(index_t l, index_t mp) const {
+    const index_t dim = 2 * l + 1;
+    return data_.data() + static_cast<std::size_t>(
+                              offsets_[static_cast<std::size_t>(l)] +
+                              (mp + l) * dim);
+  }
+
+  /// Total number of stored entries (sum over l of (2l+1)^2).
+  index_t entry_count() const { return static_cast<index_t>(data_.size()); }
+
+ private:
+  index_t band_limit_;
+  std::vector<index_t> offsets_;
+  std::vector<double> data_;
+};
+
+/// Shared-table cache keyed by band limit (tables are expensive: O(L^3)).
+std::shared_ptr<const WignerPiHalfTable> get_wigner_table(index_t band_limit);
+
+/// Reference value via the explicit factorial sum (log-magnitude arithmetic);
+/// suffers cancellation for large l — testing oracle for l <= 30.
+double wigner_d_pi2_direct(index_t l, index_t mp, index_t m);
+
+}  // namespace exaclim::sht

@@ -1,0 +1,124 @@
+#include "stats/ar.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/solve.hpp"
+
+namespace exaclim::stats {
+
+namespace {
+
+/// Accumulates the AR normal equations from one series segment.
+struct ArAccumulator {
+  explicit ArAccumulator(index_t order)
+      : p(order), xtx(order, order), xty(static_cast<std::size_t>(order), 0.0) {}
+
+  void add_series(std::span<const double> y) {
+    const index_t n = static_cast<index_t>(y.size());
+    for (index_t t = p; t < n; ++t) {
+      for (index_t a = 0; a < p; ++a) {
+        const double xa = y[static_cast<std::size_t>(t - 1 - a)];
+        xty[static_cast<std::size_t>(a)] += xa * y[static_cast<std::size_t>(t)];
+        for (index_t b = a; b < p; ++b) {
+          xtx(a, b) += xa * y[static_cast<std::size_t>(t - 1 - b)];
+        }
+      }
+      ++samples;
+    }
+  }
+
+  ArModel solve(std::span<const double> all, index_t num_ensembles,
+                index_t num_steps) {
+    for (index_t a = 0; a < p; ++a) {
+      for (index_t b = 0; b < a; ++b) xtx(a, b) = xtx(b, a);
+    }
+    double trace = 0.0;
+    for (index_t a = 0; a < p; ++a) trace += xtx(a, a);
+    linalg::add_diagonal_jitter(xtx, 1e-12 * (trace > 0.0 ? trace : 1.0));
+    linalg::cholesky_dense(xtx);
+    ArModel model;
+    const auto fwd = linalg::forward_substitute(xtx, xty);
+    model.phi = linalg::backward_substitute(xtx, fwd);
+
+    double sse = 0.0;
+    for (index_t r = 0; r < num_ensembles; ++r) {
+      const auto y = all.subspan(static_cast<std::size_t>(r * num_steps),
+                                 static_cast<std::size_t>(num_steps));
+      for (index_t t = p; t < num_steps; ++t) {
+        double pred = 0.0;
+        for (index_t a = 0; a < p; ++a) {
+          pred += model.phi[static_cast<std::size_t>(a)] *
+                  y[static_cast<std::size_t>(t - 1 - a)];
+        }
+        const double resid = y[static_cast<std::size_t>(t)] - pred;
+        sse += resid * resid;
+      }
+    }
+    model.innovation_variance =
+        samples > p ? sse / static_cast<double>(samples - p) : sse;
+    return model;
+  }
+
+  index_t p;
+  linalg::Matrix xtx;
+  std::vector<double> xty;
+  index_t samples = 0;
+};
+
+}  // namespace
+
+ArModel fit_ar(std::span<const double> series, index_t order) {
+  return fit_ar_ensemble(series, 1, static_cast<index_t>(series.size()), order);
+}
+
+ArModel fit_ar_ensemble(std::span<const double> series, index_t num_ensembles,
+                        index_t num_steps, index_t order) {
+  EXACLIM_CHECK(order >= 1, "AR order must be >= 1");
+  EXACLIM_CHECK(static_cast<index_t>(series.size()) ==
+                    num_ensembles * num_steps,
+                "series length must be R * T");
+  EXACLIM_CHECK(num_steps > 2 * order, "series too short for the AR order");
+  ArAccumulator acc(order);
+  for (index_t r = 0; r < num_ensembles; ++r) {
+    acc.add_series(series.subspan(static_cast<std::size_t>(r * num_steps),
+                                  static_cast<std::size_t>(num_steps)));
+  }
+  return acc.solve(series, num_ensembles, num_steps);
+}
+
+std::vector<double> ar_residuals(const ArModel& model,
+                                 std::span<const double> series) {
+  const index_t p = static_cast<index_t>(model.phi.size());
+  const index_t n = static_cast<index_t>(series.size());
+  EXACLIM_CHECK(n > p, "series shorter than AR order");
+  std::vector<double> out(static_cast<std::size_t>(n - p));
+  for (index_t t = p; t < n; ++t) {
+    double pred = 0.0;
+    for (index_t a = 0; a < p; ++a) {
+      pred += model.phi[static_cast<std::size_t>(a)] *
+              series[static_cast<std::size_t>(t - 1 - a)];
+    }
+    out[static_cast<std::size_t>(t - p)] =
+        series[static_cast<std::size_t>(t)] - pred;
+  }
+  return out;
+}
+
+std::vector<double> ar_simulate(const ArModel& model,
+                                std::span<const double> innovations) {
+  const index_t p = static_cast<index_t>(model.phi.size());
+  const index_t n = static_cast<index_t>(innovations.size());
+  std::vector<double> out(static_cast<std::size_t>(n), 0.0);
+  for (index_t t = 0; t < n; ++t) {
+    double v = innovations[static_cast<std::size_t>(t)];
+    for (index_t a = 0; a < p && a < t; ++a) {
+      v += model.phi[static_cast<std::size_t>(a)] *
+           out[static_cast<std::size_t>(t - 1 - a)];
+    }
+    out[static_cast<std::size_t>(t)] = v;
+  }
+  return out;
+}
+
+}  // namespace exaclim::stats

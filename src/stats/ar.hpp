@@ -1,0 +1,40 @@
+// Scalar AR(P) fitting for the diagonal VAR model.
+//
+// The paper models the packed spherical-harmonic coefficient vectors f_t as
+// a VAR(P) with *diagonal* Phi_p matrices, which decouples into L^2
+// independent scalar AR(P) problems (Section III-A.3). Each is fit by
+// conditional least squares over all ensembles.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace exaclim::stats {
+
+/// Fitted AR(P) model for one coefficient index.
+struct ArModel {
+  std::vector<double> phi;            ///< phi_1..phi_P
+  double innovation_variance = 0.0;   ///< var of xi_t
+};
+
+/// Fits AR(P) by least squares on one series. Requires series length > 2P.
+ArModel fit_ar(std::span<const double> series, index_t order);
+
+/// Fits a shared AR(P) across R ensemble replicates of the same process
+/// (layout: r-major, each of length num_steps).
+ArModel fit_ar_ensemble(std::span<const double> series, index_t num_ensembles,
+                        index_t num_steps, index_t order);
+
+/// Residuals xi_t = y_t - sum_p phi_p y_{t-p}, t = P..T-1 (length T - P).
+std::vector<double> ar_residuals(const ArModel& model,
+                                 std::span<const double> series);
+
+/// Simulates T steps of the AR(P) given innovations (length T); the first P
+/// values are taken directly from `innovations` scaled history (warm start
+/// at zero).
+std::vector<double> ar_simulate(const ArModel& model,
+                                std::span<const double> innovations);
+
+}  // namespace exaclim::stats

@@ -1,0 +1,56 @@
+#include "stats/covariance.hpp"
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "linalg/solve.hpp"
+
+namespace exaclim::stats {
+
+linalg::Matrix empirical_covariance(const linalg::Matrix& samples) {
+  return empirical_covariance_parallel(samples, 1);
+}
+
+linalg::Matrix empirical_covariance_parallel(const linalg::Matrix& samples,
+                                             unsigned threads) {
+  const index_t n = samples.rows();
+  const index_t d = samples.cols();
+  EXACLIM_CHECK(n >= 1, "need at least one sample");
+  linalg::Matrix u(d, d);
+  const double inv_n = 1.0 / static_cast<double>(n);
+  common::parallel_for(
+      0, d,
+      [&](index_t a) {
+        for (index_t b = 0; b <= a; ++b) {
+          double acc = 0.0;
+          for (index_t r = 0; r < n; ++r) {
+            acc += samples(r, a) * samples(r, b);
+          }
+          u(a, b) = acc * inv_n;
+          u(b, a) = u(a, b);
+        }
+      },
+      threads == 0 ? common::default_thread_count() : threads);
+  return u;
+}
+
+PreparedCovariance prepare_covariance(const linalg::Matrix& samples,
+                                      double jitter_base) {
+  PreparedCovariance out;
+  out.u = empirical_covariance_parallel(samples);
+  out.was_deficient = samples.rows() < samples.cols();
+  // Scale the jitter to the average diagonal so it is "minor" in the paper's
+  // sense regardless of the data's units.
+  double mean_diag = 0.0;
+  for (index_t i = 0; i < out.u.rows(); ++i) mean_diag += out.u(i, i);
+  mean_diag /= static_cast<double>(out.u.rows() > 0 ? out.u.rows() : 1);
+  const double base = jitter_base * (mean_diag > 0.0 ? mean_diag : 1.0);
+  if (out.was_deficient) {
+    // Rank-deficient by construction: jitter unconditionally.
+    linalg::add_diagonal_jitter(out.u, base);
+    out.jitter = base;
+  }
+  out.jitter += linalg::ensure_positive_definite(out.u, base);
+  return out;
+}
+
+}  // namespace exaclim::stats

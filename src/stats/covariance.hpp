@@ -1,0 +1,33 @@
+// Empirical covariance of VAR innovations (Eq. 9) and PD repair.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace exaclim::stats {
+
+/// U-hat = (1 / N) sum_n xi_n xi_n^T over N sample vectors of dimension d
+/// (Eq. 9 with N = R (T - P)). Samples are rows of `samples` (N x d).
+linalg::Matrix empirical_covariance(const linalg::Matrix& samples);
+
+/// Same, parallelized over the output's lower triangle (the O(L^4 T) step of
+/// the paper's training pipeline).
+linalg::Matrix empirical_covariance_parallel(const linalg::Matrix& samples,
+                                             unsigned threads = 0);
+
+/// Result of the covariance preparation step.
+struct PreparedCovariance {
+  linalg::Matrix u;        ///< (possibly jittered) covariance
+  double jitter = 0.0;     ///< diagonal perturbation applied
+  bool was_deficient = false;  ///< true iff N < d (paper's R(T-P) < L^2 case)
+};
+
+/// Builds U-hat and, when the sample count is below the dimension (or the
+/// matrix is otherwise numerically indefinite), applies the paper's "minor
+/// perturbation along the diagonal".
+PreparedCovariance prepare_covariance(const linalg::Matrix& samples,
+                                      double jitter_base = 1e-10);
+
+}  // namespace exaclim::stats

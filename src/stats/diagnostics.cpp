@@ -1,0 +1,116 @@
+#include "stats/diagnostics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace exaclim::stats {
+
+double mean(std::span<const double> x) {
+  EXACLIM_CHECK(!x.empty(), "mean of empty sample");
+  double acc = 0.0;
+  for (double v : x) acc += v;
+  return acc / static_cast<double>(x.size());
+}
+
+double variance(std::span<const double> x) {
+  EXACLIM_CHECK(x.size() >= 2, "variance needs at least two samples");
+  const double m = mean(x);
+  double acc = 0.0;
+  for (double v : x) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(x.size() - 1);
+}
+
+double standard_deviation(std::span<const double> x) {
+  return std::sqrt(variance(x));
+}
+
+double covariance(std::span<const double> x, std::span<const double> y) {
+  EXACLIM_CHECK(x.size() == y.size() && x.size() >= 2,
+                "covariance needs two equal-length samples, n >= 2");
+  const double mx = mean(x);
+  const double my = mean(y);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += (x[i] - mx) * (y[i] - my);
+  return acc / static_cast<double>(x.size() - 1);
+}
+
+double correlation(std::span<const double> x, std::span<const double> y) {
+  const double sx = standard_deviation(x);
+  const double sy = standard_deviation(y);
+  EXACLIM_CHECK(sx > 0.0 && sy > 0.0, "correlation of a constant sample");
+  return covariance(x, y) / (sx * sy);
+}
+
+std::vector<double> autocorrelation(std::span<const double> x,
+                                    index_t max_lag) {
+  EXACLIM_CHECK(static_cast<index_t>(x.size()) > max_lag,
+                "series shorter than requested lag");
+  const double m = mean(x);
+  const index_t n = static_cast<index_t>(x.size());
+  double denom = 0.0;
+  for (double v : x) denom += (v - m) * (v - m);
+  EXACLIM_CHECK(denom > 0.0, "autocorrelation of a constant series");
+  std::vector<double> out(static_cast<std::size_t>(max_lag + 1));
+  for (index_t lag = 0; lag <= max_lag; ++lag) {
+    double acc = 0.0;
+    for (index_t t = lag; t < n; ++t) {
+      acc += (x[static_cast<std::size_t>(t)] - m) *
+             (x[static_cast<std::size_t>(t - lag)] - m);
+    }
+    out[static_cast<std::size_t>(lag)] = acc / denom;
+  }
+  return out;
+}
+
+double ks_distance(std::span<const double> a, std::span<const double> b) {
+  EXACLIM_CHECK(!a.empty() && !b.empty(), "KS distance of empty samples");
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  double d = 0.0;
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < sa.size() && ib < sb.size()) {
+    if (sa[ia] <= sb[ib]) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+    const double fa = static_cast<double>(ia) / static_cast<double>(sa.size());
+    const double fb = static_cast<double>(ib) / static_cast<double>(sb.size());
+    d = std::max(d, std::abs(fa - fb));
+  }
+  return d;
+}
+
+double quantile(std::span<const double> x, double q) {
+  EXACLIM_CHECK(!x.empty(), "quantile of empty sample");
+  EXACLIM_CHECK(q >= 0.0 && q <= 1.0, "quantile level must lie in [0, 1]");
+  std::vector<double> s(x.begin(), x.end());
+  std::sort(s.begin(), s.end());
+  const double pos = q * static_cast<double>(s.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, s.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return s[lo] * (1.0 - frac) + s[hi] * frac;
+}
+
+MomentComparison compare_moments(std::span<const double> a,
+                                 std::span<const double> b) {
+  MomentComparison c;
+  c.mean_a = mean(a);
+  c.mean_b = mean(b);
+  c.sd_a = standard_deviation(a);
+  c.sd_b = standard_deviation(b);
+  c.q05_a = quantile(a, 0.05);
+  c.q05_b = quantile(b, 0.05);
+  c.q95_a = quantile(a, 0.95);
+  c.q95_b = quantile(b, 0.95);
+  c.ks = ks_distance(a, b);
+  return c;
+}
+
+}  // namespace exaclim::stats

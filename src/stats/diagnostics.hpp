@@ -1,0 +1,39 @@
+// Statistical diagnostics used to demonstrate that emulations are
+// "statistically consistent with the simulations" (Figures 2 and 4).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace exaclim::stats {
+
+double mean(std::span<const double> x);
+double variance(std::span<const double> x);  ///< unbiased (n-1)
+double standard_deviation(std::span<const double> x);
+double covariance(std::span<const double> x, std::span<const double> y);
+double correlation(std::span<const double> x, std::span<const double> y);
+
+/// Sample autocorrelation for lags 0..max_lag.
+std::vector<double> autocorrelation(std::span<const double> x, index_t max_lag);
+
+/// Two-sample Kolmogorov-Smirnov distance sup_x |F_a(x) - F_b(x)|.
+double ks_distance(std::span<const double> a, std::span<const double> b);
+
+/// Empirical quantile (q in [0, 1], linear interpolation).
+double quantile(std::span<const double> x, double q);
+
+/// Side-by-side moments of two samples (simulation vs emulation).
+struct MomentComparison {
+  double mean_a = 0.0, mean_b = 0.0;
+  double sd_a = 0.0, sd_b = 0.0;
+  double q05_a = 0.0, q05_b = 0.0;
+  double q95_a = 0.0, q95_b = 0.0;
+  double ks = 0.0;
+};
+
+MomentComparison compare_moments(std::span<const double> a,
+                                 std::span<const double> b);
+
+}  // namespace exaclim::stats

@@ -1,0 +1,78 @@
+#include "stats/ljung_box.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/diagnostics.hpp"
+
+namespace exaclim::stats {
+
+namespace {
+
+/// Regularized lower incomplete gamma P(a, x) by series (x < a + 1).
+double gamma_p_series(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  for (int n = 1; n < 500; ++n) {
+    term *= x / (a + n);
+    sum += term;
+    if (term < sum * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Regularized upper incomplete gamma Q(a, x) by continued fraction
+/// (x >= a + 1), Lentz's algorithm.
+double gamma_q_cf(double a, double x) {
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::abs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double chi_square_sf(double x, double dof) {
+  EXACLIM_CHECK(dof > 0.0, "chi-square dof must be positive");
+  if (x <= 0.0) return 1.0;
+  const double a = dof / 2.0;
+  const double xx = x / 2.0;
+  if (xx < a + 1.0) return 1.0 - gamma_p_series(a, xx);
+  return gamma_q_cf(a, xx);
+}
+
+LjungBoxResult ljung_box(std::span<const double> residuals, index_t lags,
+                         index_t fitted_params) {
+  const index_t n = static_cast<index_t>(residuals.size());
+  EXACLIM_CHECK(lags >= 1, "need at least one lag");
+  EXACLIM_CHECK(n > lags + 1, "series too short for the requested lags");
+  const auto acf = autocorrelation(residuals, lags);
+  double q = 0.0;
+  for (index_t k = 1; k <= lags; ++k) {
+    const double r = acf[static_cast<std::size_t>(k)];
+    q += r * r / static_cast<double>(n - k);
+  }
+  q *= static_cast<double>(n) * (static_cast<double>(n) + 2.0);
+
+  LjungBoxResult result;
+  result.statistic = q;
+  result.dof = std::max<index_t>(1, lags - fitted_params);
+  result.p_value = chi_square_sf(q, static_cast<double>(result.dof));
+  return result;
+}
+
+}  // namespace exaclim::stats

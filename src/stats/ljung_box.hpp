@@ -1,0 +1,31 @@
+// Ljung-Box portmanteau test for residual whiteness.
+//
+// The emulator's VAR(P) is adequate exactly when its innovations xi_t are
+// white; the Ljung-Box statistic Q = n(n+2) sum_{k=1..h} r_k^2/(n-k) is the
+// standard check (compared against a chi-square with h - P dof). Used by
+// model-order diagnostics and the ablation bench on P.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace exaclim::stats {
+
+struct LjungBoxResult {
+  double statistic = 0.0;   ///< Q
+  index_t dof = 0;          ///< h - fitted_params (floored at 1)
+  double p_value = 0.0;     ///< P(chi2_dof > Q)
+  bool white(double alpha = 0.05) const { return p_value > alpha; }
+};
+
+/// Runs the test on a residual series with `lags` autocorrelation terms;
+/// `fitted_params` adjusts the degrees of freedom (use P for AR(P) output).
+LjungBoxResult ljung_box(std::span<const double> residuals, index_t lags,
+                         index_t fitted_params = 0);
+
+/// Upper-tail probability of a chi-square distribution (regularized upper
+/// incomplete gamma Q(k/2, x/2), via a continued-fraction/series evaluation).
+double chi_square_sf(double x, double dof);
+
+}  // namespace exaclim::stats

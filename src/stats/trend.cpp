@@ -1,0 +1,167 @@
+#include "stats/trend.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/ols.hpp"
+
+namespace exaclim::stats {
+
+namespace {
+
+/// Year index (1-based) of time step t (1-based): ceil(t / tau).
+index_t year_of(index_t t, index_t period) {
+  return (t + period - 1) / period;
+}
+
+/// Builds the (T x (3 + 2K)) design matrix for a fixed rho.
+linalg::Matrix build_design(std::span<const double> annual_forcing,
+                            index_t num_steps, index_t period,
+                            index_t harmonics, double rho) {
+  const index_t cols = 3 + 2 * harmonics;
+  linalg::Matrix x(num_steps, cols);
+  const std::vector<double> lagged =
+      lagged_forcing(annual_forcing, num_steps, period, rho);
+  for (index_t t = 1; t <= num_steps; ++t) {
+    const index_t row = t - 1;
+    const index_t year = year_of(t, period);
+    EXACLIM_CHECK(year <= static_cast<index_t>(annual_forcing.size()),
+                  "forcing trajectory shorter than the series implies");
+    x(row, 0) = 1.0;
+    x(row, 1) = annual_forcing[static_cast<std::size_t>(year - 1)];
+    x(row, 2) = lagged[static_cast<std::size_t>(row)];
+    for (index_t k = 1; k <= harmonics; ++k) {
+      const double angle = kTwoPi * static_cast<double>(t) *
+                           static_cast<double>(k) /
+                           static_cast<double>(period);
+      x(row, 2 + 2 * k - 1) = std::cos(angle);
+      x(row, 2 + 2 * k) = std::sin(angle);
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+std::vector<double> lagged_forcing(std::span<const double> annual_forcing,
+                                   index_t num_steps, index_t period,
+                                   double rho) {
+  EXACLIM_CHECK(!annual_forcing.empty(), "forcing trajectory must be non-empty");
+  EXACLIM_CHECK(rho >= 0.0 && rho < 1.0, "rho must lie in [0, 1)");
+  EXACLIM_CHECK(period >= 1, "period must be >= 1");
+  const index_t num_years = year_of(num_steps, period);
+  EXACLIM_CHECK(num_years <= static_cast<index_t>(annual_forcing.size()),
+                "forcing trajectory shorter than the series implies");
+  // W_y = (1 - rho) sum_{s>=1} rho^{s-1} x_{y-s}; with pre-sample history
+  // frozen at x_1 this gives W_1 = x_1 and the recursion
+  // W_y = rho W_{y-1} + (1 - rho) x_{y-1}.
+  std::vector<double> w_year(static_cast<std::size_t>(num_years));
+  w_year[0] = annual_forcing[0];
+  for (index_t y = 2; y <= num_years; ++y) {
+    w_year[static_cast<std::size_t>(y - 1)] =
+        rho * w_year[static_cast<std::size_t>(y - 2)] +
+        (1.0 - rho) * annual_forcing[static_cast<std::size_t>(y - 2)];
+  }
+  std::vector<double> out(static_cast<std::size_t>(num_steps));
+  for (index_t t = 1; t <= num_steps; ++t) {
+    out[static_cast<std::size_t>(t - 1)] =
+        w_year[static_cast<std::size_t>(year_of(t, period) - 1)];
+  }
+  return out;
+}
+
+TrendModel fit_trend(std::span<const double> y, index_t num_ensembles,
+                     index_t num_steps,
+                     std::span<const double> annual_forcing,
+                     const TrendFitConfig& config) {
+  EXACLIM_CHECK(num_ensembles >= 1 && num_steps >= 1,
+                "need at least one ensemble and one step");
+  EXACLIM_CHECK(static_cast<index_t>(y.size()) == num_ensembles * num_steps,
+                "series length must be R * T");
+  std::vector<double> rho_grid = config.rho_grid;
+  if (rho_grid.empty()) {
+    for (int i = 0; i < 20; ++i) rho_grid.push_back(0.05 * i);
+  }
+
+  TrendModel best;
+  double best_sse = -1.0;
+  for (double rho : rho_grid) {
+    // One design block per ensemble would be identical (shared regressors);
+    // stack by repeating the design implicitly: fit the ensemble-mean series,
+    // which yields the same OLS estimate, then measure SSE on all ensembles.
+    linalg::Matrix x = build_design(annual_forcing, num_steps, config.period,
+                                    config.harmonics, rho);
+    std::vector<double> ymean(static_cast<std::size_t>(num_steps), 0.0);
+    for (index_t r = 0; r < num_ensembles; ++r) {
+      for (index_t t = 0; t < num_steps; ++t) {
+        ymean[static_cast<std::size_t>(t)] +=
+            y[static_cast<std::size_t>(r * num_steps + t)];
+      }
+    }
+    for (auto& v : ymean) v /= static_cast<double>(num_ensembles);
+    const OlsFit fit = ols(x, ymean);
+
+    // Full-ensemble SSE for model selection and sigma.
+    double sse = 0.0;
+    for (index_t t = 0; t < num_steps; ++t) {
+      double pred = 0.0;
+      const auto row = x.row(t);
+      for (std::size_t a = 0; a < fit.beta.size(); ++a) {
+        pred += row[a] * fit.beta[a];
+      }
+      for (index_t r = 0; r < num_ensembles; ++r) {
+        const double resid =
+            y[static_cast<std::size_t>(r * num_steps + t)] - pred;
+        sse += resid * resid;
+      }
+    }
+    if (best_sse < 0.0 || sse < best_sse) {
+      best_sse = sse;
+      best.beta0 = fit.beta[0];
+      best.beta1 = fit.beta[1];
+      best.beta2 = fit.beta[2];
+      best.rho = rho;
+      best.cos_coeff.assign(static_cast<std::size_t>(config.harmonics), 0.0);
+      best.sin_coeff.assign(static_cast<std::size_t>(config.harmonics), 0.0);
+      for (index_t k = 1; k <= config.harmonics; ++k) {
+        best.cos_coeff[static_cast<std::size_t>(k - 1)] =
+            fit.beta[static_cast<std::size_t>(2 + 2 * k - 1)];
+        best.sin_coeff[static_cast<std::size_t>(k - 1)] =
+            fit.beta[static_cast<std::size_t>(2 + 2 * k)];
+      }
+      best.period = config.period;
+      const double dof = static_cast<double>(num_ensembles * num_steps) -
+                         static_cast<double>(3 + 2 * config.harmonics);
+      best.sigma = std::sqrt(sse / (dof > 0.0 ? dof : 1.0));
+    }
+  }
+  // A flat series can produce sigma == 0, which would make the stochastic
+  // rescale degenerate; clamp to a tiny floor.
+  if (best.sigma <= 0.0) best.sigma = 1e-12;
+  return best;
+}
+
+std::vector<double> trend_series(const TrendModel& model, index_t num_steps,
+                                 std::span<const double> annual_forcing) {
+  const std::vector<double> lagged =
+      lagged_forcing(annual_forcing, num_steps, model.period, model.rho);
+  std::vector<double> out(static_cast<std::size_t>(num_steps));
+  for (index_t t = 1; t <= num_steps; ++t) {
+    const index_t year = year_of(t, model.period);
+    double v = model.beta0 +
+               model.beta1 *
+                   annual_forcing[static_cast<std::size_t>(year - 1)] +
+               model.beta2 * lagged[static_cast<std::size_t>(t - 1)];
+    for (std::size_t k = 1; k <= model.cos_coeff.size(); ++k) {
+      const double angle = kTwoPi * static_cast<double>(t) *
+                           static_cast<double>(k) /
+                           static_cast<double>(model.period);
+      v += model.cos_coeff[k - 1] * std::cos(angle) +
+           model.sin_coeff[k - 1] * std::sin(angle);
+    }
+    out[static_cast<std::size_t>(t - 1)] = v;
+  }
+  return out;
+}
+
+}  // namespace exaclim::stats

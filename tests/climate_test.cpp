@@ -1,0 +1,310 @@
+// Tests for climate/: grids, forcing, dataset container, the synthetic ESM
+// generator, and the storage model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "climate/dataset.hpp"
+#include "common/rng.hpp"
+#include "climate/forcing.hpp"
+#include "climate/grid.hpp"
+#include "climate/storage_model.hpp"
+#include "climate/synthetic_esm.hpp"
+#include "common/error.hpp"
+#include "stats/diagnostics.hpp"
+
+namespace {
+
+using namespace exaclim;
+using namespace exaclim::climate;
+
+// ---------- grid ---------------------------------------------------------------
+
+TEST(Grid, PaperResolutions) {
+  // L = 720 is ERA5's 0.25 degree; L = 5219 is the headline 0.034 degree /
+  // ~3.5 km (Section I).
+  EXPECT_NEAR(band_limit_to_degrees(720), 0.25, 1e-12);
+  EXPECT_NEAR(band_limit_to_degrees(5219), 0.0345, 1e-3);
+  EXPECT_NEAR(band_limit_to_km(5219), 3.84, 0.1);
+  EXPECT_NEAR(band_limit_to_km(720), 27.8, 0.2);
+}
+
+TEST(Grid, DegreesToBandLimitInverts) {
+  for (index_t L : {90, 180, 720, 1440, 5219}) {
+    EXPECT_EQ(degrees_to_band_limit(band_limit_to_degrees(L)), L);
+  }
+}
+
+TEST(Grid, Era5GridMatchesRule) {
+  const auto g = era5_grid();
+  EXPECT_EQ(g.nlat, 721);
+  EXPECT_EQ(g.nlon, 1440);
+  const auto rule = grid_for_band_limit(720);
+  EXPECT_EQ(rule.nlat, g.nlat);
+  EXPECT_EQ(rule.nlon, g.nlon);
+}
+
+TEST(Grid, LatitudeLongitudeDegrees) {
+  const sht::GridShape g{5, 8};
+  EXPECT_DOUBLE_EQ(latitude_degrees(g, 0), 90.0);
+  EXPECT_DOUBLE_EQ(latitude_degrees(g, 2), 0.0);
+  EXPECT_DOUBLE_EQ(latitude_degrees(g, 4), -90.0);
+  EXPECT_DOUBLE_EQ(longitude_degrees(g, 0), 0.0);
+  EXPECT_DOUBLE_EQ(longitude_degrees(g, 4), 180.0);
+}
+
+// ---------- forcing -------------------------------------------------------------
+
+TEST(Forcing, HistoricalGrowsWithVolcanicDips) {
+  const auto x = historical_forcing(100);
+  ASSERT_EQ(x.size(), 100u);
+  EXPECT_LT(x.front(), x.back());  // net growth
+  // Dips exist: some year is lower than an earlier year.
+  bool has_dip = false;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    if (x[i] < x[i - 1] - 0.3) has_dip = true;
+  }
+  EXPECT_TRUE(has_dip);
+}
+
+TEST(Forcing, ScenarioIsLinear) {
+  const auto x = scenario_forcing(10, 2.0, 0.1);
+  EXPECT_DOUBLE_EQ(x[0], 2.0);
+  EXPECT_NEAR(x[9], 2.9, 1e-12);
+}
+
+// ---------- dataset -------------------------------------------------------------
+
+TEST(Dataset, LayoutAndAccess) {
+  ClimateDataset ds(sht::GridShape{5, 8}, 10, 2, 5);
+  EXPECT_EQ(ds.num_years(), 2);
+  EXPECT_DOUBLE_EQ(ds.total_points(), 2.0 * 10.0 * 40.0);
+  ds.field(1, 3)[7] = 42.0;
+  EXPECT_EQ(ds.field(1, 3)[7], 42.0);
+  EXPECT_EQ(ds.field(0, 3)[7], 0.0);
+  const auto series = ds.time_series(1, 0, 7);
+  EXPECT_EQ(series[3], 42.0);
+}
+
+TEST(Dataset, SaveLoadRoundTrip) {
+  ClimateDataset ds(sht::GridShape{5, 8}, 6, 2, 3);
+  common::Rng rng(1);
+  for (auto& v : ds.raw()) v = rng.normal(280.0, 10.0);
+  const std::string path = ::testing::TempDir() + "/exaclim_ds.bin";
+  ds.save(path);
+  const ClimateDataset back = ClimateDataset::load(path);
+  EXPECT_EQ(back.grid().nlat, 5);
+  EXPECT_EQ(back.num_steps(), 6);
+  EXPECT_EQ(back.num_ensembles(), 2);
+  EXPECT_EQ(back.steps_per_year(), 3);
+  EXPECT_EQ(back.raw(), ds.raw());
+  std::filesystem::remove(path);
+}
+
+TEST(Dataset, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/exaclim_bad.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a dataset";
+  }
+  EXPECT_THROW(ClimateDataset::load(path), IoError);
+  std::filesystem::remove(path);
+}
+
+TEST(Dataset, RejectsOutOfRange) {
+  ClimateDataset ds(sht::GridShape{5, 8}, 4, 1, 2);
+  EXPECT_THROW(ds.field(1, 0), InvalidArgument);
+  EXPECT_THROW(ds.field(0, 4), InvalidArgument);
+  EXPECT_THROW(ds.time_series(0, 5, 0), InvalidArgument);
+}
+
+// ---------- synthetic ESM --------------------------------------------------------
+
+SyntheticEsmConfig small_config() {
+  SyntheticEsmConfig cfg;
+  cfg.band_limit = 8;
+  cfg.grid = {9, 16};
+  cfg.num_years = 3;
+  cfg.steps_per_year = 32;
+  cfg.num_ensembles = 2;
+  return cfg;
+}
+
+TEST(SyntheticEsm, ShapesAndFiniteness) {
+  const auto esm = generate_synthetic_esm(small_config());
+  EXPECT_EQ(esm.data.num_steps(), 96);
+  EXPECT_EQ(esm.data.num_ensembles(), 2);
+  for (double v : esm.data.raw()) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GT(v, 150.0);  // plausible Kelvin range
+    EXPECT_LT(v, 400.0);
+  }
+}
+
+TEST(SyntheticEsm, DeterministicInSeed) {
+  const auto a = generate_synthetic_esm(small_config());
+  const auto b = generate_synthetic_esm(small_config());
+  EXPECT_EQ(a.data.raw(), b.data.raw());
+  auto cfg = small_config();
+  cfg.seed = 999;
+  const auto c = generate_synthetic_esm(cfg);
+  EXPECT_NE(a.data.raw(), c.data.raw());
+}
+
+TEST(SyntheticEsm, EquatorWarmerThanPoles) {
+  const auto esm = generate_synthetic_esm(small_config());
+  double pole = 0.0;
+  double equator = 0.0;
+  index_t count = 0;
+  for (index_t t = 0; t < esm.data.num_steps(); ++t) {
+    const auto f = esm.data.field(0, t);
+    pole += f[0];  // north pole row, lon 0
+    equator += f[static_cast<std::size_t>(4 * 16)];
+    ++count;
+  }
+  EXPECT_GT(equator / count, pole / count + 20.0);
+}
+
+TEST(SyntheticEsm, SeasonalCycleHasOppositePhaseAcrossHemispheres) {
+  auto cfg = small_config();
+  cfg.num_years = 4;
+  cfg.weather_scale = 0.5;  // keep noise small relative to the cycle
+  const auto esm = generate_synthetic_esm(cfg);
+  // Correlate the deseasonalized-by-mean north vs south mid-latitude series.
+  const auto north = esm.data.time_series(0, 2, 0);  // lat +45
+  const auto south = esm.data.time_series(0, 6, 0);  // lat -45
+  EXPECT_LT(stats::correlation(north, south), 0.0);
+}
+
+TEST(SyntheticEsm, DiurnalPhaseFollowsLongitude) {
+  auto cfg = small_config();
+  cfg.steps_per_day = 8;
+  cfg.steps_per_year = 64;
+  cfg.weather_scale = 0.2;
+  cfg.seasonal_amplitude = 0.0;  // isolate the diurnal signal
+  cfg.nugget_noise = 0.01;
+  const auto esm = generate_synthetic_esm(cfg);
+  // At the equator, opposite longitudes peak half a day apart: correlation
+  // of their diurnal signals should be strongly negative.
+  const auto lon0 = esm.data.time_series(0, 4, 0);
+  const auto lon180 = esm.data.time_series(0, 4, 8);
+  EXPECT_LT(stats::correlation(lon0, lon180), -0.3);
+}
+
+TEST(SyntheticEsm, WarmingTrendFollowsForcing) {
+  auto cfg = small_config();
+  cfg.num_years = 6;
+  cfg.forcing = scenario_forcing(6, 0.0, 1.0);  // strong ramp
+  cfg.weather_scale = 0.5;
+  const auto esm = generate_synthetic_esm(cfg);
+  // Annual means should increase.
+  const auto series = esm.data.time_series(0, 4, 3);
+  double first = 0.0;
+  double last = 0.0;
+  for (index_t t = 0; t < 32; ++t) first += series[static_cast<std::size_t>(t)];
+  for (index_t t = 160; t < 192; ++t) last += series[static_cast<std::size_t>(t)];
+  EXPECT_GT(last / 32.0, first / 32.0 + 3.0);
+}
+
+TEST(SyntheticEsm, EnsembleMembersShareClimatologyButDifferInWeather) {
+  const auto esm = generate_synthetic_esm(small_config());
+  const auto a = esm.data.time_series(0, 4, 2);
+  const auto b = esm.data.time_series(1, 4, 2);
+  EXPECT_NE(a, b);
+  EXPECT_NEAR(stats::mean(a), stats::mean(b), 3.0);
+}
+
+TEST(SyntheticEsm, RejectsInsufficientGrid) {
+  auto cfg = small_config();
+  cfg.grid = {7, 16};  // nlat < L + 1
+  EXPECT_THROW(generate_synthetic_esm(cfg), InvalidArgument);
+}
+
+// ---------- storage model ----------------------------------------------------------
+
+TEST(StorageModel, HourlyEra5EnsembleShrinksByOrdersOfMagnitude) {
+  // The paper's 318 billion hourly points (35 years, 0.25 degree) are
+  // ~1.27 TB per member at fp32; a CMIP-style 100-member archive is 127 TB,
+  // which the ~1 TB emulator replaces.
+  StorageParams p;
+  p.grid = era5_grid();
+  p.num_steps = 306600;  // 35 years hourly
+  p.num_ensembles = 100;
+  p.band_limit = 720;
+  const StorageReport r = storage_report(p);
+  EXPECT_NEAR(r.raw_bytes, 100.0 * 306600.0 * 721.0 * 1440.0 * 4.0, 1.0);
+  EXPECT_GT(r.savings_ratio, 50.0);
+  EXPECT_GT(r.raw_usd_per_year, 5000.0);  // real money at $45/TB/yr
+}
+
+TEST(StorageModel, UltraHighResolutionReachesPetabytes) {
+  // At the headline 0.034 degree (L = 5219) hourly resolution, a 35-year
+  // 50-member archive is petabytes — the regime where the emulator "saves
+  // petabytes" (with V held in DP/HP tiles).
+  StorageParams p;
+  p.grid = grid_for_band_limit(5219);
+  p.num_steps = 306600;
+  p.num_ensembles = 50;
+  p.band_limit = 5219;
+  p.factor_compression = 0.25;  // DP/HP tile storage of V
+  const StorageReport r = storage_report(p);
+  EXPECT_GT(r.raw_bytes, 3e15);  // > 3 PB raw
+  EXPECT_GT(r.savings_ratio, 2.0);
+  EXPECT_GT(r.raw_bytes - r.emulator_bytes, 1e15);  // saves > 1 PB
+}
+
+TEST(StorageModel, FactorDominatesAtHighL) {
+  StorageParams p;
+  p.grid = era5_grid();
+  p.num_steps = 1000;
+  p.band_limit = 720;
+  const StorageReport r = storage_report(p);
+  EXPECT_GT(r.factor_bytes, r.trend_bytes);
+  EXPECT_GT(r.factor_bytes, r.var_bytes);
+}
+
+TEST(StorageModel, MixedPrecisionFactorShrinksEmulator) {
+  StorageParams p;
+  p.grid = era5_grid();
+  p.num_steps = 10000;
+  p.band_limit = 720;
+  const StorageReport full = storage_report(p);
+  p.factor_compression = 0.25;  // DP/HP-style tile storage
+  const StorageReport compressed = storage_report(p);
+  EXPECT_LT(compressed.emulator_bytes, full.emulator_bytes);
+  EXPECT_GT(compressed.savings_ratio, full.savings_ratio);
+}
+
+TEST(StorageModel, MoreEnsemblesMoreSavings) {
+  StorageParams p;
+  p.grid = era5_grid();
+  p.num_steps = 30295;  // 83 years daily
+  p.band_limit = 360;
+  p.num_ensembles = 1;
+  const double one = storage_report(p).savings_ratio;
+  p.num_ensembles = 50;
+  const double fifty = storage_report(p).savings_ratio;
+  EXPECT_NEAR(fifty / one, 50.0, 1e-6);
+}
+
+TEST(StorageModel, FormatBytesIsHumanReadable) {
+  EXPECT_EQ(format_bytes(1.5e3), "1.50 KB");
+  EXPECT_EQ(format_bytes(2e15), "2.00 PB");
+  EXPECT_EQ(format_bytes(28e15), "28.00 PB");
+}
+
+TEST(StorageModel, ArchiveReferencesPresent) {
+  // CMIP3/5/6 context rows from the paper's introduction.
+  bool found_cmip6 = false;
+  for (const auto& ref : kArchiveSizes) {
+    if (std::string(ref.name) == "CMIP6 (ESGF)") {
+      found_cmip6 = true;
+      EXPECT_DOUBLE_EQ(ref.bytes, 28e15);
+    }
+  }
+  EXPECT_TRUE(found_cmip6);
+}
+
+}  // namespace

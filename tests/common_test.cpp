@@ -1,0 +1,338 @@
+// Tests for common/: half precision, RNG, math helpers, IO, parallel_for.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/half.hpp"
+#include "common/io.hpp"
+#include "common/math.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+
+namespace {
+
+using namespace exaclim;
+using common::half;
+
+// ---------- half ------------------------------------------------------------
+
+TEST(Half, ExactSmallIntegersRoundTrip) {
+  for (int i = -2048; i <= 2048; ++i) {
+    const half h(static_cast<float>(i));
+    EXPECT_EQ(static_cast<float>(h), static_cast<float>(i)) << i;
+  }
+}
+
+TEST(Half, PowersOfTwoRoundTrip) {
+  for (int e = -14; e <= 15; ++e) {
+    const float v = std::ldexp(1.0f, e);
+    EXPECT_EQ(static_cast<float>(half(v)), v) << e;
+  }
+}
+
+TEST(Half, SubnormalsRepresentable) {
+  const float smallest = std::ldexp(1.0f, -24);  // 2^-24, smallest subnormal
+  EXPECT_EQ(static_cast<float>(half(smallest)), smallest);
+  EXPECT_EQ(static_cast<float>(half(smallest / 4.0f)), 0.0f);
+}
+
+TEST(Half, OverflowGoesToInfinity) {
+  EXPECT_TRUE(std::isinf(static_cast<float>(half(1e6f))));
+  EXPECT_TRUE(std::isinf(static_cast<float>(half(-1e6f))));
+  EXPECT_LT(static_cast<float>(half(-1e6f)), 0.0f);
+}
+
+TEST(Half, MaxFiniteValuePreserved) {
+  EXPECT_EQ(static_cast<float>(half(common::kHalfMax)), common::kHalfMax);
+}
+
+TEST(Half, NanPropagates) {
+  EXPECT_TRUE(std::isnan(static_cast<float>(half(std::nanf("")))));
+}
+
+TEST(Half, SignedZeroPreserved) {
+  EXPECT_EQ(half(0.0f).bits(), 0u);
+  EXPECT_EQ(half(-0.0f).bits(), 0x8000u);
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + eps/2 rounds to 1 (even); 1 + 3*eps/2 rounds to 1 + 2*eps? No:
+  // 1+3eps/2 rounds to nearest = 1+eps... construct exact ties instead.
+  const float one_plus_half_ulp = 1.0f + common::kHalfEps / 2.0f;
+  EXPECT_EQ(static_cast<float>(half(one_plus_half_ulp)), 1.0f);
+  const float odd = 1.0f + common::kHalfEps;  // odd mantissa
+  const float tie_up = odd + common::kHalfEps / 2.0f;
+  EXPECT_EQ(static_cast<float>(half(tie_up)), 1.0f + 2.0f * common::kHalfEps);
+}
+
+TEST(Half, RelativeErrorBoundedByEps) {
+  common::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = static_cast<float>(rng.uniform(-1000.0, 1000.0));
+    const float back = static_cast<float>(half(v));
+    if (std::abs(v) >= common::kHalfMinNormal) {
+      // Round-to-nearest error is at most the unit roundoff (2^-11) times |v|.
+      EXPECT_LE(std::abs(back - v), common::kHalfEps * std::abs(v) * 1.0001f)
+          << v;
+    }
+  }
+}
+
+TEST(Half, AllBitPatternsRoundTripThroughFloat) {
+  // Every finite half value must convert to float and back bit-exactly.
+  for (std::uint32_t bits = 0; bits <= 0xFFFF; ++bits) {
+    const auto h = half::from_bits(static_cast<std::uint16_t>(bits));
+    const float f = static_cast<float>(h);
+    if (std::isnan(f)) continue;
+    EXPECT_EQ(half(f).bits(), h.bits()) << bits;
+  }
+}
+
+// ---------- rng -------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  common::Rng a(123);
+  common::Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  common::Rng a(1);
+  common::Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  common::Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMomentsMatch) {
+  common::Rng rng(11);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum2 += u * u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+  EXPECT_NEAR(sum2 / n - 0.25, 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  common::Rng rng(13);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  double sum3 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum2 += z * z;
+    sum3 += z * z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+  EXPECT_NEAR(sum3 / n, 0.0, 0.08);  // skewness
+}
+
+TEST(Rng, NormalScaling) {
+  common::Rng rng(17);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, UniformU64Unbiased) {
+  common::Rng rng(19);
+  std::vector<int> counts(7, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_u64(7)];
+  for (int c : counts) EXPECT_NEAR(c, n / 7, 600);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  common::Rng base(42);
+  common::Rng s1 = base.split(1);
+  common::Rng s2 = base.split(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (s1.next_u64() == s2.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  common::Rng a(42);
+  common::Rng b(42);
+  common::Rng sa = a.split(9);
+  common::Rng sb = b.split(9);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(sa.next_u64(), sb.next_u64());
+}
+
+// ---------- math ------------------------------------------------------------
+
+TEST(MathHelpers, LogFactorialExactSmall) {
+  EXPECT_DOUBLE_EQ(common::log_factorial(0), 0.0);
+  EXPECT_DOUBLE_EQ(common::log_factorial(1), 0.0);
+  EXPECT_NEAR(common::log_factorial(5), std::log(120.0), 1e-12);
+  EXPECT_NEAR(common::log_factorial(10), std::log(3628800.0), 1e-12);
+}
+
+TEST(MathHelpers, LogFactorialMatchesLgammaLarge) {
+  for (index_t n : {100, 1000, 4096, 5000, 20000}) {
+    EXPECT_NEAR(common::log_factorial(n), std::lgamma(n + 1.0),
+                1e-8 * std::lgamma(n + 1.0));
+  }
+}
+
+TEST(MathHelpers, LogBinomialExact) {
+  EXPECT_NEAR(common::log_binomial(10, 3), std::log(120.0), 1e-12);
+  EXPECT_NEAR(common::log_binomial(52, 5), std::log(2598960.0), 1e-10);
+  EXPECT_DOUBLE_EQ(common::log_binomial(7, 0), 0.0);
+  EXPECT_DOUBLE_EQ(common::log_binomial(7, 7), 0.0);
+}
+
+TEST(MathHelpers, LogFactorialRejectsNegative) {
+  EXPECT_THROW(common::log_factorial(-1), InvalidArgument);
+}
+
+TEST(MathHelpers, KahanSumAccurate) {
+  std::vector<double> v(100000, 0.1);
+  EXPECT_NEAR(common::kahan_sum(v), 10000.0, 1e-9);
+}
+
+TEST(MathHelpers, RelL2Error) {
+  EXPECT_DOUBLE_EQ(common::rel_l2_error({1, 2}, {1, 2}), 0.0);
+  EXPECT_NEAR(common::rel_l2_error({1.1, 2.0}, {1.0, 2.0}),
+              0.1 / std::sqrt(5.0), 1e-12);
+}
+
+TEST(MathHelpers, NextPow2) {
+  EXPECT_EQ(common::next_pow2(1), 1);
+  EXPECT_EQ(common::next_pow2(2), 2);
+  EXPECT_EQ(common::next_pow2(3), 4);
+  EXPECT_EQ(common::next_pow2(1000), 1024);
+  EXPECT_TRUE(common::is_pow2(64));
+  EXPECT_FALSE(common::is_pow2(65));
+  EXPECT_FALSE(common::is_pow2(0));
+}
+
+// ---------- io --------------------------------------------------------------
+
+TEST(Io, CsvWritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/exaclim_test.csv";
+  common::write_csv(path, {"a", "b"}, {{1.5, 2.5}, {3.0, 4.0}});
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.5,2.5");
+  std::filesystem::remove(path);
+}
+
+TEST(Io, CsvRejectsRaggedRows) {
+  const std::string path = ::testing::TempDir() + "/exaclim_ragged.csv";
+  EXPECT_THROW(common::write_csv(path, {"a", "b"}, {{1.0}}), InvalidArgument);
+  std::filesystem::remove(path);
+}
+
+TEST(Io, PgmRoundTripHeader) {
+  const std::string path = ::testing::TempDir() + "/exaclim_test.pgm";
+  common::write_pgm(path, {0.0, 1.0, 2.0, 3.0, 4.0, 5.0}, 2, 3);
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  in >> magic;
+  EXPECT_EQ(magic, "P5");
+  int w = 0;
+  int h = 0;
+  in >> w >> h;
+  EXPECT_EQ(w, 3);
+  EXPECT_EQ(h, 2);
+  std::filesystem::remove(path);
+}
+
+TEST(Io, PgmRejectsBadSize) {
+  EXPECT_THROW(common::write_pgm("/tmp/x.pgm", {1.0, 2.0}, 2, 3),
+               InvalidArgument);
+}
+
+// ---------- parallel_for ----------------------------------------------------
+
+class ParallelForThreads : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParallelForThreads, CoversEveryIndexExactlyOnce) {
+  const unsigned threads = GetParam();
+  std::vector<std::atomic<int>> hits(1000);
+  common::parallel_for(0, 1000, [&](index_t i) { ++hits[static_cast<std::size_t>(i)]; },
+                       threads);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(ParallelForThreads, SumMatchesSerial) {
+  const unsigned threads = GetParam();
+  std::atomic<long long> sum{0};
+  common::parallel_for(10, 5000, [&](index_t i) { sum += i; }, threads);
+  long long expect = 0;
+  for (index_t i = 10; i < 5000; ++i) expect += i;
+  EXPECT_EQ(sum.load(), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ParallelForThreads,
+                         ::testing::Values(1u, 2u, 3u, 8u, 24u, 64u));
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool touched = false;
+  common::parallel_for(5, 5, [&](index_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(common::parallel_for(0, 100,
+                                    [&](index_t i) {
+                                      if (i == 37) throw std::runtime_error("boom");
+                                    },
+                                    4),
+               std::runtime_error);
+}
+
+TEST(Timer, MeasuresElapsed) {
+  common::Timer t;
+  volatile double x = 0.0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_GE(t.milliseconds(), t.seconds() * 1000.0 * 0.99);
+}
+
+// ---------- error machinery --------------------------------------------------
+
+TEST(Error, CheckMacroThrowsWithContext) {
+  try {
+    EXACLIM_CHECK(1 == 2, "math is broken");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math is broken"), std::string::npos);
+  }
+}
+
+TEST(Error, NumericCheckThrowsNumericalError) {
+  EXPECT_THROW(EXACLIM_NUMERIC_CHECK(false, "pivot"), NumericalError);
+}
+
+}  // namespace

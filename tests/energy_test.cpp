@@ -1,0 +1,90 @@
+// Tests for perfmodel/energy: the sustainability side of mixed precision.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "perfmodel/energy.hpp"
+
+namespace {
+
+using namespace exaclim;
+using namespace exaclim::perfmodel;
+using linalg::PrecisionVariant;
+
+SimResult run(const MachineSpec& machine, index_t nodes, double n,
+              PrecisionVariant v) {
+  SimConfig cfg;
+  cfg.machine = machine;
+  cfg.nodes = nodes;
+  cfg.matrix_size = n;
+  cfg.tile_size = 2048;
+  cfg.variant = v;
+  return simulate_cholesky(cfg);
+}
+
+TEST(Energy, ModelsExistForAllMachines) {
+  for (const auto& m : {summit(), frontier(), alps(), leonardo()}) {
+    const EnergyModel e = energy_model_for(m);
+    EXPECT_GT(e.gpu_busy_watts, e.gpu_idle_watts) << m.name;
+    EXPECT_GT(e.gpu_idle_watts, 0.0) << m.name;
+  }
+}
+
+TEST(Energy, ComponentsSumToTotal) {
+  const auto machine = summit();
+  const auto result = run(machine, 2048, 8.39e6, PrecisionVariant::DP);
+  const auto energy = estimate_energy(machine, 2048, result);
+  EXPECT_NEAR(energy.total_megajoules,
+              energy.compute_megajoules + energy.idle_megajoules +
+                  energy.network_megajoules,
+              1e-9);
+  EXPECT_GT(energy.total_megajoules, 0.0);
+  EXPECT_GT(energy.gflops_per_watt, 0.0);
+}
+
+TEST(Energy, MixedPrecisionUsesLessEnergyThanDp) {
+  // The "sustainable swim lane" claim: same factorization, less energy in
+  // DP/HP because it finishes much faster at similar power.
+  const auto machine = summit();
+  const auto dp = run(machine, 2048, 8.39e6, PrecisionVariant::DP);
+  const auto hp = run(machine, 2048, 8.39e6, PrecisionVariant::DP_HP);
+  const auto e_dp = estimate_energy(machine, 2048, dp);
+  const auto e_hp = estimate_energy(machine, 2048, hp);
+  EXPECT_LT(e_hp.total_megajoules, e_dp.total_megajoules);
+  EXPECT_GT(e_dp.total_megajoules / e_hp.total_megajoules, 2.0);
+  EXPECT_GT(e_hp.gflops_per_watt, e_dp.gflops_per_watt);
+}
+
+TEST(Energy, EfficiencyOrderingAcrossVariants) {
+  const auto machine = frontier();
+  double prev = 0.0;
+  for (PrecisionVariant v :
+       {PrecisionVariant::DP, PrecisionVariant::DP_SP, PrecisionVariant::DP_HP}) {
+    const auto result = run(machine, 1024, 8.39e6, v);
+    const auto energy = estimate_energy(machine, 1024, result);
+    EXPECT_GT(energy.gflops_per_watt, prev) << linalg::variant_name(v);
+    prev = energy.gflops_per_watt;
+  }
+}
+
+TEST(Energy, IdleEnergyGrowsWhenCommBound) {
+  // Strong-scaling a small problem onto many nodes leaves GPUs idle waiting
+  // on communication: idle energy share must grow.
+  const auto machine = summit();
+  const double n = 2.0e6;
+  const auto small = run(machine, 128, n, PrecisionVariant::DP_HP);
+  const auto large = run(machine, 2048, n, PrecisionVariant::DP_HP);
+  const auto e_small = estimate_energy(machine, 128, small);
+  const auto e_large = estimate_energy(machine, 2048, large);
+  const double idle_share_small =
+      e_small.idle_megajoules / e_small.total_megajoules;
+  const double idle_share_large =
+      e_large.idle_megajoules / e_large.total_megajoules;
+  EXPECT_GT(idle_share_large, idle_share_small);
+}
+
+TEST(Energy, RejectsUnsimulatedResult) {
+  SimResult empty;
+  EXPECT_THROW(estimate_energy(summit(), 1, empty), InvalidArgument);
+}
+
+}  // namespace

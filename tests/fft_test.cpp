@@ -1,0 +1,168 @@
+// Tests for fft/: radix-2 and Bluestein transforms against the naive DFT.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "fft/fft.hpp"
+
+namespace {
+
+using namespace exaclim;
+
+std::vector<cplx> random_signal(index_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<cplx> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = {rng.normal(), rng.normal()};
+  return x;
+}
+
+double max_abs_diff(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+class FftSizes : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(FftSizes, ForwardMatchesNaiveDft) {
+  const index_t n = GetParam();
+  auto x = random_signal(n, 100 + static_cast<std::uint64_t>(n));
+  const auto expect = fft::dft_reference(x, false);
+  fft::forward(x);
+  EXPECT_LT(max_abs_diff(x, expect), 1e-9 * std::sqrt(static_cast<double>(n)))
+      << "n=" << n;
+}
+
+TEST_P(FftSizes, InverseMatchesNaiveDft) {
+  const index_t n = GetParam();
+  auto x = random_signal(n, 200 + static_cast<std::uint64_t>(n));
+  const auto expect = fft::dft_reference(x, true);
+  fft::inverse(x);
+  EXPECT_LT(max_abs_diff(x, expect), 1e-9) << "n=" << n;
+}
+
+TEST_P(FftSizes, RoundTripIsIdentity) {
+  const index_t n = GetParam();
+  const auto original = random_signal(n, 300 + static_cast<std::uint64_t>(n));
+  auto x = original;
+  fft::forward(x);
+  fft::inverse(x);
+  EXPECT_LT(max_abs_diff(x, original), 1e-10) << "n=" << n;
+}
+
+TEST_P(FftSizes, ParsevalHolds) {
+  const index_t n = GetParam();
+  auto x = random_signal(n, 400 + static_cast<std::uint64_t>(n));
+  double time_energy = 0.0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  fft::forward(x);
+  double freq_energy = 0.0;
+  for (const auto& v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-8 * time_energy);
+}
+
+// Powers of two (radix-2 path), primes and composites (Bluestein path), and
+// the actual SHT-relevant lengths: 1440 (ERA5 longitudes), 2 * 721 - 2 = 1440
+// colatitude extension, plus odd lengths.
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FftSizes,
+    ::testing::Values<index_t>(1, 2, 3, 4, 5, 7, 8, 11, 13, 16, 17, 31, 32,
+                               45, 64, 97, 100, 128, 210, 256, 360, 719, 720,
+                               1024, 1440));
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<cplx> x(64, cplx{0.0, 0.0});
+  x[0] = {1.0, 0.0};
+  fft::forward(x);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const index_t n = 48;
+  const index_t k0 = 5;
+  std::vector<cplx> x(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    const double ang = kTwoPi * static_cast<double>(k0 * j) / static_cast<double>(n);
+    x[static_cast<std::size_t>(j)] = {std::cos(ang), std::sin(ang)};
+  }
+  fft::forward(x);
+  for (index_t k = 0; k < n; ++k) {
+    const double mag = std::abs(x[static_cast<std::size_t>(k)]);
+    if (k == k0) {
+      EXPECT_NEAR(mag, static_cast<double>(n), 1e-9);
+    } else {
+      EXPECT_NEAR(mag, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fft, LinearityHolds) {
+  const index_t n = 37;
+  auto x = random_signal(n, 1);
+  auto y = random_signal(n, 2);
+  std::vector<cplx> z(static_cast<std::size_t>(n));
+  const cplx a{2.0, -1.0};
+  const cplx b{0.5, 3.0};
+  for (index_t i = 0; i < n; ++i) {
+    z[static_cast<std::size_t>(i)] = a * x[static_cast<std::size_t>(i)] +
+                                     b * y[static_cast<std::size_t>(i)];
+  }
+  fft::forward(x);
+  fft::forward(y);
+  fft::forward(z);
+  for (index_t i = 0; i < n; ++i) {
+    const cplx expect = a * x[static_cast<std::size_t>(i)] +
+                        b * y[static_cast<std::size_t>(i)];
+    EXPECT_LT(std::abs(z[static_cast<std::size_t>(i)] - expect), 1e-9);
+  }
+}
+
+TEST(Fft, PlanIsReusable) {
+  const auto plan = fft::get_plan(60);
+  EXPECT_EQ(plan->size(), 60);
+  auto x = random_signal(60, 9);
+  auto y = x;
+  plan->forward(x.data());
+  plan->forward(y.data());
+  EXPECT_EQ(max_abs_diff(x, y), 0.0);  // identical runs, identical results
+}
+
+TEST(Fft, PlanCacheReturnsSameObject) {
+  const auto a = fft::get_plan(123);
+  const auto b = fft::get_plan(123);
+  EXPECT_EQ(a.get(), b.get());
+}
+
+TEST(Fft, RejectsZeroLength) {
+  EXPECT_THROW(fft::Plan(0), InvalidArgument);
+}
+
+TEST(Fft, LengthOneIsIdentity) {
+  std::vector<cplx> x = {cplx{3.5, -2.0}};
+  fft::forward(x);
+  EXPECT_EQ(x[0], (cplx{3.5, -2.0}));
+  fft::inverse(x);
+  EXPECT_EQ(x[0], (cplx{3.5, -2.0}));
+}
+
+TEST(Fft, RealInputHasConjugateSymmetry) {
+  const index_t n = 30;
+  common::Rng rng(77);
+  std::vector<cplx> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = {rng.normal(), 0.0};
+  fft::forward(x);
+  for (index_t k = 1; k < n; ++k) {
+    const cplx expect = std::conj(x[static_cast<std::size_t>(n - k)]);
+    EXPECT_LT(std::abs(x[static_cast<std::size_t>(k)] - expect), 1e-10);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,250 @@
+// Tests for linalg/kernels: per-precision BLAS3 tile kernels and conversions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/kernels.hpp"
+
+namespace {
+
+using namespace exaclim;
+using namespace exaclim::linalg;
+
+template <typename T>
+std::vector<T> random_vec(index_t n, std::uint64_t seed, double scale = 1.0) {
+  common::Rng rng(seed);
+  std::vector<T> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<T>(rng.normal(0.0, scale));
+  return v;
+}
+
+TEST(Kernels, PrecisionNamesAndBytes) {
+  EXPECT_EQ(precision_name(Precision::FP64), "DP");
+  EXPECT_EQ(precision_name(Precision::FP32), "SP");
+  EXPECT_EQ(precision_name(Precision::FP16), "HP");
+  EXPECT_EQ(precision_bytes(Precision::FP64), 8u);
+  EXPECT_EQ(precision_bytes(Precision::FP32), 4u);
+  EXPECT_EQ(precision_bytes(Precision::FP16), 2u);
+}
+
+TEST(Kernels, GemmMatchesNaiveF64) {
+  const index_t m = 13;
+  const index_t n = 9;
+  const index_t k = 17;
+  auto a = random_vec<double>(m * k, 1);
+  auto b = random_vec<double>(n * k, 2);
+  auto c = random_vec<double>(m * n, 3);
+  auto expect = c;
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (index_t p = 0; p < k; ++p) {
+        acc += a[static_cast<std::size_t>(i * k + p)] *
+               b[static_cast<std::size_t>(j * k + p)];
+      }
+      expect[static_cast<std::size_t>(i * n + j)] -= acc;
+    }
+  }
+  gemm_nt_minus_f64(a.data(), b.data(), c.data(), m, n, k);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], expect[i], 1e-12);
+  }
+}
+
+TEST(Kernels, GemmF32MatchesF64Loosely) {
+  const index_t m = 24;
+  const index_t n = 24;
+  const index_t k = 24;
+  auto a64 = random_vec<double>(m * k, 4);
+  auto b64 = random_vec<double>(n * k, 5);
+  std::vector<double> c64(static_cast<std::size_t>(m * n), 0.0);
+  std::vector<float> a32(a64.begin(), a64.end());
+  std::vector<float> b32(b64.begin(), b64.end());
+  std::vector<float> c32(static_cast<std::size_t>(m * n), 0.0f);
+  gemm_nt_minus_f64(a64.data(), b64.data(), c64.data(), m, n, k);
+  gemm_nt_minus_f32(a32.data(), b32.data(), c32.data(), m, n, k);
+  for (std::size_t i = 0; i < c64.size(); ++i) {
+    EXPECT_NEAR(c32[i], c64[i], 1e-4 * (std::abs(c64[i]) + 1.0));
+  }
+}
+
+TEST(Kernels, GemmHandlesRemainderColumns) {
+  // n not divisible by 4 exercises the tail loop.
+  for (index_t n : {1, 2, 3, 5, 6, 7}) {
+    const index_t m = 4;
+    const index_t k = 8;
+    auto a = random_vec<double>(m * k, 10 + static_cast<std::uint64_t>(n));
+    auto b = random_vec<double>(n * k, 20 + static_cast<std::uint64_t>(n));
+    std::vector<double> c1(static_cast<std::size_t>(m * n), 0.0);
+    auto c2 = c1;
+    gemm_nt_minus_f64(a.data(), b.data(), c1.data(), m, n, k);
+    for (index_t i = 0; i < m; ++i) {
+      for (index_t j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (index_t p = 0; p < k; ++p) {
+          acc += a[static_cast<std::size_t>(i * k + p)] *
+                 b[static_cast<std::size_t>(j * k + p)];
+        }
+        c2[static_cast<std::size_t>(i * n + j)] -= acc;
+      }
+    }
+    for (std::size_t i = 0; i < c1.size(); ++i) EXPECT_NEAR(c1[i], c2[i], 1e-12);
+  }
+}
+
+TEST(Kernels, SyrkUpdatesLowerTriangleOnly) {
+  const index_t m = 11;
+  const index_t k = 7;
+  auto a = random_vec<double>(m * k, 6);
+  std::vector<double> c(static_cast<std::size_t>(m * m), 5.0);
+  syrk_ln_minus_f64(a.data(), c.data(), m, k);
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < m; ++j) {
+      if (j > i) {
+        EXPECT_EQ(c[static_cast<std::size_t>(i * m + j)], 5.0);  // untouched
+      } else {
+        double acc = 0.0;
+        for (index_t p = 0; p < k; ++p) {
+          acc += a[static_cast<std::size_t>(i * k + p)] *
+                 a[static_cast<std::size_t>(j * k + p)];
+        }
+        EXPECT_NEAR(c[static_cast<std::size_t>(i * m + j)], 5.0 - acc, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Kernels, PotrfFactorsSpdTile) {
+  const index_t n = 16;
+  // Build SPD: A = B B^T + n I.
+  auto b = random_vec<double>(n * n, 8);
+  std::vector<double> a(static_cast<std::size_t>(n * n), 0.0);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      double acc = (i == j) ? static_cast<double>(n) : 0.0;
+      for (index_t p = 0; p < n; ++p) {
+        acc += b[static_cast<std::size_t>(i * n + p)] *
+               b[static_cast<std::size_t>(j * n + p)];
+      }
+      a[static_cast<std::size_t>(i * n + j)] = acc;
+    }
+  }
+  auto original = a;
+  potrf_lower_f64(a.data(), n);
+  // Check L L^T == A on the lower triangle.
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j <= i; ++j) {
+      double acc = 0.0;
+      for (index_t p = 0; p <= j; ++p) {
+        acc += a[static_cast<std::size_t>(i * n + p)] *
+               a[static_cast<std::size_t>(j * n + p)];
+      }
+      EXPECT_NEAR(acc, original[static_cast<std::size_t>(i * n + j)], 1e-9);
+    }
+  }
+}
+
+TEST(Kernels, PotrfThrowsOnIndefiniteTile) {
+  std::vector<double> a = {1.0, 2.0, 2.0, 1.0};  // eigenvalues 3, -1
+  EXPECT_THROW(potrf_lower_f64(a.data(), 2), NumericalError);
+}
+
+TEST(Kernels, TrsmSolvesRightLowerTranspose) {
+  const index_t n = 8;
+  const index_t m = 5;
+  // L: unit-ish lower triangular.
+  std::vector<double> l(static_cast<std::size_t>(n * n), 0.0);
+  common::Rng rng(9);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < i; ++j) {
+      l[static_cast<std::size_t>(i * n + j)] = rng.normal() * 0.3;
+    }
+    l[static_cast<std::size_t>(i * n + i)] = 2.0 + rng.uniform();
+  }
+  auto x_true = random_vec<double>(m * n, 10);
+  // B = X * L^T.
+  std::vector<double> b(static_cast<std::size_t>(m * n), 0.0);
+  for (index_t r = 0; r < m; ++r) {
+    for (index_t j = 0; j < n; ++j) {
+      // B = X L^T => B(r,j) = sum_p X(r,p) * L(j,p), p <= j (L lower).
+      double acc = 0.0;
+      for (index_t p = 0; p <= j; ++p) {
+        acc += x_true[static_cast<std::size_t>(r * n + p)] *
+               l[static_cast<std::size_t>(j * n + p)];
+      }
+      b[static_cast<std::size_t>(r * n + j)] = acc;
+    }
+  }
+  trsm_rlt_f64(l.data(), b.data(), m, n);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_NEAR(b[i], x_true[i], 1e-9);
+  }
+}
+
+TEST(Kernels, TrsmThrowsOnSingularPivot) {
+  std::vector<double> l = {0.0};
+  std::vector<double> b = {1.0};
+  EXPECT_THROW(trsm_rlt_f64(l.data(), b.data(), 1, 1), NumericalError);
+}
+
+TEST(Kernels, ConversionRoundTripF32) {
+  auto src = random_vec<double>(100, 11);
+  std::vector<float> mid(100);
+  std::vector<double> back(100);
+  convert_f64_to_f32(src.data(), mid.data(), 100);
+  convert_f32_to_f64(mid.data(), back.data(), 100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_NEAR(back[i], src[i], 1e-6 * std::abs(src[i]) + 1e-7);
+  }
+}
+
+TEST(Kernels, ConversionRoundTripF16) {
+  auto src = random_vec<double>(100, 12);
+  std::vector<common::half> mid(100);
+  std::vector<double> back(100);
+  convert_f64_to_f16(src.data(), mid.data(), 100);
+  convert_f16_to_f64(mid.data(), back.data(), 100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_NEAR(back[i], src[i], 6e-4 * std::abs(src[i]) + 1e-4);
+  }
+}
+
+TEST(Kernels, RoundThroughF16IsIdempotent) {
+  auto srcd = random_vec<double>(64, 13);
+  std::vector<float> a(srcd.begin(), srcd.end());
+  auto b = a;
+  round_through_f16(a.data(), 64);
+  auto once = a;
+  round_through_f16(a.data(), 64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(a[i], once[i]);  // second rounding changes nothing
+    EXPECT_NE(precision_bytes(Precision::FP16), 0u);
+    (void)b;
+  }
+}
+
+TEST(Kernels, TensorCoreSemanticsLoseExpectedAccuracy) {
+  // fp16-rounded operands + fp32 accumulate: error ~ kHalfEps relative, far
+  // above fp32 eps — this is what the DP/HP residual ordering rests on.
+  const index_t n = 32;
+  auto a64 = random_vec<double>(n * n, 14);
+  std::vector<float> exact(a64.begin(), a64.end());
+  auto rounded = exact;
+  round_through_f16(rounded.data(), n * n);
+  std::vector<float> c_exact(static_cast<std::size_t>(n * n), 0.0f);
+  std::vector<float> c_rounded(static_cast<std::size_t>(n * n), 0.0f);
+  gemm_nt_minus_f32(exact.data(), exact.data(), c_exact.data(), n, n, n);
+  gemm_nt_minus_f32(rounded.data(), rounded.data(), c_rounded.data(), n, n, n);
+  double max_rel = 0.0;
+  for (std::size_t i = 0; i < c_exact.size(); ++i) {
+    max_rel = std::max(
+        max_rel, std::abs(c_exact[i] - c_rounded[i]) /
+                     (std::abs(static_cast<double>(c_exact[i])) + 1.0));
+  }
+  EXPECT_GT(max_rel, 1e-5);  // visibly worse than fp32
+  EXPECT_LT(max_rel, 2e-2);  // but bounded by fp16 operand rounding
+}
+
+}  // namespace

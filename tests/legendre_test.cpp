@@ -1,0 +1,134 @@
+// Tests for sht/legendre: normalized associated Legendre functions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sht/legendre.hpp"
+
+namespace {
+
+using namespace exaclim;
+using namespace exaclim::sht;
+
+TEST(TriIndex, LayoutIsPacked) {
+  EXPECT_EQ(tri_index(0, 0), 0);
+  EXPECT_EQ(tri_index(1, 0), 1);
+  EXPECT_EQ(tri_index(1, 1), 2);
+  EXPECT_EQ(tri_index(2, 0), 3);
+  EXPECT_EQ(tri_count(4), 10);
+}
+
+TEST(Legendre, DegreeZeroIsConstant) {
+  std::vector<double> v;
+  for (double x : {-1.0, -0.5, 0.0, 0.3, 1.0}) {
+    legendre_all(1, x, v);
+    EXPECT_NEAR(v[0], std::sqrt(1.0 / (4.0 * kPi)), 1e-14);
+  }
+}
+
+TEST(Legendre, KnownLowDegreeValues) {
+  // Pbar_1^0(x) = sqrt(3/(4pi)) x ; Pbar_1^1 = -sqrt(3/(8pi)) sin(theta).
+  std::vector<double> v;
+  const double x = 0.37;
+  legendre_all(2, x, v);
+  EXPECT_NEAR(v[static_cast<std::size_t>(tri_index(1, 0))],
+              std::sqrt(3.0 / (4.0 * kPi)) * x, 1e-13);
+  EXPECT_NEAR(v[static_cast<std::size_t>(tri_index(1, 1))],
+              -std::sqrt(3.0 / (8.0 * kPi)) * std::sqrt(1.0 - x * x), 1e-13);
+}
+
+class LegendreArgs : public ::testing::TestWithParam<double> {};
+
+TEST_P(LegendreArgs, MatchesDirectOracle) {
+  const double x = GetParam();
+  std::vector<double> v;
+  const index_t L = 18;
+  legendre_all(L, x, v);
+  for (index_t l = 0; l < L; ++l) {
+    for (index_t m = 0; m <= l; ++m) {
+      EXPECT_NEAR(v[static_cast<std::size_t>(tri_index(l, m))],
+                  legendre_direct(l, m, x), 1e-9)
+          << "l=" << l << " m=" << m << " x=" << x;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LegendreArgs,
+                         ::testing::Values(-0.99, -0.7, -0.31, 0.0, 0.123, 0.5,
+                                           0.85, 0.999));
+
+TEST(Legendre, PolesAreFiniteAndOrderZeroOnly) {
+  std::vector<double> v;
+  legendre_all(8, 1.0, v);
+  for (index_t l = 0; l < 8; ++l) {
+    // At the pole, only m = 0 survives.
+    for (index_t m = 1; m <= l; ++m) {
+      EXPECT_EQ(v[static_cast<std::size_t>(tri_index(l, m))], 0.0);
+    }
+    EXPECT_TRUE(std::isfinite(v[static_cast<std::size_t>(tri_index(l, 0))]));
+  }
+}
+
+TEST(Legendre, OrthonormalityViaGaussianQuadratureProxy) {
+  // Use a dense trapezoid in theta: int_0^pi Pbar_l^m Pbar_l'^m sin = delta /
+  // (2 pi) (the 2 pi comes from the phi normalization folded into Ybar).
+  const index_t L = 8;
+  const index_t nq = 4000;
+  std::vector<std::vector<double>> rows(nq);
+  std::vector<double> weights(nq);
+  for (index_t q = 0; q < nq; ++q) {
+    const double theta = kPi * (static_cast<double>(q) + 0.5) / nq;
+    legendre_all(L, std::cos(theta), rows[static_cast<std::size_t>(q)]);
+    weights[static_cast<std::size_t>(q)] = std::sin(theta) * kPi / nq;
+  }
+  for (index_t m = 0; m < 3; ++m) {
+    for (index_t l1 = m; l1 < L; ++l1) {
+      for (index_t l2 = m; l2 < L; ++l2) {
+        double acc = 0.0;
+        for (index_t q = 0; q < nq; ++q) {
+          acc += rows[static_cast<std::size_t>(q)]
+                     [static_cast<std::size_t>(tri_index(l1, m))] *
+                 rows[static_cast<std::size_t>(q)]
+                     [static_cast<std::size_t>(tri_index(l2, m))] *
+                 weights[static_cast<std::size_t>(q)];
+        }
+        const double expect = (l1 == l2) ? 1.0 / (2.0 * kPi) : 0.0;
+        EXPECT_NEAR(acc, expect, 2e-5) << "m=" << m << " l1=" << l1 << " l2=" << l2;
+      }
+    }
+  }
+}
+
+TEST(Legendre, StableAtHighDegree) {
+  std::vector<double> v;
+  legendre_all(512, 0.3, v);
+  for (double value : v) {
+    EXPECT_TRUE(std::isfinite(value));
+    EXPECT_LT(std::abs(value), 1e3);  // normalized values stay modest
+  }
+}
+
+TEST(Legendre, TableMatchesPointEvaluation) {
+  std::vector<double> colats = {0.1, 0.5, 1.0, 2.0, 3.0};
+  LegendreTable table(10, colats);
+  EXPECT_EQ(table.num_theta(), 5);
+  std::vector<double> direct;
+  for (index_t i = 0; i < 5; ++i) {
+    legendre_all(10, std::cos(colats[static_cast<std::size_t>(i)]), direct);
+    for (index_t l = 0; l < 10; ++l) {
+      for (index_t m = 0; m <= l; ++m) {
+        EXPECT_DOUBLE_EQ(table.value(i, l, m),
+                         direct[static_cast<std::size_t>(tri_index(l, m))]);
+      }
+    }
+  }
+}
+
+TEST(Legendre, RejectsOutOfRangeArgument) {
+  std::vector<double> v;
+  EXPECT_THROW(legendre_all(4, 1.5, v), InvalidArgument);
+  EXPECT_THROW(legendre_all(0, 0.5, v), InvalidArgument);
+}
+
+}  // namespace

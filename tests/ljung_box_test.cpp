@@ -1,0 +1,126 @@
+// Tests for stats/ljung_box: chi-square tail and the whiteness test, plus
+// its integration with the AR(P) model-order choice.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "stats/ar.hpp"
+#include "stats/ljung_box.hpp"
+
+namespace {
+
+using namespace exaclim;
+using namespace exaclim::stats;
+
+TEST(ChiSquareSf, KnownValues) {
+  // chi2 with 1 dof: P(X > 3.841) = 0.05; 2 dof: P(X > 5.991) = 0.05;
+  // 10 dof: P(X > 18.307) = 0.05.
+  EXPECT_NEAR(chi_square_sf(3.841, 1.0), 0.05, 2e-3);
+  EXPECT_NEAR(chi_square_sf(5.991, 2.0), 0.05, 2e-3);
+  EXPECT_NEAR(chi_square_sf(18.307, 10.0), 0.05, 2e-3);
+  // Median of chi2_2 is 2 ln 2.
+  EXPECT_NEAR(chi_square_sf(2.0 * std::log(2.0), 2.0), 0.5, 1e-6);
+}
+
+TEST(ChiSquareSf, Boundaries) {
+  EXPECT_DOUBLE_EQ(chi_square_sf(0.0, 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(chi_square_sf(-1.0, 3.0), 1.0);
+  EXPECT_LT(chi_square_sf(1000.0, 3.0), 1e-10);
+  EXPECT_THROW(chi_square_sf(1.0, 0.0), InvalidArgument);
+}
+
+TEST(ChiSquareSf, MonotoneInX) {
+  double prev = 1.0;
+  for (double x = 0.5; x < 30.0; x += 0.5) {
+    const double p = chi_square_sf(x, 5.0);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(LjungBox, WhiteNoiseIsWhite) {
+  common::Rng rng(1);
+  std::vector<double> white(20000);
+  for (auto& v : white) v = rng.normal();
+  const auto result = ljung_box(white, 10);
+  EXPECT_TRUE(result.white());
+  EXPECT_GT(result.p_value, 0.05);
+}
+
+TEST(LjungBox, Ar1ResidualOfWrongOrderIsNotWhite) {
+  common::Rng rng(2);
+  const index_t n = 20000;
+  std::vector<double> y(static_cast<std::size_t>(n), 0.0);
+  for (index_t t = 1; t < n; ++t) {
+    y[static_cast<std::size_t>(t)] =
+        0.6 * y[static_cast<std::size_t>(t - 1)] + rng.normal();
+  }
+  // Raw AR(1) series itself: strongly autocorrelated -> rejected.
+  const auto raw = ljung_box(y, 10);
+  EXPECT_FALSE(raw.white());
+  EXPECT_LT(raw.p_value, 1e-6);
+  // Residuals of a correctly fitted AR(1): white.
+  const ArModel model = fit_ar(y, 1);
+  const auto resid = ar_residuals(model, y);
+  const auto fitted = ljung_box(resid, 10, 1);
+  EXPECT_TRUE(fitted.white());
+}
+
+TEST(LjungBox, DetectsUnderfittedArOrder) {
+  // AR(3) data fit with AR(1): leftover structure -> rejected; fit with
+  // AR(3): white. This is the P-selection diagnostic for the emulator's VAR.
+  common::Rng rng(3);
+  const index_t n = 50000;
+  std::vector<double> y(static_cast<std::size_t>(n), 0.0);
+  for (index_t t = 3; t < n; ++t) {
+    y[static_cast<std::size_t>(t)] = 0.4 * y[static_cast<std::size_t>(t - 1)] -
+                                     0.35 * y[static_cast<std::size_t>(t - 2)] +
+                                     0.2 * y[static_cast<std::size_t>(t - 3)] +
+                                     rng.normal();
+  }
+  const ArModel under = fit_ar(y, 1);
+  const auto under_test = ljung_box(ar_residuals(under, y), 12, 1);
+  EXPECT_FALSE(under_test.white());
+
+  const ArModel right = fit_ar(y, 3);
+  const auto right_test = ljung_box(ar_residuals(right, y), 12, 3);
+  EXPECT_TRUE(right_test.white());
+}
+
+TEST(LjungBox, DofAccountsForFittedParams) {
+  common::Rng rng(4);
+  std::vector<double> white(5000);
+  for (auto& v : white) v = rng.normal();
+  const auto a = ljung_box(white, 10, 0);
+  const auto b = ljung_box(white, 10, 3);
+  EXPECT_EQ(a.dof, 10);
+  EXPECT_EQ(b.dof, 7);
+  EXPECT_DOUBLE_EQ(a.statistic, b.statistic);  // same Q, different dof
+}
+
+TEST(LjungBox, RejectsDegenerateInput) {
+  std::vector<double> tiny = {1.0, 2.0};
+  EXPECT_THROW(ljung_box(tiny, 5), InvalidArgument);
+  std::vector<double> ok(100, 0.0);
+  EXPECT_THROW(ljung_box(ok, 0), InvalidArgument);
+}
+
+TEST(LjungBox, FalsePositiveRateNearAlpha) {
+  // Across many independent white series, rejections at alpha = 0.05 should
+  // occur at roughly 5%.
+  common::Rng rng(5);
+  int rejections = 0;
+  const int trials = 400;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<double> white(800);
+    for (auto& v : white) v = rng.normal();
+    if (!ljung_box(white, 8).white()) ++rejections;
+  }
+  const double rate = static_cast<double>(rejections) / trials;
+  EXPECT_GT(rate, 0.005);
+  EXPECT_LT(rate, 0.12);
+}
+
+}  // namespace

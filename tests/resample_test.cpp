@@ -1,0 +1,178 @@
+// Tests for sht/resample: spectral up/downsampling between grids (the
+// paper's Section IV-A upscaling, done in the spectral basis).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sht/resample.hpp"
+
+namespace {
+
+using namespace exaclim;
+using namespace exaclim::sht;
+
+std::vector<cplx> random_coeffs(index_t band_limit, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<cplx> c(static_cast<std::size_t>(tri_count(band_limit)));
+  for (index_t l = 0; l < band_limit; ++l) {
+    c[static_cast<std::size_t>(tri_index(l, 0))] = {rng.normal(), 0.0};
+    for (index_t m = 1; m <= l; ++m) {
+      c[static_cast<std::size_t>(tri_index(l, m))] = {rng.normal(),
+                                                      rng.normal()};
+    }
+  }
+  return c;
+}
+
+TEST(ResampleCoefficients, ZeroPadsWhenGrowing) {
+  const auto src = random_coeffs(4, 1);
+  const auto dst = resample_coefficients(4, src, 8);
+  ASSERT_EQ(dst.size(), static_cast<std::size_t>(tri_count(8)));
+  for (index_t l = 0; l < 4; ++l) {
+    for (index_t m = 0; m <= l; ++m) {
+      EXPECT_EQ(dst[static_cast<std::size_t>(tri_index(l, m))],
+                src[static_cast<std::size_t>(tri_index(l, m))]);
+    }
+  }
+  for (index_t l = 4; l < 8; ++l) {
+    for (index_t m = 0; m <= l; ++m) {
+      EXPECT_EQ(dst[static_cast<std::size_t>(tri_index(l, m))], (cplx{0, 0}));
+    }
+  }
+}
+
+TEST(ResampleCoefficients, TruncatesWhenShrinking) {
+  const auto src = random_coeffs(8, 2);
+  const auto dst = resample_coefficients(8, src, 3);
+  ASSERT_EQ(dst.size(), static_cast<std::size_t>(tri_count(3)));
+  for (index_t l = 0; l < 3; ++l) {
+    for (index_t m = 0; m <= l; ++m) {
+      EXPECT_EQ(dst[static_cast<std::size_t>(tri_index(l, m))],
+                src[static_cast<std::size_t>(tri_index(l, m))]);
+    }
+  }
+}
+
+TEST(ResampleCoefficients, RejectsSizeMismatch) {
+  std::vector<cplx> wrong(5);
+  EXPECT_THROW(resample_coefficients(4, wrong, 8), InvalidArgument);
+}
+
+struct UpsampleCase {
+  index_t src_l;
+  index_t dst_l;
+};
+
+class Upsample : public ::testing::TestWithParam<UpsampleCase> {};
+
+TEST_P(Upsample, IsExactOnBandLimitedFields) {
+  // A band-limited field upsampled to a finer grid must agree exactly with
+  // direct synthesis of the same coefficients on that grid.
+  const auto [src_l, dst_l] = GetParam();
+  const GridShape src_grid{src_l + 1, 2 * src_l};
+  const auto coeffs = random_coeffs(src_l, 7);
+  const SHTPlan src_plan(src_l, src_grid);
+  const auto field = src_plan.synthesize(coeffs);
+
+  const auto up = upsample_to_band_limit(field, src_l, src_grid, dst_l);
+
+  const GridShape dst_grid{dst_l + 1, 2 * dst_l};
+  const SHTPlan dst_plan(dst_l, dst_grid);
+  const auto expect =
+      dst_plan.synthesize(resample_coefficients(src_l, coeffs, dst_l));
+  ASSERT_EQ(up.size(), expect.size());
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < up.size(); ++i) {
+    max_err = std::max(max_err, std::abs(up[i] - expect[i]));
+  }
+  EXPECT_LT(max_err, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Upsample,
+                         ::testing::Values(UpsampleCase{4, 8},
+                                           UpsampleCase{8, 16},
+                                           UpsampleCase{8, 32},
+                                           UpsampleCase{16, 24},
+                                           UpsampleCase{12, 48}));
+
+TEST(Upsample, PreservesValuesAtSharedLongitudes) {
+  // Doubling the band limit doubles grid density; even-index target rows/
+  // columns coincide with source points, where the field must match.
+  const index_t src_l = 8;
+  const GridShape src_grid{src_l + 1, 2 * src_l};
+  const auto coeffs = random_coeffs(src_l, 9);
+  const SHTPlan src_plan(src_l, src_grid);
+  const auto field = src_plan.synthesize(coeffs);
+  const auto up = upsample_to_band_limit(field, src_l, src_grid, 2 * src_l);
+  const GridShape dst_grid{2 * src_l + 1, 4 * src_l};
+  for (index_t i = 0; i < src_grid.nlat; ++i) {
+    for (index_t j = 0; j < src_grid.nlon; ++j) {
+      const double src_v = field[static_cast<std::size_t>(i * src_grid.nlon + j)];
+      const double dst_v =
+          up[static_cast<std::size_t>((2 * i) * dst_grid.nlon + 2 * j)];
+      EXPECT_NEAR(dst_v, src_v, 1e-9) << i << "," << j;
+    }
+  }
+}
+
+TEST(Downsample, IsL2Projection) {
+  // Downsampling a rich field keeps the low-degree coefficients untouched:
+  // re-analyzing the downsampled field recovers exactly those coefficients.
+  const index_t rich_l = 16;
+  const index_t coarse_l = 6;
+  const GridShape rich_grid{rich_l + 1, 2 * rich_l};
+  const auto coeffs = random_coeffs(rich_l, 11);
+  const SHTPlan rich_plan(rich_l, rich_grid);
+  const auto field = rich_plan.synthesize(coeffs);
+
+  const GridShape coarse_grid{coarse_l + 1, 2 * coarse_l};
+  const auto down =
+      resample_field(field, rich_l, rich_grid, coarse_l, coarse_grid);
+  const SHTPlan coarse_plan(coarse_l, coarse_grid);
+  const auto recovered = coarse_plan.analyze(down);
+  for (index_t l = 0; l < coarse_l; ++l) {
+    for (index_t m = 0; m <= l; ++m) {
+      EXPECT_LT(std::abs(recovered[static_cast<std::size_t>(tri_index(l, m))] -
+                         coeffs[static_cast<std::size_t>(tri_index(l, m))]),
+                1e-9);
+    }
+  }
+}
+
+TEST(Upsample, RejectsDownsamplingDirection) {
+  const GridShape grid{9, 16};
+  std::vector<double> field(static_cast<std::size_t>(grid.num_points()), 1.0);
+  EXPECT_THROW(upsample_to_band_limit(field, 8, grid, 4), InvalidArgument);
+}
+
+TEST(Upsample, PaperScalabilityChain) {
+  // The paper's chain 720 -> 1440 -> 2880 -> 5219, scaled down by 60x:
+  // 12 -> 24 -> 48 -> 87. Each upsample must preserve the original content.
+  const index_t l0 = 12;
+  const GridShape g0{l0 + 1, 2 * l0};
+  const auto coeffs = random_coeffs(l0, 13);
+  const SHTPlan plan0(l0, g0);
+  auto field = plan0.synthesize(coeffs);
+  index_t current_l = l0;
+  GridShape current_g = g0;
+  for (index_t next_l : {index_t{24}, index_t{48}, index_t{87}}) {
+    field = upsample_to_band_limit(field, current_l, current_g, next_l);
+    current_l = next_l;
+    current_g = GridShape{next_l + 1, 2 * next_l};
+  }
+  // Analyze at the final resolution; degrees < 12 must match the original.
+  const SHTPlan final_plan(current_l, current_g);
+  const auto final_coeffs = final_plan.analyze(field);
+  for (index_t l = 0; l < l0; ++l) {
+    for (index_t m = 0; m <= l; ++m) {
+      EXPECT_LT(std::abs(
+                    final_coeffs[static_cast<std::size_t>(tri_index(l, m))] -
+                    coeffs[static_cast<std::size_t>(tri_index(l, m))]),
+                1e-8);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+// Randomized stress tests of the task runtime: random DAGs over random
+// handle-access patterns must execute with every inferred dependence
+// respected, for any worker count. Correctness is checked by replaying the
+// declared accesses against per-handle version counters inside the tasks
+// themselves — any ordering violation the scheduler allowed would corrupt
+// the versions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+
+#include "common/rng.hpp"
+#include "perfmodel/event_sim.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace {
+
+using namespace exaclim;
+using namespace exaclim::runtime;
+
+struct FuzzCase {
+  std::uint64_t seed;
+  index_t num_handles;
+  index_t num_tasks;
+  unsigned threads;
+};
+
+class RuntimeFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(RuntimeFuzz, RandomDagExecutesLegally) {
+  const auto fc = GetParam();
+  common::Rng rng(fc.seed);
+  TaskGraph graph;
+  std::vector<DataHandle> handles;
+  for (index_t h = 0; h < fc.num_handles; ++h) {
+    handles.push_back(graph.create_handle("h" + std::to_string(h)));
+  }
+
+  // Sequential semantics oracle: executing tasks in submission order, each
+  // access bumps a per-handle version; a task records the versions it
+  // expects to *see* for its reads (the value left by the last writer).
+  std::vector<index_t> write_version(static_cast<std::size_t>(fc.num_handles), 0);
+  // Shared execution-time state: the version each handle currently holds.
+  auto live = std::make_shared<std::vector<std::atomic<index_t>>>(
+      static_cast<std::size_t>(fc.num_handles));
+  auto violations = std::make_shared<std::atomic<int>>(0);
+
+  for (index_t t = 0; t < fc.num_tasks; ++t) {
+    // 1-3 distinct handles with random access modes.
+    const index_t n_access = 1 + static_cast<index_t>(rng.uniform_u64(3));
+    std::vector<DataAccess> accesses;
+    std::vector<std::pair<index_t, index_t>> expected_reads;  // handle, version
+    std::vector<index_t> writes;
+    for (index_t a = 0; a < n_access; ++a) {
+      const index_t h = static_cast<index_t>(rng.uniform_u64(
+          static_cast<std::uint64_t>(fc.num_handles)));
+      bool duplicate = false;
+      for (const auto& acc : accesses) {
+        if (acc.handle.id == handles[static_cast<std::size_t>(h)].id) {
+          duplicate = true;
+        }
+      }
+      if (duplicate) continue;
+      const auto mode = static_cast<Access>(rng.uniform_u64(3));
+      accesses.push_back({handles[static_cast<std::size_t>(h)], mode});
+      if (mode != Access::Write) {
+        expected_reads.emplace_back(h, write_version[static_cast<std::size_t>(h)]);
+      }
+      if (mode != Access::Read) writes.push_back(h);
+    }
+    for (index_t h : writes) {
+      write_version[static_cast<std::size_t>(h)] = t + 1;
+    }
+    Task task;
+    task.priority = static_cast<int>(rng.uniform_u64(5));
+    task.accesses = accesses;
+    task.fn = [live, violations, expected_reads, writes, t] {
+      for (const auto& [h, version] : expected_reads) {
+        if ((*live)[static_cast<std::size_t>(h)].load(
+                std::memory_order_acquire) != version) {
+          violations->fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      for (index_t h : writes) {
+        (*live)[static_cast<std::size_t>(h)].store(t + 1,
+                                                   std::memory_order_release);
+      }
+    };
+    graph.submit(std::move(task));
+  }
+  ASSERT_TRUE(graph.validate());
+
+  SchedulerOptions options;
+  options.threads = fc.threads;
+  const RunStats stats = execute(graph, options);
+  EXPECT_EQ(stats.tasks_executed, fc.num_tasks);
+  EXPECT_EQ(violations->load(), 0)
+      << "scheduler violated inferred dependences";
+}
+
+TEST_P(RuntimeFuzz, EventSimAgreesOnTaskCountAndFinishes) {
+  // The discrete-event simulator must also complete every random DAG (no
+  // deadlock) and report conserved busy time.
+  const auto fc = GetParam();
+  common::Rng rng(fc.seed ^ 0xE5E5);
+  TaskGraph graph;
+  std::vector<DataHandle> handles;
+  for (index_t h = 0; h < fc.num_handles; ++h) {
+    handles.push_back(graph.create_handle(""));
+  }
+  for (index_t t = 0; t < fc.num_tasks; ++t) {
+    Task task;
+    const index_t h = static_cast<index_t>(
+        rng.uniform_u64(static_cast<std::uint64_t>(fc.num_handles)));
+    const index_t h2 = static_cast<index_t>(
+        rng.uniform_u64(static_cast<std::uint64_t>(fc.num_handles)));
+    task.accesses = {{handles[static_cast<std::size_t>(h)], Access::ReadWrite},
+                     {handles[static_cast<std::size_t>(h2)], Access::Read}};
+    graph.submit(std::move(task));
+  }
+  const index_t workers = 4;
+  const auto result = perfmodel::simulate_graph(
+      graph, workers, [](TaskId) { return 1.0; },
+      [workers](TaskId id) { return id % workers; },
+      [](TaskId, TaskId) { return 0.25; });
+  EXPECT_EQ(result.tasks, fc.num_tasks);
+  EXPECT_DOUBLE_EQ(result.busy_seconds, static_cast<double>(fc.num_tasks));
+  EXPECT_GE(result.makespan_seconds,
+            static_cast<double>(fc.num_tasks) / workers);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RuntimeFuzz,
+    ::testing::Values(FuzzCase{1, 4, 200, 2}, FuzzCase{2, 8, 500, 4},
+                      FuzzCase{3, 16, 1000, 8}, FuzzCase{4, 3, 300, 24},
+                      FuzzCase{5, 32, 2000, 16}, FuzzCase{6, 1, 100, 8},
+                      FuzzCase{7, 64, 1500, 24}));
+
+}  // namespace

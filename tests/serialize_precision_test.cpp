@@ -1,0 +1,144 @@
+// Tests for the mixed-precision model-file format (core/serialize with
+// FactorStorage FP64 / FP32 / FP16Scaled) — the storage-side mirror of the
+// solver's tile precision policies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "climate/synthetic_esm.hpp"
+#include "core/consistency.hpp"
+#include "core/emulator.hpp"
+#include "core/serialize.hpp"
+
+namespace {
+
+using namespace exaclim;
+using namespace exaclim::core;
+
+class SerializedModels : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    climate::SyntheticEsmConfig data_cfg;
+    data_cfg.band_limit = 10;
+    data_cfg.grid = {11, 20};
+    data_cfg.num_years = 3;
+    data_cfg.steps_per_year = 48;
+    data_cfg.num_ensembles = 2;
+    esm_ = new climate::SyntheticEsm(climate::generate_synthetic_esm(data_cfg));
+    EmulatorConfig cfg;
+    cfg.band_limit = 10;
+    cfg.ar_order = 2;
+    cfg.harmonics = 2;
+    cfg.steps_per_year = 48;
+    cfg.tile_size = 25;
+    emulator_ = new ClimateEmulator(cfg);
+    emulator_->train(esm_->data, esm_->forcing);
+  }
+  static void TearDownTestSuite() {
+    delete emulator_;
+    delete esm_;
+    emulator_ = nullptr;
+    esm_ = nullptr;
+  }
+  static std::string path_for(FactorStorage storage) {
+    return ::testing::TempDir() + "/exaclim_prec_" +
+           std::to_string(static_cast<int>(storage)) + ".bin";
+  }
+  static climate::SyntheticEsm* esm_;
+  static ClimateEmulator* emulator_;
+};
+
+climate::SyntheticEsm* SerializedModels::esm_ = nullptr;
+ClimateEmulator* SerializedModels::emulator_ = nullptr;
+
+TEST_F(SerializedModels, Fp64RoundTripIsExact) {
+  const auto path = path_for(FactorStorage::FP64);
+  save_emulator(*emulator_, path, FactorStorage::FP64);
+  const auto loaded = load_emulator(path);
+  const auto& a = emulator_->cholesky_factor();
+  const auto& b = loaded.cholesky_factor();
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j <= i; ++j) EXPECT_EQ(a(i, j), b(i, j));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_F(SerializedModels, Fp32RoundTripWithinSinglePrecision) {
+  const auto path = path_for(FactorStorage::FP32);
+  save_emulator(*emulator_, path, FactorStorage::FP32);
+  const auto loaded = load_emulator(path);
+  const auto& a = emulator_->cholesky_factor();
+  const auto& b = loaded.cholesky_factor();
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j <= i; ++j) {
+      EXPECT_NEAR(b(i, j), a(i, j), 1e-6 * std::abs(a(i, j)) + 1e-10);
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_F(SerializedModels, Fp16RoundTripWithinHalfPrecisionOfRowScale) {
+  const auto path = path_for(FactorStorage::FP16Scaled);
+  save_emulator(*emulator_, path, FactorStorage::FP16Scaled);
+  const auto loaded = load_emulator(path);
+  const auto& a = emulator_->cholesky_factor();
+  const auto& b = loaded.cholesky_factor();
+  for (index_t i = 0; i < a.rows(); ++i) {
+    double row_max = 0.0;
+    for (index_t j = 0; j <= i; ++j) row_max = std::max(row_max, std::abs(a(i, j)));
+    for (index_t j = 0; j <= i; ++j) {
+      EXPECT_NEAR(b(i, j), a(i, j), 6e-4 * row_max + 1e-12) << i << "," << j;
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_F(SerializedModels, FileSizesOrderWithPrecision) {
+  const auto p64 = path_for(FactorStorage::FP64);
+  const auto p32 = path_for(FactorStorage::FP32);
+  const auto p16 = path_for(FactorStorage::FP16Scaled);
+  save_emulator(*emulator_, p64, FactorStorage::FP64);
+  save_emulator(*emulator_, p32, FactorStorage::FP32);
+  save_emulator(*emulator_, p16, FactorStorage::FP16Scaled);
+  const auto s64 = std::filesystem::file_size(p64);
+  const auto s32 = std::filesystem::file_size(p32);
+  const auto s16 = std::filesystem::file_size(p16);
+  EXPECT_LT(s32, s64);
+  EXPECT_LT(s16, s32);
+  // The factor dominates at L^2 = 100 rows: expect meaningful shrinkage.
+  EXPECT_LT(static_cast<double>(s32),
+            0.85 * static_cast<double>(s64));
+  std::filesystem::remove(p64);
+  std::filesystem::remove(p32);
+  std::filesystem::remove(p16);
+}
+
+TEST_F(SerializedModels, LossyModelsStillEmulateConsistently) {
+  // The Fig.-4 argument applied to storage: a half-precision V still yields
+  // statistically consistent emulations.
+  const auto path = path_for(FactorStorage::FP16Scaled);
+  save_emulator(*emulator_, path, FactorStorage::FP16Scaled);
+  const auto loaded = load_emulator(path);
+  const auto emu =
+      loaded.emulate(esm_->data.num_steps(), 2, esm_->forcing, 33);
+  const auto report = evaluate_consistency(esm_->data, emu, 10);
+  EXPECT_TRUE(report.consistent(0.5))
+      << "mean=" << report.mean_field_rel_rmse
+      << " sd=" << report.sd_field_rel_rmse;
+  std::filesystem::remove(path);
+}
+
+TEST_F(SerializedModels, LoadedModelConfigMatches) {
+  const auto path = path_for(FactorStorage::FP32);
+  save_emulator(*emulator_, path, FactorStorage::FP32);
+  const auto loaded = load_emulator(path);
+  EXPECT_EQ(loaded.config().band_limit, 10);
+  EXPECT_EQ(loaded.config().ar_order, 2);
+  EXPECT_EQ(loaded.grid().nlat, 11);
+  EXPECT_EQ(loaded.grid().nlon, 20);
+  EXPECT_TRUE(loaded.is_trained());
+  std::filesystem::remove(path);
+}
+
+}  // namespace

@@ -1,0 +1,187 @@
+// Property tests on the SHT beyond round-trip exactness: linearity,
+// Parseval, projection idempotence, zonal/sectoral structure preservation,
+// and spectrum behaviour — the invariants the emulator's statistics lean on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "sht/packing.hpp"
+#include "sht/sht.hpp"
+
+namespace {
+
+using namespace exaclim;
+using namespace exaclim::sht;
+
+std::vector<cplx> random_coeffs(index_t band_limit, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<cplx> c(static_cast<std::size_t>(tri_count(band_limit)));
+  for (index_t l = 0; l < band_limit; ++l) {
+    c[static_cast<std::size_t>(tri_index(l, 0))] = {rng.normal(), 0.0};
+    for (index_t m = 1; m <= l; ++m) {
+      c[static_cast<std::size_t>(tri_index(l, m))] = {rng.normal(),
+                                                      rng.normal()};
+    }
+  }
+  return c;
+}
+
+class ShtBandLimits : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(ShtBandLimits, AnalyzeIsLinear) {
+  const index_t L = GetParam();
+  const GridShape grid{L + 1, 2 * L};
+  const SHTPlan plan(L, grid);
+  const auto f1 = plan.synthesize(random_coeffs(L, 1));
+  const auto f2 = plan.synthesize(random_coeffs(L, 2));
+  std::vector<double> combo(f1.size());
+  for (std::size_t i = 0; i < f1.size(); ++i) {
+    combo[i] = 2.5 * f1[i] - 1.25 * f2[i];
+  }
+  const auto c1 = plan.analyze(f1);
+  const auto c2 = plan.analyze(f2);
+  const auto cc = plan.analyze(combo);
+  for (std::size_t i = 0; i < cc.size(); ++i) {
+    EXPECT_LT(std::abs(cc[i] - (2.5 * c1[i] - 1.25 * c2[i])), 1e-9);
+  }
+}
+
+TEST_P(ShtBandLimits, ParsevalOnSphere) {
+  // Orthonormal basis: integral of Z^2 over the sphere equals the packed
+  // coefficient energy. Verify with fine quadrature on the synthesis grid's
+  // oversampled version.
+  const index_t L = GetParam();
+  const GridShape grid{4 * L, 8 * L};  // fine quadrature grid
+  const SHTPlan plan(L, grid);
+  const auto coeffs = random_coeffs(L, 3);
+  const auto field = plan.synthesize(coeffs);
+  // Trapezoid-in-theta (excluding double-counted poles is negligible),
+  // uniform in phi.
+  double integral = 0.0;
+  for (index_t i = 0; i < grid.nlat; ++i) {
+    const double theta = grid.colatitude(i);
+    const double w = std::sin(theta) * (kPi / static_cast<double>(grid.nlat - 1)) *
+                     (kTwoPi / static_cast<double>(grid.nlon));
+    for (index_t j = 0; j < grid.nlon; ++j) {
+      const double v = field[static_cast<std::size_t>(i * grid.nlon + j)];
+      integral += w * v * v;
+    }
+  }
+  const auto packed = pack_real(L, coeffs);
+  double energy = 0.0;
+  for (double v : packed) energy += v * v;
+  EXPECT_NEAR(integral, energy, 0.02 * energy);
+}
+
+TEST_P(ShtBandLimits, ProjectionIsIdempotent) {
+  // analyze(synthesize(analyze(f))) == analyze(f) for any field f, even
+  // non-band-limited: projection applied twice equals once.
+  const index_t L = GetParam();
+  const GridShape grid{2 * L + 3, 4 * L + 2};
+  const SHTPlan plan(L, grid);
+  common::Rng rng(4);
+  std::vector<double> field(static_cast<std::size_t>(grid.num_points()));
+  for (auto& v : field) v = rng.normal();  // white noise: far from band-limited
+  const auto once = plan.analyze(field);
+  const auto twice = plan.analyze(plan.synthesize(once));
+  for (std::size_t i = 0; i < once.size(); ++i) {
+    EXPECT_LT(std::abs(once[i] - twice[i]), 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ShtBandLimits,
+                         ::testing::Values<index_t>(4, 8, 12, 16, 24));
+
+TEST(ShtStructure, ZonalFieldHasOnlyOrderZero) {
+  // A field depending only on latitude must produce m = 0 coefficients only.
+  const index_t L = 10;
+  const GridShape grid{L + 1, 2 * L};
+  const SHTPlan plan(L, grid);
+  std::vector<double> field(static_cast<std::size_t>(grid.num_points()));
+  for (index_t i = 0; i < grid.nlat; ++i) {
+    const double v = std::cos(2.0 * grid.colatitude(i)) + 0.3;
+    for (index_t j = 0; j < grid.nlon; ++j) {
+      field[static_cast<std::size_t>(i * grid.nlon + j)] = v;
+    }
+  }
+  const auto coeffs = plan.analyze(field);
+  for (index_t l = 0; l < L; ++l) {
+    for (index_t m = 1; m <= l; ++m) {
+      EXPECT_LT(std::abs(coeffs[static_cast<std::size_t>(tri_index(l, m))]),
+                1e-10)
+          << l << "," << m;
+    }
+  }
+}
+
+TEST(ShtStructure, LongitudeHarmonicLandsInOneOrder) {
+  // cos(3 phi) modulated by sin^3(theta) lives at order m = 3 exactly.
+  const index_t L = 12;
+  const GridShape grid{L + 1, 2 * L};
+  const SHTPlan plan(L, grid);
+  std::vector<double> field(static_cast<std::size_t>(grid.num_points()));
+  for (index_t i = 0; i < grid.nlat; ++i) {
+    const double s = std::pow(std::sin(grid.colatitude(i)), 3.0);
+    for (index_t j = 0; j < grid.nlon; ++j) {
+      field[static_cast<std::size_t>(i * grid.nlon + j)] =
+          s * std::cos(3.0 * grid.longitude(j));
+    }
+  }
+  const auto coeffs = plan.analyze(field);
+  for (index_t l = 0; l < L; ++l) {
+    for (index_t m = 0; m <= l; ++m) {
+      const double mag =
+          std::abs(coeffs[static_cast<std::size_t>(tri_index(l, m))]);
+      if (m != 3) {
+        EXPECT_LT(mag, 1e-10) << l << "," << m;
+      }
+    }
+  }
+  // And it is nonzero where expected (l = 3, m = 3 dominates sin^3 cos(3phi)).
+  EXPECT_GT(std::abs(coeffs[static_cast<std::size_t>(tri_index(3, 3))]), 0.1);
+}
+
+TEST(ShtStructure, WhiteCoefficientsGiveFlatSpectrum) {
+  // Coefficients with unit variance at every (l, m) -> C_l ~ 1 for all l.
+  const index_t L = 16;
+  const GridShape grid{L + 1, 2 * L};
+  const SHTPlan plan(L, grid);
+  common::Rng rng(5);
+  std::vector<double> mean_spec(static_cast<std::size_t>(L), 0.0);
+  const int trials = 200;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<cplx> c(static_cast<std::size_t>(tri_count(L)));
+    for (index_t l = 0; l < L; ++l) {
+      c[static_cast<std::size_t>(tri_index(l, 0))] = {rng.normal(), 0.0};
+      for (index_t m = 1; m <= l; ++m) {
+        c[static_cast<std::size_t>(tri_index(l, m))] = {
+            rng.normal(0.0, std::sqrt(0.5)), rng.normal(0.0, std::sqrt(0.5))};
+      }
+    }
+    const auto spec = plan.power_spectrum(c);
+    for (std::size_t l = 0; l < mean_spec.size(); ++l) mean_spec[l] += spec[l];
+  }
+  for (index_t l = 0; l < L; ++l) {
+    EXPECT_NEAR(mean_spec[static_cast<std::size_t>(l)] / trials, 1.0, 0.25)
+        << l;
+  }
+}
+
+TEST(ShtStructure, OversampledGridsAgree) {
+  // The same band-limited content analyzed from two different valid grids
+  // yields the same coefficients.
+  const index_t L = 8;
+  const auto coeffs = random_coeffs(L, 6);
+  const GridShape g1{L + 1, 2 * L};
+  const GridShape g2{3 * L + 2, 5 * L + 1};
+  const SHTPlan p1(L, g1);
+  const SHTPlan p2(L, g2);
+  const auto c1 = p1.analyze(p1.synthesize(coeffs));
+  const auto c2 = p2.analyze(p2.synthesize(coeffs));
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_LT(std::abs(c1[i] - c2[i]), 1e-9);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+// Tests for sht/wigner: d^l(pi/2) tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sht/wigner.hpp"
+
+namespace {
+
+using namespace exaclim;
+using namespace exaclim::sht;
+
+TEST(Wigner, DegreeZeroIsOne) {
+  WignerPiHalfTable t(1);
+  EXPECT_DOUBLE_EQ(t.value(0, 0, 0), 1.0);
+}
+
+TEST(Wigner, DegreeOneMatchesClosedForm) {
+  // d^1(pi/2) in the Varshalovich convention.
+  WignerPiHalfTable t(2);
+  const double s = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(t.value(1, 1, 1), 0.5, 1e-14);
+  EXPECT_NEAR(t.value(1, 1, 0), -s, 1e-14);
+  EXPECT_NEAR(t.value(1, 1, -1), 0.5, 1e-14);
+  EXPECT_NEAR(t.value(1, 0, 1), s, 1e-14);
+  EXPECT_NEAR(t.value(1, 0, 0), 0.0, 1e-14);
+  EXPECT_NEAR(t.value(1, 0, -1), -s, 1e-14);
+  EXPECT_NEAR(t.value(1, -1, 1), 0.5, 1e-14);
+  EXPECT_NEAR(t.value(1, -1, 0), s, 1e-14);
+  EXPECT_NEAR(t.value(1, -1, -1), 0.5, 1e-14);
+}
+
+TEST(Wigner, DegreeTwoSpotChecks) {
+  WignerPiHalfTable t(3);
+  EXPECT_NEAR(t.value(2, 2, 2), 0.25, 1e-14);
+  EXPECT_NEAR(t.value(2, 2, 0), std::sqrt(6.0) / 4.0, 1e-14);
+  EXPECT_NEAR(t.value(2, 0, 0), -0.5, 1e-14);
+  EXPECT_NEAR(t.value(2, 1, 1), -0.5, 1e-14);
+}
+
+class WignerDegrees : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(WignerDegrees, RecursionMatchesDirectSum) {
+  const index_t l = GetParam();
+  WignerPiHalfTable t(l + 1);
+  // The explicit-sum oracle loses digits to cancellation as l grows; the
+  // recursion is the more accurate side at high degree (cf. its unitarity
+  // test), so scale the comparison tolerance with l.
+  const double tol = 1e-11 * std::pow(2.0, static_cast<double>(l) / 2.2);
+  for (index_t mp = -l; mp <= l; ++mp) {
+    for (index_t m = -l; m <= l; ++m) {
+      EXPECT_NEAR(t.value(l, mp, m), wigner_d_pi2_direct(l, mp, m), tol)
+          << "l=" << l << " mp=" << mp << " m=" << m;
+    }
+  }
+}
+
+// The oracle's cancellation error passes ~1e-7 near l = 30, so the direct
+// comparison stops at 25; higher degrees are covered by the unitarity and
+// symmetry tests, which the recursion satisfies to 1e-8 at l = 299.
+INSTANTIATE_TEST_SUITE_P(Sweep, WignerDegrees,
+                         ::testing::Values<index_t>(1, 2, 3, 5, 8, 13, 21, 25));
+
+TEST(Wigner, TransposeSymmetry) {
+  // d_{m,m'} = (-1)^{m-m'} d_{m',m}.
+  WignerPiHalfTable t(12);
+  for (index_t l = 0; l < 12; ++l) {
+    for (index_t mp = -l; mp <= l; ++mp) {
+      for (index_t m = -l; m <= l; ++m) {
+        const double sign = ((m - mp) % 2 == 0) ? 1.0 : -1.0;
+        EXPECT_NEAR(t.value(l, m, mp), sign * t.value(l, mp, m), 1e-11);
+      }
+    }
+  }
+}
+
+TEST(Wigner, NegationSymmetry) {
+  // d_{-m',-m} = (-1)^{m'-m} d_{m',m}.
+  WignerPiHalfTable t(10);
+  for (index_t l = 0; l < 10; ++l) {
+    for (index_t mp = -l; mp <= l; ++mp) {
+      for (index_t m = -l; m <= l; ++m) {
+        const double sign = ((mp - m) % 2 == 0) ? 1.0 : -1.0;
+        EXPECT_NEAR(t.value(l, -mp, -m), sign * t.value(l, mp, m), 1e-11);
+      }
+    }
+  }
+}
+
+TEST(Wigner, RowsAreUnitVectors) {
+  // The d^l matrix is orthogonal: each row sums of squares to 1.
+  WignerPiHalfTable t(24);
+  for (index_t l = 0; l < 24; ++l) {
+    for (index_t mp = -l; mp <= l; ++mp) {
+      double acc = 0.0;
+      const double* row = t.row(l, mp);
+      for (index_t m = 0; m < 2 * l + 1; ++m) acc += row[m] * row[m];
+      EXPECT_NEAR(acc, 1.0, 1e-10) << "l=" << l << " mp=" << mp;
+    }
+  }
+}
+
+TEST(Wigner, RowsAreOrthogonal) {
+  WignerPiHalfTable t(16);
+  const index_t l = 15;
+  for (index_t a = -l; a <= l; a += 3) {
+    for (index_t b = a + 1; b <= l; b += 4) {
+      double acc = 0.0;
+      const double* ra = t.row(l, a);
+      const double* rb = t.row(l, b);
+      for (index_t m = 0; m < 2 * l + 1; ++m) acc += ra[m] * rb[m];
+      EXPECT_NEAR(acc, 0.0, 1e-10) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Wigner, StableAtLargeDegree) {
+  WignerPiHalfTable t(300);
+  const index_t l = 299;
+  double acc = 0.0;
+  const double* row = t.row(l, 0);
+  for (index_t m = 0; m < 2 * l + 1; ++m) {
+    EXPECT_TRUE(std::isfinite(row[m]));
+    acc += row[m] * row[m];
+  }
+  EXPECT_NEAR(acc, 1.0, 1e-8);  // unitarity survives deep recursion
+}
+
+TEST(Wigner, CacheSharesTables) {
+  const auto a = get_wigner_table(40);
+  const auto b = get_wigner_table(40);
+  EXPECT_EQ(a.get(), b.get());
+}
+
+TEST(Wigner, EntryCountMatchesFormula) {
+  WignerPiHalfTable t(6);
+  index_t expect = 0;
+  for (index_t l = 0; l < 6; ++l) expect += (2 * l + 1) * (2 * l + 1);
+  EXPECT_EQ(t.entry_count(), expect);
+}
+
+TEST(Wigner, DirectOracleRejectsBadArgs) {
+  EXPECT_THROW(wigner_d_pi2_direct(2, 3, 0), InvalidArgument);
+  EXPECT_THROW(wigner_d_pi2_direct(40, 0, 0), InvalidArgument);
+}
+
+}  // namespace
