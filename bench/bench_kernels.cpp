@@ -1,11 +1,19 @@
 // Measured kernel rates backing the performance model: per-precision tile
 // GEMM/SYRK/TRSM/POTRF, precision conversions, and full tile Cholesky
 // variants (sequential and runtime-parallel).
+//
+// Default invocation runs the blocked-vs-reference quick bench and writes
+// BENCH_kernels.json (the perf trajectory future PRs regress against); pass
+// --gbench to additionally run the full Google-benchmark suite below.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstring>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/kernels.hpp"
@@ -190,4 +198,109 @@ void BM_CholeskyRuntimeThreads(benchmark::State& state) {
 BENCHMARK(BM_CholeskyRuntimeThreads)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->Arg(24)
     ->UseRealTime();
 
+// --- BENCH_kernels.json quick bench -----------------------------------------
+
+std::string json_row(const char* kernel, const char* precision, index_t n,
+                     double flops, double blocked_s, double ref_s) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\"kernel\": \"%s\", \"precision\": \"%s\", \"n\": %lld, "
+                "\"gflops\": %.3f, \"ref_gflops\": %.3f, \"speedup\": %.3f, "
+                "\"ms\": %.4f, \"ref_ms\": %.4f}",
+                kernel, precision, static_cast<long long>(n),
+                flops / blocked_s / 1e9, flops / ref_s / 1e9,
+                ref_s / blocked_s, blocked_s * 1e3, ref_s * 1e3);
+  return buf;
+}
+
+template <typename T>
+void bench_type(const char* precision, exaclim::bench::JsonBench& out) {
+  using exaclim::bench::time_op;
+  for (index_t nb : {64, 128, 256}) {
+    const auto a = random_tile<T>(nb, 1);
+    const auto b = random_tile<T>(nb, 2);
+    auto c = random_tile<T>(nb, 3);
+    const double gemm_flops = 2.0 * nb * nb * nb;
+    double tb, tr;
+    if constexpr (sizeof(T) == 8) {
+      tb = time_op([&] { gemm_nt_minus_f64(a.data(), b.data(), c.data(), nb, nb, nb); });
+      tr = time_op([&] { gemm_nt_minus_ref_f64(a.data(), b.data(), c.data(), nb, nb, nb); });
+    } else {
+      tb = time_op([&] { gemm_nt_minus_f32(a.data(), b.data(), c.data(), nb, nb, nb); });
+      tr = time_op([&] { gemm_nt_minus_ref_f32(a.data(), b.data(), c.data(), nb, nb, nb); });
+    }
+    out.add(json_row("gemm_nt", precision, nb, gemm_flops, tb, tr));
+
+    const double syrk_flops = static_cast<double>(nb) * nb * nb;  // lower half
+    if constexpr (sizeof(T) == 8) {
+      tb = time_op([&] { syrk_ln_minus_f64(a.data(), c.data(), nb, nb); });
+      tr = time_op([&] { syrk_ln_minus_ref_f64(a.data(), c.data(), nb, nb); });
+    } else {
+      tb = time_op([&] { syrk_ln_minus_f32(a.data(), c.data(), nb, nb); });
+      tr = time_op([&] { syrk_ln_minus_ref_f32(a.data(), c.data(), nb, nb); });
+    }
+    out.add(json_row("syrk_ln", precision, nb, syrk_flops, tb, tr));
+
+    // TRSM against the Cholesky factor of an SPD tile.
+    std::vector<T> l(static_cast<std::size_t>(nb * nb));
+    {
+      const Matrix dense = spd(nb);
+      for (index_t i = 0; i < nb; ++i) {
+        for (index_t j = 0; j < nb; ++j) {
+          l[static_cast<std::size_t>(i * nb + j)] = static_cast<T>(dense(i, j));
+        }
+      }
+    }
+    std::vector<T> lfac = l;
+    const double trsm_flops = static_cast<double>(nb) * nb * nb;
+    auto rhs = random_tile<T>(nb, 5);
+    if constexpr (sizeof(T) == 8) {
+      potrf_lower_ref_f64(lfac.data(), nb);
+      tb = time_op([&] { auto x = rhs; trsm_rlt_f64(lfac.data(), x.data(), nb, nb); });
+      tr = time_op([&] { auto x = rhs; trsm_rlt_ref_f64(lfac.data(), x.data(), nb, nb); });
+    } else {
+      potrf_lower_ref_f32(lfac.data(), nb);
+      tb = time_op([&] { auto x = rhs; trsm_rlt_f32(lfac.data(), x.data(), nb, nb); });
+      tr = time_op([&] { auto x = rhs; trsm_rlt_ref_f32(lfac.data(), x.data(), nb, nb); });
+    }
+    out.add(json_row("trsm_rlt", precision, nb, trsm_flops, tb, tr));
+
+    const double potrf_flops = static_cast<double>(nb) * nb * nb / 3.0;
+    if constexpr (sizeof(T) == 8) {
+      tb = time_op([&] { auto x = l; potrf_lower_f64(x.data(), nb); });
+      tr = time_op([&] { auto x = l; potrf_lower_ref_f64(x.data(), nb); });
+    } else {
+      tb = time_op([&] { auto x = l; potrf_lower_f32(x.data(), nb); });
+      tr = time_op([&] { auto x = l; potrf_lower_ref_f32(x.data(), nb); });
+    }
+    out.add(json_row("potrf", precision, nb, potrf_flops, tb, tr));
+  }
+}
+
+void write_kernels_json() {
+  exaclim::bench::JsonBench out;
+  bench_type<double>("f64", out);
+  bench_type<float>("f32", out);
+  char meta[128];
+  std::snprintf(meta, sizeof(meta), "{\"bench\": \"kernels\", \"hardware_concurrency\": %u}",
+                std::thread::hardware_concurrency());
+  if (out.write("BENCH_kernels.json", meta)) {
+    std::printf("wrote BENCH_kernels.json\n");
+  }
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  bool gbench = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gbench") == 0) gbench = true;
+  }
+  write_kernels_json();
+  if (gbench) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return 0;
+}

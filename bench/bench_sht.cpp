@@ -1,8 +1,18 @@
 // Measured SHT performance: forward analysis, inverse synthesis, plan
 // construction (Wigner/Legendre precomputation), and the O(L^3)-per-slot
 // scaling claim of Section III-A.2.
+//
+// Default invocation runs the quick bench and writes BENCH_sht.json (the
+// perf trajectory future PRs regress against), including a speedup column
+// against the brute-force analyze_reference oracle at small L; pass
+// --gbench to additionally run the full Google-benchmark suite below.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "fft/fft.hpp"
 #include "sht/packing.hpp"
@@ -94,4 +104,74 @@ void BM_PackUnpack(benchmark::State& state) {
 }
 BENCHMARK(BM_PackUnpack)->Arg(32)->Arg(128);
 
+// --- BENCH_sht.json quick bench ---------------------------------------------
+
+void write_sht_json() {
+  using exaclim::bench::time_op;
+  exaclim::bench::JsonBench out;
+  for (index_t L : {16, 32, 64, 96, 128}) {
+    const GridShape grid{L + 1, 2 * L};
+    const SHTPlan plan(L, grid);
+    const auto coeffs = random_coeffs(L, 1);
+    const auto field = plan.synthesize(coeffs);
+
+    const double ta = time_op([&] {
+      auto c = plan.analyze(field);
+      benchmark::DoNotOptimize(c.data());
+    });
+    const double ts = time_op([&] {
+      auto f = plan.synthesize(coeffs);
+      benchmark::DoNotOptimize(f.data());
+    });
+    // Brute-force least-squares oracle: O(L^6) solve, only feasible tiny.
+    double tref = 0.0;
+    if (L <= 16) {
+      tref = time_op(
+          [&] {
+            auto c = analyze_reference(L, grid, field);
+            benchmark::DoNotOptimize(c.data());
+          },
+          0.2, 1);
+    }
+    const double l3 = static_cast<double>(L) * L * L;
+    char ref_cols[128] = "";
+    if (tref > 0.0) {
+      std::snprintf(ref_cols, sizeof(ref_cols),
+                    ", \"ref_ms\": %.4f, \"speedup_vs_ref\": %.2f",
+                    tref * 1e3, tref / ta);
+    }
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"L\": %lld, \"nlat\": %lld, \"nlon\": %lld, "
+        "\"analyze_ms\": %.4f, \"synthesize_ms\": %.4f, "
+        "\"analyze_l3_per_s\": %.4g, \"synthesize_l3_per_s\": %.4g%s}",
+        static_cast<long long>(L), static_cast<long long>(grid.nlat),
+        static_cast<long long>(grid.nlon), ta * 1e3, ts * 1e3, l3 / ta,
+        l3 / ts, ref_cols);
+    out.add(buf);
+  }
+  char meta[128];
+  std::snprintf(meta, sizeof(meta),
+                "{\"bench\": \"sht\", \"hardware_concurrency\": %u}",
+                std::thread::hardware_concurrency());
+  if (out.write("BENCH_sht.json", meta)) {
+    std::printf("wrote BENCH_sht.json\n");
+  }
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  bool gbench = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gbench") == 0) gbench = true;
+  }
+  write_sht_json();
+  if (gbench) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return 0;
+}

@@ -1,9 +1,13 @@
 // Shared helpers for the figure-reproduction benches.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "common/timer.hpp"
 #include "linalg/matrix.hpp"
 
 namespace exaclim::bench {
@@ -32,5 +36,45 @@ inline void print_vs(const char* label, double paper, double ours) {
   std::printf("  %-42s paper %10.3g | ours %10.3g | ratio %5.2f\n", label,
               paper, ours, paper != 0.0 ? ours / paper : 0.0);
 }
+
+/// Seconds per invocation of fn, warmed up and averaged over enough
+/// repetitions to fill ~`budget` seconds (at least min_reps).
+template <typename F>
+double time_op(F&& fn, double budget = 0.1, int min_reps = 2) {
+  fn();  // warm-up (also primes pack buffers / thread-local scratch)
+  common::Timer warm;
+  fn();
+  const double est = warm.seconds();
+  const int reps =
+      std::max(min_reps, est > 0.0 ? static_cast<int>(budget / est) : 1000);
+  common::Timer t;
+  for (int r = 0; r < reps; ++r) fn();
+  return t.seconds() / reps;
+}
+
+/// Accumulates rows and writes the machine-readable BENCH_*.json files that
+/// future PRs regress against. Values are emitted as given; rows are flat
+/// key/value objects.
+class JsonBench {
+ public:
+  void add(std::string row) { rows_.push_back(std::move(row)); }
+
+  /// Writes {"meta": {...}, "results": [rows]} to `path`.
+  bool write(const char* path, const std::string& meta) const {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"meta\": %s,\n  \"results\": [\n", meta.c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "    %s%s\n", rows_[i].c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<std::string> rows_;
+};
 
 }  // namespace exaclim::bench

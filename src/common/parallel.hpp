@@ -1,15 +1,21 @@
 // Minimal fork-join parallel_for used where full task-graph machinery
 // (runtime/) would be overkill: embarrassingly parallel loops over time
 // slots, grid points, or coefficient indices.
+//
+// Work is executed on the process-wide persistent ThreadPool: no threads are
+// spawned per call, the callable is dispatched through a monomorphic
+// trampoline (no std::function, no allocation), and nested or concurrent
+// parallel_for calls safely degrade to inline serial execution.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
-#include <functional>
+#include <exception>
 #include <mutex>
 #include <thread>
-#include <vector>
+#include <type_traits>
 
+#include "common/thread_pool.hpp"
 #include "common/types.hpp"
 
 namespace exaclim::common {
@@ -20,15 +26,16 @@ inline unsigned default_thread_count() {
   return hc == 0 ? 1u : hc;
 }
 
-/// Runs body(i) for i in [begin, end) across `threads` workers with dynamic
-/// chunked scheduling. Exceptions from the body propagate to the caller
-/// (first one wins). With threads <= 1 the loop runs inline.
-inline void parallel_for(index_t begin, index_t end,
-                         const std::function<void(index_t)>& body,
-                         unsigned threads = default_thread_count()) {
+/// Runs body(i) for i in [begin, end) across up to `threads` workers with
+/// dynamic chunked scheduling. Exceptions from the body propagate to the
+/// caller (first one wins). With threads <= 1 the loop runs inline. The
+/// effective parallelism is capped by the pool size (hardware concurrency).
+template <typename F>
+void parallel_for(index_t begin, index_t end, F&& body,
+                  unsigned threads = default_thread_count()) {
   const index_t n = end - begin;
   if (n <= 0) return;
-  if (threads <= 1 || n == 1) {
+  if (threads <= 1 || n == 1 || ThreadPool::in_parallel_region()) {
     for (index_t i = begin; i < end; ++i) body(i);
     return;
   }
@@ -37,32 +44,45 @@ inline void parallel_for(index_t begin, index_t end,
   // Chunked dynamic scheduling: keep chunks big enough to amortize the
   // atomic fetch, small enough to balance uneven iterations.
   const index_t chunk = std::max<index_t>(1, n / (workers * 8));
-  std::atomic<index_t> next{begin};
-  std::atomic<bool> failed{false};
-  std::exception_ptr error;
-  std::mutex error_mu;
 
-  auto work = [&] {
+  using Body = std::remove_reference_t<F>;
+  struct Ctx {
+    Body* body = nullptr;
+    std::atomic<index_t> next{0};
+    index_t end = 0;
+    index_t chunk = 1;
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mu;
+  } ctx;
+  ctx.body = &body;
+  ctx.next.store(begin, std::memory_order_relaxed);
+  ctx.end = end;
+  ctx.chunk = chunk;
+
+  constexpr ThreadPool::JobFn work = [](void* p, unsigned /*rank*/) {
+    Ctx& c = *static_cast<Ctx*>(p);
     for (;;) {
-      const index_t lo = next.fetch_add(chunk);
-      if (lo >= end || failed.load(std::memory_order_relaxed)) return;
-      const index_t hi = std::min(lo + chunk, end);
+      // Short-circuit before claiming a chunk: a throwing body elsewhere
+      // must stop the whole region promptly, and a drained counter must not
+      // keep being advanced by late-arriving workers.
+      if (c.failed.load(std::memory_order_acquire)) return;
+      if (c.next.load(std::memory_order_relaxed) >= c.end) return;
+      const index_t lo = c.next.fetch_add(c.chunk, std::memory_order_relaxed);
+      if (lo >= c.end) return;
+      const index_t hi = std::min(lo + c.chunk, c.end);
       try {
-        for (index_t i = lo; i < hi; ++i) body(i);
+        for (index_t i = lo; i < hi; ++i) (*c.body)(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!failed.exchange(true)) error = std::current_exception();
+        std::lock_guard<std::mutex> lock(c.error_mu);
+        if (!c.failed.exchange(true)) c.error = std::current_exception();
         return;
       }
     }
   };
 
-  std::vector<std::thread> pool;
-  pool.reserve(workers - 1);
-  for (unsigned w = 1; w < workers; ++w) pool.emplace_back(work);
-  work();
-  for (auto& t : pool) t.join();
-  if (failed && error) std::rethrow_exception(error);
+  ThreadPool::instance().run(workers, work, &ctx);
+  if (ctx.failed.load() && ctx.error) std::rethrow_exception(ctx.error);
 }
 
 }  // namespace exaclim::common

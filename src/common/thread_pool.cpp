@@ -1,0 +1,101 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace exaclim::common {
+
+namespace {
+
+/// Set while a thread (worker or caller) executes a pool job.
+thread_local bool t_in_region = false;
+
+unsigned worker_target() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  // The caller always participates, so hc - 1 workers saturate the machine;
+  // keep at least one worker so parallelism is exercised even on 1-core CI.
+  return std::max(1u, hc == 0 ? 1u : hc - 1);
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+bool ThreadPool::in_parallel_region() { return t_in_region; }
+
+ThreadPool::ThreadPool() {
+  const unsigned n = worker_target();
+  workers_.reserve(n);
+  for (unsigned r = 0; r < n; ++r) {
+    workers_.emplace_back([this, r] { worker_loop(r); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop(unsigned rank) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    JobFn fn = nullptr;
+    void* ctx = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return shutdown_ || epoch_ != seen; });
+      if (shutdown_) return;
+      seen = epoch_;
+      if (rank >= participants_) continue;  // not drafted for this job
+      fn = job_;
+      ctx = ctx_;
+    }
+    t_in_region = true;
+    fn(ctx, rank + 1);  // rank 0 is the caller
+    t_in_region = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run(unsigned parallelism, JobFn fn, void* ctx) {
+  const unsigned extra =
+      parallelism == 0 ? 0
+                       : std::min(parallelism - 1,
+                                  static_cast<unsigned>(workers_.size()));
+  // Nested region, concurrent region, or nothing to fan out to: inline.
+  if (extra == 0 || t_in_region || !run_mu_.try_lock()) {
+    const bool was = t_in_region;
+    t_in_region = true;
+    fn(ctx, 0);
+    t_in_region = was;
+    return;
+  }
+  std::unique_lock<std::mutex> region(run_mu_, std::adopt_lock);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = fn;
+    ctx_ = ctx;
+    participants_ = extra;
+    active_ = extra;
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+  t_in_region = true;
+  fn(ctx, 0);
+  t_in_region = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return active_ == 0; });
+  }
+}
+
+}  // namespace exaclim::common

@@ -1,0 +1,72 @@
+// Lazily-initialized persistent worker pool backing common::parallel_for.
+//
+// The seed implementation spawned `threads - 1` fresh std::threads on every
+// parallel_for call; at ~20 us per thread creation on Linux that dwarfs the
+// body of skinny loops (per-order SHT work, per-coefficient AR updates).
+// This pool creates its workers once, parks them on a condition variable
+// between parallel regions, and dispatches jobs through a raw
+// function-pointer + context pair so the hot path performs no allocation and
+// no std::function type erasure.
+//
+// Concurrency contract:
+//   * run() may be called from any thread. If the pool is already executing a
+//     job (another thread's region, or a nested parallel_for from inside a
+//     worker), the caller simply runs the job inline on its own thread —
+//     nested/concurrent regions degrade to serial execution instead of
+//     deadlocking or oversubscribing.
+//   * Jobs must not throw; parallel_for catches body exceptions itself and
+//     rethrows on the calling thread after the region completes.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace exaclim::common {
+
+class ThreadPool {
+ public:
+  /// Job body: invoked once per participating thread with a dense rank in
+  /// [0, participants); rank 0 is always the calling thread.
+  using JobFn = void (*)(void* ctx, unsigned rank);
+
+  /// Process-wide pool, created on first use with worker_target() workers.
+  static ThreadPool& instance();
+
+  /// True while the current thread is executing inside a pool job (used to
+  /// serialize nested parallel regions).
+  static bool in_parallel_region();
+
+  /// Number of pool workers (excludes the calling thread).
+  unsigned worker_count() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Executes fn(ctx, rank) on the calling thread (rank 0) plus up to
+  /// `parallelism - 1` pool workers, blocking until every participant
+  /// returns. Falls back to a single inline invocation when the pool is busy
+  /// or the region is nested.
+  void run(unsigned parallelism, JobFn fn, void* ctx);
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+ private:
+  ThreadPool();
+  void worker_loop(unsigned rank);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t epoch_ = 0;        // bumped once per dispatched job
+  JobFn job_ = nullptr;
+  void* ctx_ = nullptr;
+  unsigned participants_ = 0;      // pool workers joining the current epoch
+  unsigned active_ = 0;            // pool workers still inside the job
+  bool shutdown_ = false;
+  std::mutex run_mu_;              // serializes whole regions (try_lock only)
+};
+
+}  // namespace exaclim::common

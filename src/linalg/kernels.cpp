@@ -1,6 +1,8 @@
 #include "linalg/kernels.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/error.hpp"
 
@@ -26,9 +28,13 @@ std::size_t precision_bytes(Precision p) {
 
 namespace {
 
-/// Generic blocked Cholesky on a tile; T is float or double.
+// ===========================================================================
+// Scalar reference kernels (the seed implementations, retained as oracles).
+// ===========================================================================
+
+/// Generic unblocked Cholesky on a tile; T is float or double.
 template <typename T>
-void potrf_impl(T* a, index_t n) {
+void potrf_ref_impl(T* a, index_t n) {
   for (index_t kk = 0; kk < n; ++kk) {
     T pivot = a[kk * n + kk];
     EXACLIM_NUMERIC_CHECK(pivot > T(0),
@@ -51,7 +57,7 @@ void potrf_impl(T* a, index_t n) {
 /// X * L^T = B: for each row x of B solve x L^T = b, i.e. a forward
 /// substitution across columns since L^T is upper-triangular.
 template <typename T>
-void trsm_impl(const T* l, T* b, index_t m, index_t n) {
+void trsm_ref_impl(const T* l, T* b, index_t m, index_t n) {
   for (index_t r = 0; r < m; ++r) {
     T* x = b + r * n;
     for (index_t j = 0; j < n; ++j) {
@@ -66,7 +72,8 @@ void trsm_impl(const T* l, T* b, index_t m, index_t n) {
 /// C -= A * B^T with k-inner dot products; the j-by-4 unroll keeps four
 /// accumulators live so the compiler vectorizes the shared A row loads.
 template <typename T>
-void gemm_impl(const T* a, const T* b, T* c, index_t m, index_t n, index_t k) {
+void gemm_ref_impl(const T* a, const T* b, T* c, index_t m, index_t n,
+                   index_t k) {
   index_t j = 0;
   for (; j + 4 <= n; j += 4) {
     const T* b0 = b + (j + 0) * k;
@@ -103,7 +110,7 @@ void gemm_impl(const T* a, const T* b, T* c, index_t m, index_t n, index_t k) {
 
 /// C(lower) -= A A^T.
 template <typename T>
-void syrk_impl(const T* a, T* c, index_t m, index_t k) {
+void syrk_ref_impl(const T* a, T* c, index_t m, index_t k) {
   for (index_t i = 0; i < m; ++i) {
     const T* ai = a + i * k;
     for (index_t j = 0; j <= i; ++j) {
@@ -115,33 +122,270 @@ void syrk_impl(const T* a, T* c, index_t m, index_t k) {
   }
 }
 
+// ===========================================================================
+// Cache-blocked engine.
+//
+// BLIS-style three-level blocking: the k dimension is cut into KC panels,
+// rows of A into MC blocks and rows of B into NC blocks. Both operand panels
+// are packed into contiguous sliver-major buffers so the micro-kernel streams
+// them with unit stride, and an MR x NR accumulator tile lives entirely in
+// registers. Because the NT product C -= A * B^T contracts the rows of both
+// operands, the packed layouts for A and B are identical up to the sliver
+// width. Ragged edges are zero-padded in the pack buffers; only valid
+// elements are written back. All kernels below are leading-dimension aware so
+// the blocked POTRF/TRSM can call straight into sub-panels of a tile.
+// ===========================================================================
+
+template <typename T>
+struct Blocked {
+  // Register micro-tile: MR rows of A by NR rows of B. Shapes are chosen
+  // empirically per ISA (see docs/PERF.md): with AVX-512 the 1 KiB
+  // accumulator spans 16 of the 32 zmm registers and GCC keeps it fully
+  // register-resident; narrower tiles fall off the vectorizer's fast path.
+#ifdef __AVX512F__
+  static constexpr index_t MR = sizeof(T) == 4 ? 8 : 4;
+  static constexpr index_t NR = 32;
+#else
+  static constexpr index_t MR = sizeof(T) == 4 ? 8 : 4;
+  static constexpr index_t NR = 8;
+#endif
+  // Cache panels: KC * (MR + NR) elements of packed slivers stay L1-resident
+  // per micro-kernel pass; an MC x KC packed A block targets L2.
+  static constexpr index_t KC = 256;
+  static constexpr index_t MC = 96;
+  static constexpr index_t NC = 4096;
+  // Panel width for the blocked POTRF/TRSM factorizations.
+  static constexpr index_t NB = 64;
+
+  struct Scratch {
+    std::vector<T> pack_a;
+    std::vector<T> pack_b;
+    std::vector<T> diag;  // dense scratch for SYRK diagonal blocks
+  };
+  static Scratch& scratch() {
+    thread_local Scratch s;
+    return s;
+  }
+
+  /// Packs an mc x kc block of (a, lda) into MR-wide, zero-padded slivers:
+  /// dst[(i0/MR) * kc * MR + p * MR + i] = a[(i0 + i) * lda + p].
+  template <index_t W>
+  static void pack(const T* a, index_t lda, index_t mc, index_t kc, T* dst) {
+    for (index_t i0 = 0; i0 < mc; i0 += W) {
+      const index_t w = std::min(W, mc - i0);
+      for (index_t p = 0; p < kc; ++p) {
+        index_t i = 0;
+        for (; i < w; ++i) dst[i] = a[(i0 + i) * lda + p];
+        for (; i < W; ++i) dst[i] = T(0);
+        dst += W;
+      }
+    }
+  }
+
+  /// C(mr x nr) -= Apack-sliver * Bpack-sliver^T over kc terms. The full
+  /// MR x NR accumulator is always computed (padded lanes multiply zeros);
+  /// only the valid mr x nr corner is written back.
+  static void micro_kernel(const T* ap, const T* bp, index_t kc, T* c,
+                           index_t ldc, index_t mr, index_t nr) {
+    T acc[MR][NR] = {};
+    for (index_t p = 0; p < kc; ++p) {
+      const T* av = ap + p * MR;
+      const T* bv = bp + p * NR;
+      for (index_t i = 0; i < MR; ++i) {
+        const T ai = av[i];
+        for (index_t j = 0; j < NR; ++j) acc[i][j] += ai * bv[j];
+      }
+    }
+    if (mr == MR && nr == NR) {
+      for (index_t i = 0; i < MR; ++i) {
+        T* ci = c + i * ldc;
+        for (index_t j = 0; j < NR; ++j) ci[j] -= acc[i][j];
+      }
+    } else {
+      for (index_t i = 0; i < mr; ++i) {
+        T* ci = c + i * ldc;
+        for (index_t j = 0; j < nr; ++j) ci[j] -= acc[i][j];
+      }
+    }
+  }
+
+  /// C (m x n, ldc) -= A (m x k, lda) * B (n x k, ldb)^T.
+  static void gemm(const T* a, index_t lda, const T* b, index_t ldb, T* c,
+                   index_t ldc, index_t m, index_t n, index_t k) {
+    if (m <= 0 || n <= 0 || k <= 0) return;
+    Scratch& s = scratch();
+    for (index_t pc = 0; pc < k; pc += KC) {
+      const index_t kc = std::min(KC, k - pc);
+      for (index_t jc = 0; jc < n; jc += NC) {
+        const index_t nc = std::min(NC, n - jc);
+        const index_t nb_slivers = (nc + NR - 1) / NR;
+        s.pack_b.resize(static_cast<std::size_t>(nb_slivers * kc * NR));
+        pack<NR>(b + jc * ldb + pc, ldb, nc, kc, s.pack_b.data());
+        for (index_t ic = 0; ic < m; ic += MC) {
+          const index_t mc = std::min(MC, m - ic);
+          const index_t ma_slivers = (mc + MR - 1) / MR;
+          s.pack_a.resize(static_cast<std::size_t>(ma_slivers * kc * MR));
+          pack<MR>(a + ic * lda + pc, lda, mc, kc, s.pack_a.data());
+          for (index_t jr = 0; jr < nc; jr += NR) {
+            const T* bp = s.pack_b.data() + (jr / NR) * kc * NR;
+            const index_t nr = std::min(NR, nc - jr);
+            for (index_t ir = 0; ir < mc; ir += MR) {
+              const T* ap = s.pack_a.data() + (ir / MR) * kc * MR;
+              micro_kernel(ap, bp, kc, c + (ic + ir) * ldc + jc + jr, ldc,
+                           std::min(MR, mc - ir), nr);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  /// C (m x m lower, ldc) -= A (m x k, lda) * A^T. Off-diagonal blocks go
+  /// straight through the GEMM engine; diagonal blocks are computed densely
+  /// into scratch and only the lower triangle is written back.
+  static void syrk(const T* a, index_t lda, T* c, index_t ldc, index_t m,
+                   index_t k) {
+    if (m <= 0 || k <= 0) return;
+    for (index_t i0 = 0; i0 < m; i0 += MC) {
+      const index_t mb = std::min(MC, m - i0);
+      // Strictly-below-diagonal rectangle.
+      gemm(a + i0 * lda, lda, a, lda, c + i0 * ldc, ldc, mb, i0, k);
+      // Diagonal block: dense scratch, triangular write-back. The scratch
+      // must be copied out before the next block reuses it, and gemm() uses
+      // separate pack buffers so there is no aliasing.
+      std::vector<T>& d = scratch().diag;
+      d.assign(static_cast<std::size_t>(mb * mb), T(0));
+      gemm(a + i0 * lda, lda, a + i0 * lda, lda, d.data(), mb, mb, mb, k);
+      for (index_t i = 0; i < mb; ++i) {
+        T* ci = c + (i0 + i) * ldc + i0;
+        const T* di = d.data() + i * mb;
+        for (index_t j = 0; j <= i; ++j) ci[j] += di[j];
+      }
+    }
+  }
+
+  /// Unblocked ld-aware Cholesky of an nb x nb diagonal panel.
+  static void potrf_panel(T* a, index_t lda, index_t nb) {
+    for (index_t kk = 0; kk < nb; ++kk) {
+      T pivot = a[kk * lda + kk];
+      EXACLIM_NUMERIC_CHECK(pivot > T(0),
+                            "tile is not positive definite (tile POTRF)");
+      const T lkk = std::sqrt(pivot);
+      a[kk * lda + kk] = lkk;
+      const T inv = T(1) / lkk;
+      for (index_t i = kk + 1; i < nb; ++i) a[i * lda + kk] *= inv;
+      for (index_t j = kk + 1; j < nb; ++j) {
+        const T ljk = a[j * lda + kk];
+        if (ljk == T(0)) continue;
+        for (index_t i = j; i < nb; ++i) {
+          a[i * lda + j] -= a[i * lda + kk] * ljk;
+        }
+      }
+    }
+  }
+
+  /// Row-wise forward substitution X * L^T = B against an nb x nb lower
+  /// triangular diagonal block; ld-aware scalar core for the blocked TRSM.
+  static void trsm_panel(const T* l, index_t ldl, T* b, index_t ldb, index_t m,
+                         index_t nb) {
+    for (index_t r = 0; r < m; ++r) {
+      T* x = b + r * ldb;
+      for (index_t j = 0; j < nb; ++j) {
+        T acc = x[j];
+        const T* lj = l + j * ldl;
+        for (index_t p = 0; p < j; ++p) acc -= x[p] * lj[p];
+        EXACLIM_NUMERIC_CHECK(lj[j] != T(0), "singular TRSM pivot");
+        x[j] = acc / lj[j];
+      }
+    }
+  }
+
+  /// Blocked X * L^T = B (B is m x n, ldb; L is n x n, ldl): march NB-wide
+  /// column panels, clearing each panel's left contribution with one GEMM
+  /// before the small triangular solve.
+  static void trsm(const T* l, index_t ldl, T* b, index_t ldb, index_t m,
+                   index_t n) {
+    for (index_t j0 = 0; j0 < n; j0 += NB) {
+      const index_t jb = std::min(NB, n - j0);
+      gemm(b, ldb, l + j0 * ldl, ldl, b + j0, ldb, m, jb, j0);
+      trsm_panel(l + j0 * ldl + j0, ldl, b + j0, ldb, m, jb);
+    }
+  }
+
+  /// Blocked right-looking Cholesky: unblocked panel factorization, blocked
+  /// TRSM below the panel, blocked SYRK on the trailing matrix.
+  static void potrf(T* a, index_t n) {
+    for (index_t j0 = 0; j0 < n; j0 += NB) {
+      const index_t jb = std::min(NB, n - j0);
+      potrf_panel(a + j0 * n + j0, n, jb);
+      const index_t rest = n - j0 - jb;
+      if (rest <= 0) continue;
+      T* below = a + (j0 + jb) * n + j0;
+      trsm(a + j0 * n + j0, n, below, n, rest, jb);
+      syrk(below, n, a + (j0 + jb) * n + (j0 + jb), n, rest, jb);
+    }
+  }
+};
+
 }  // namespace
 
-void potrf_lower_f64(double* a, index_t n) { potrf_impl(a, n); }
-void potrf_lower_f32(float* a, index_t n) { potrf_impl(a, n); }
+// --- Blocked entry points ----------------------------------------------------
+
+void potrf_lower_f64(double* a, index_t n) { Blocked<double>::potrf(a, n); }
+void potrf_lower_f32(float* a, index_t n) { Blocked<float>::potrf(a, n); }
 
 void trsm_rlt_f64(const double* l, double* b, index_t m, index_t n) {
-  trsm_impl(l, b, m, n);
+  Blocked<double>::trsm(l, n, b, n, m, n);
 }
 void trsm_rlt_f32(const float* l, float* b, index_t m, index_t n) {
-  trsm_impl(l, b, m, n);
+  Blocked<float>::trsm(l, n, b, n, m, n);
 }
 
 void gemm_nt_minus_f64(const double* a, const double* b, double* c, index_t m,
                        index_t n, index_t k) {
-  gemm_impl(a, b, c, m, n, k);
+  Blocked<double>::gemm(a, k, b, k, c, n, m, n, k);
 }
 void gemm_nt_minus_f32(const float* a, const float* b, float* c, index_t m,
                        index_t n, index_t k) {
-  gemm_impl(a, b, c, m, n, k);
+  Blocked<float>::gemm(a, k, b, k, c, n, m, n, k);
 }
 
 void syrk_ln_minus_f64(const double* a, double* c, index_t m, index_t k) {
-  syrk_impl(a, c, m, k);
+  Blocked<double>::syrk(a, k, c, m, m, k);
 }
 void syrk_ln_minus_f32(const float* a, float* c, index_t m, index_t k) {
-  syrk_impl(a, c, m, k);
+  Blocked<float>::syrk(a, k, c, m, m, k);
 }
+
+// --- Scalar reference oracles ------------------------------------------------
+
+void potrf_lower_ref_f64(double* a, index_t n) { potrf_ref_impl(a, n); }
+void potrf_lower_ref_f32(float* a, index_t n) { potrf_ref_impl(a, n); }
+
+void trsm_rlt_ref_f64(const double* l, double* b, index_t m, index_t n) {
+  trsm_ref_impl(l, b, m, n);
+}
+void trsm_rlt_ref_f32(const float* l, float* b, index_t m, index_t n) {
+  trsm_ref_impl(l, b, m, n);
+}
+
+void gemm_nt_minus_ref_f64(const double* a, const double* b, double* c,
+                           index_t m, index_t n, index_t k) {
+  gemm_ref_impl(a, b, c, m, n, k);
+}
+void gemm_nt_minus_ref_f32(const float* a, const float* b, float* c, index_t m,
+                           index_t n, index_t k) {
+  gemm_ref_impl(a, b, c, m, n, k);
+}
+
+void syrk_ln_minus_ref_f64(const double* a, double* c, index_t m, index_t k) {
+  syrk_ref_impl(a, c, m, k);
+}
+void syrk_ln_minus_ref_f32(const float* a, float* c, index_t m, index_t k) {
+  syrk_ref_impl(a, c, m, k);
+}
+
+// --- Precision conversion ----------------------------------------------------
 
 void convert_f64_to_f32(const double* src, float* dst, index_t count) {
   for (index_t i = 0; i < count; ++i) dst[i] = static_cast<float>(src[i]);

@@ -32,6 +32,12 @@ std::string precision_name(Precision p);
 std::size_t precision_bytes(Precision p);
 
 // --- Factorization kernels -------------------------------------------------
+//
+// The primary entry points below run the cache-blocked engine: packed panels
+// streamed through an MR x NR register-tiled micro-kernel (see docs/PERF.md).
+// Each kernel keeps its original scalar implementation as a `*_ref` oracle;
+// the blocked results match the oracles to accumulation-order rounding
+// (~1e-13 relative in f64), which tests/kernels_blocked_test.cpp asserts.
 
 /// In-place lower Cholesky of the n x n tile `a`. Throws NumericalError on a
 /// non-positive pivot. Strictly-upper entries are left untouched.
@@ -53,6 +59,23 @@ void gemm_nt_minus_f32(const float* a, const float* b, float* c, index_t m,
 /// C (m x m, lower triangle incl. diagonal) -= A (m x k) * A^T.
 void syrk_ln_minus_f64(const double* a, double* c, index_t m, index_t k);
 void syrk_ln_minus_f32(const float* a, float* c, index_t m, index_t k);
+
+// --- Scalar reference oracles ----------------------------------------------
+//
+// The seed's element-wise kernels, kept verbatim as correctness oracles for
+// the blocked engine and as the baseline the BENCH_kernels.json speedups are
+// measured against. Semantics are identical to the blocked entry points.
+
+void potrf_lower_ref_f64(double* a, index_t n);
+void potrf_lower_ref_f32(float* a, index_t n);
+void trsm_rlt_ref_f64(const double* l, double* b, index_t m, index_t n);
+void trsm_rlt_ref_f32(const float* l, float* b, index_t m, index_t n);
+void gemm_nt_minus_ref_f64(const double* a, const double* b, double* c,
+                           index_t m, index_t n, index_t k);
+void gemm_nt_minus_ref_f32(const float* a, const float* b, float* c, index_t m,
+                           index_t n, index_t k);
+void syrk_ln_minus_ref_f64(const double* a, double* c, index_t m, index_t k);
+void syrk_ln_minus_ref_f32(const float* a, float* c, index_t m, index_t k);
 
 // --- Precision conversion ---------------------------------------------------
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <thread>
@@ -74,6 +76,24 @@ RunStats execute(const TaskGraph& graph, const SchedulerOptions& options,
   std::mutex error_mu;
   std::vector<double> busy(threads, 0.0);
 
+  // Idle-worker parking. A worker that repeatedly fails to find work stops
+  // busy-spinning and waits on this condition variable with an exponentially
+  // growing bounded timeout; task completions that push new ready work bump
+  // `wake_epoch` and notify. The timeout (rather than exact wakeup
+  // accounting) makes lost-wakeup hangs structurally impossible while still
+  // keeping idle workers off the cores during skinny DAG phases.
+  std::mutex idle_mu;
+  std::condition_variable idle_cv;
+  std::atomic<std::uint64_t> wake_epoch{0};
+  std::atomic<unsigned> sleepers{0};
+  auto wake_workers = [&] {
+    wake_epoch.fetch_add(1, std::memory_order_release);
+    if (sleepers.load(std::memory_order_acquire) > 0) {
+      std::lock_guard<std::mutex> lock(idle_mu);
+      idle_cv.notify_all();
+    }
+  };
+
   // Seed initial ready tasks round-robin in descending priority so that
   // high-priority roots start immediately on distinct workers.
   {
@@ -94,11 +114,19 @@ RunStats execute(const TaskGraph& graph, const SchedulerOptions& options,
   common::Timer global;
   auto worker_fn = [&](unsigned me) {
     common::Timer clock;
+    // Spin briefly before parking: during dense DAG phases new work arrives
+    // within microseconds and a yield-spin wins; during skinny phases the
+    // spin limit trips and the worker sleeps instead of burning a core.
+    constexpr unsigned kSpinLimit = 32;
+    unsigned idle_spins = 0;
+    auto park_us = std::chrono::microseconds(50);
     for (;;) {
       if (completed.load(std::memory_order_acquire) >= n ||
           failed.load(std::memory_order_relaxed)) {
         return;
       }
+      const std::uint64_t epoch_before =
+          wake_epoch.load(std::memory_order_acquire);
       TaskId id = -1;
       bool got = queues[me].pop_local_best(graph, id);
       if (!got) {
@@ -108,17 +136,36 @@ RunStats execute(const TaskGraph& graph, const SchedulerOptions& options,
         }
       }
       if (!got) {
-        std::this_thread::yield();
+        if (++idle_spins < kSpinLimit) {
+          std::this_thread::yield();
+          continue;
+        }
+        sleepers.fetch_add(1, std::memory_order_acq_rel);
+        {
+          std::unique_lock<std::mutex> lock(idle_mu);
+          idle_cv.wait_for(lock, park_us, [&] {
+            return wake_epoch.load(std::memory_order_acquire) != epoch_before ||
+                   completed.load(std::memory_order_acquire) >= n ||
+                   failed.load(std::memory_order_relaxed);
+          });
+        }
+        sleepers.fetch_sub(1, std::memory_order_acq_rel);
+        park_us = std::min(park_us * 2, std::chrono::microseconds(2000));
         continue;
       }
+      idle_spins = 0;
+      park_us = std::chrono::microseconds(50);
       const Task& t = graph.task(id);
       const double t0 = clock.seconds();
       try {
         if (t.fn) t.fn();
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!failed.exchange(true)) first_error = std::current_exception();
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!failed.exchange(true)) first_error = std::current_exception();
+        }
         completed.fetch_add(1, std::memory_order_release);
+        wake_workers();  // parked workers must observe the failure
         return;
       }
       const double t1 = clock.seconds();
@@ -126,13 +173,20 @@ RunStats execute(const TaskGraph& graph, const SchedulerOptions& options,
       if (trace != nullptr && options.collect_trace) {
         trace->record({t.name, me, t0, t1});
       }
+      bool pushed = false;
       for (TaskId succ : t.successors) {
         if (remaining_preds[static_cast<std::size_t>(succ)].fetch_sub(
                 1, std::memory_order_acq_rel) == 1) {
           queues[me].push(succ);
+          pushed = true;
         }
       }
       completed.fetch_add(1, std::memory_order_release);
+      // New ready work (stealable from this queue) or global completion:
+      // either way parked workers need a look.
+      if (pushed || completed.load(std::memory_order_acquire) >= n) {
+        wake_workers();
+      }
     }
   };
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "sht/packing.hpp"
 
 namespace exaclim::sht {
@@ -37,23 +38,36 @@ SHTPlan::SHTPlan(index_t band_limit, GridShape grid)
   n_ext_ = 2 * grid.nlat - 2;
   fft_colat_ = fft::get_plan(n_ext_);
 
-  // I(q) table for q in [-(2L-2), 2L-2]. Odd entries store the *imaginary*
-  // coefficient (i q pi / 2 has imaginary part q pi / 2 for |q| = 1, zero
-  // otherwise); even entries store the real value 2/(1-q^2).
+  // Densely packed even-q I(q) table for q in [-(2L-2), 2L-2]: the W
+  // accumulation in analyze Steps 2-3 walks it with unit stride. Odd q never
+  // need a table — I(q) vanishes for odd |q| > 1 and the q = +-1 values
+  // (+-i pi/2) are patched inline.
   const index_t qmax = 2 * (band_limit_ - 1);
-  i_table_.assign(static_cast<std::size_t>(4 * (band_limit_ - 1) + 1), 0.0);
-  for (index_t q = -qmax; q <= qmax; ++q) {
-    double v = 0.0;
-    if (q % 2 == 0) {
-      const double qd = static_cast<double>(q);
-      v = 2.0 / (1.0 - qd * qd);
-    } else if (q == 1) {
-      v = kPi / 2.0;  // imaginary coefficient of I(1) = i pi / 2
-    } else if (q == -1) {
-      v = -kPi / 2.0;
-    }
-    i_table_[static_cast<std::size_t>(q + qmax)] = v;
+  i_even_.resize(static_cast<std::size_t>(2 * band_limit_ - 1));
+  for (index_t q = -qmax; q <= qmax; q += 2) {
+    i_even_[static_cast<std::size_t>((q + qmax) / 2)] = colatitude_integral(q);
   }
+
+  // Fused Wigner products d^l_{n,0} * d^l_{n,m} for Step 4 of the analysis,
+  // flattened so each (l, m) row of 2l+1 values is contiguous.
+  fused_offset_.resize(static_cast<std::size_t>(tri_count(band_limit_)));
+  index_t total = 0;
+  for (index_t l = 0; l < band_limit_; ++l) {
+    for (index_t m = 0; m <= l; ++m) {
+      fused_offset_[static_cast<std::size_t>(tri_index(l, m))] = total;
+      total += 2 * l + 1;
+    }
+  }
+  fused_wigner_.resize(static_cast<std::size_t>(total));
+  common::parallel_for(0, band_limit_, [&](index_t l) {
+    for (index_t m = 0; m <= l; ++m) {
+      double* row = fused_wigner_.data() +
+                    fused_offset_[static_cast<std::size_t>(tri_index(l, m))];
+      for (index_t n = -l; n <= l; ++n) {
+        row[n + l] = wigner_->value(l, n, 0) * wigner_->value(l, n, m);
+      }
+    }
+  });
 }
 
 std::vector<cplx> SHTPlan::analyze(std::span<const double> field) const {
@@ -65,12 +79,14 @@ std::vector<cplx> SHTPlan::analyze(std::span<const double> field) const {
 
   // Step 1: G_m(theta_i) for m = 0..L-1 (real field: negative m are
   // conjugates and never needed, because we only output z_{l,m>=0}).
-  // Layout: gm[m * nlat + i].
+  // Layout: gm[m * nlat + i]. Rings are independent; each worker keeps a
+  // persistent FFT scratch row across calls.
   std::vector<cplx> gm(static_cast<std::size_t>(L * nlat));
   {
-    std::vector<cplx> row(static_cast<std::size_t>(nlon));
     const double scale = kTwoPi / static_cast<double>(nlon);
-    for (index_t i = 0; i < nlat; ++i) {
+    common::parallel_for(0, nlat, [&](index_t i) {
+      thread_local std::vector<cplx> row;
+      row.resize(static_cast<std::size_t>(nlon));
       for (index_t j = 0; j < nlon; ++j) {
         row[static_cast<std::size_t>(j)] =
             cplx{field[static_cast<std::size_t>(i * nlon + j)], 0.0};
@@ -80,18 +96,38 @@ std::vector<cplx> SHTPlan::analyze(std::span<const double> field) const {
         gm[static_cast<std::size_t>(m * nlat + i)] =
             scale * row[static_cast<std::size_t>(m)];
       }
-    }
+    });
   }
 
   // Steps 2-3: per order m, extend along colatitude, recover K_{m,m'}, and
-  // accumulate W_{m,n} = sum_{m'} K_{m,m'} I(n + m').
+  // accumulate W_{m,n} = sum_{m'} K_{m,m'} I(n + m'). Orders are independent.
+  //
+  // I(q) vanishes for odd |q| > 1, so the sum regroups by parity: even
+  // q = n + m' means m' must share n's parity, and splitting the K values
+  // into even/odd-m' real/imag arrays turns the per-n reduction into
+  // contiguous branch-free dot products against the packed i_even_ table
+  // (the seed walked every (m', n) pair and branched on a zero test per
+  // term). The only odd-q survivors, q = +-1, are patched in afterwards.
   // Layout: w[m * (2L-1) + (n + L-1)].
   const index_t nw = 2 * L - 1;
-  std::vector<cplx> w(static_cast<std::size_t>(L * nw), cplx{0.0, 0.0});
+  std::vector<cplx> w(static_cast<std::size_t>(L * nw));
   {
-    std::vector<cplx> ext(static_cast<std::size_t>(n_ext_));
     const index_t qmax = 2 * (L - 1);
-    for (index_t m = 0; m < L; ++m) {
+    const index_t off = L - 1;  // array offset for signed m' and n
+    // Lowest/highest even and odd m' in [-(L-1), L-1], and their counts.
+    const index_t mp_even0 = (off % 2 == 0) ? -off : -(off - 1);
+    const index_t mp_odd0 = (off % 2 == 0) ? -(off - 1) : -off;
+    const index_t mp_even_last = (off % 2 == 0) ? off : off - 1;
+    const index_t mp_odd_last = (off % 2 == 0) ? off - 1 : off;
+    const index_t n_even = (mp_even_last - mp_even0) / 2 + 1;
+    const index_t n_odd = off > 0 ? (mp_odd_last - mp_odd0) / 2 + 1 : 0;
+    common::parallel_for(0, L, [&](index_t m) {
+      thread_local std::vector<cplx> ext;
+      thread_local std::vector<cplx> kvals;
+      thread_local std::vector<double> ksplit;
+      ext.resize(static_cast<std::size_t>(n_ext_));
+      kvals.resize(static_cast<std::size_t>(nw));
+      ksplit.resize(static_cast<std::size_t>(2 * (n_even + n_odd)));
       const double sign = (m % 2 == 0) ? 1.0 : -1.0;
       const cplx* g = gm.data() + static_cast<std::size_t>(m * nlat);
       for (index_t k = 0; k < nlat; ++k) ext[static_cast<std::size_t>(k)] = g[k];
@@ -101,47 +137,80 @@ std::vector<cplx> SHTPlan::analyze(std::span<const double> field) const {
       fft_colat_->forward(ext.data());
       const double inv_next = 1.0 / static_cast<double>(n_ext_);
       // K_{m,m'} = ext-bin(m' mod n_ext) / n_ext for |m'| <= L-1.
-      cplx* wrow = w.data() + static_cast<std::size_t>(m * nw);
-      for (index_t mp = -(L - 1); mp <= L - 1; ++mp) {
+      for (index_t mp = -off; mp <= off; ++mp) {
         const index_t bin = (mp % n_ext_ + n_ext_) % n_ext_;
-        const cplx k_val = ext[static_cast<std::size_t>(bin)] * inv_next;
-        if (k_val == cplx{0.0, 0.0}) continue;
-        for (index_t n = -(L - 1); n <= L - 1; ++n) {
-          const index_t q = n + mp;
-          const double tab =
-              i_table_[static_cast<std::size_t>(q + qmax)];
-          if (tab == 0.0) continue;
-          // Even q: I(q) real. Odd q (only |q| = 1): I(q) = i * tab.
-          if (q % 2 == 0) {
-            wrow[static_cast<std::size_t>(n + L - 1)] += k_val * tab;
-          } else {
-            wrow[static_cast<std::size_t>(n + L - 1)] +=
-                k_val * cplx{0.0, tab};
-          }
-        }
+        kvals[static_cast<std::size_t>(mp + off)] =
+            ext[static_cast<std::size_t>(bin)] * inv_next;
       }
-    }
+      // Parity-split K into packed re/im arrays.
+      double* ke_re = ksplit.data();
+      double* ke_im = ke_re + n_even;
+      double* ko_re = ke_im + n_even;
+      double* ko_im = ko_re + n_odd;
+      for (index_t s = 0; s < n_even; ++s) {
+        const cplx v = kvals[static_cast<std::size_t>(mp_even0 + 2 * s + off)];
+        ke_re[s] = v.real();
+        ke_im[s] = v.imag();
+      }
+      for (index_t s = 0; s < n_odd; ++s) {
+        const cplx v = kvals[static_cast<std::size_t>(mp_odd0 + 2 * s + off)];
+        ko_re[s] = v.real();
+        ko_im[s] = v.imag();
+      }
+      cplx* wrow = w.data() + static_cast<std::size_t>(m * nw);
+      for (index_t n = -off; n <= off; ++n) {
+        const bool even_n = ((n % 2) + 2) % 2 == 0;
+        const index_t mp0 = even_n ? mp_even0 : mp_odd0;
+        const index_t cnt = even_n ? n_even : n_odd;
+        const double* kre = even_n ? ke_re : ko_re;
+        const double* kim = even_n ? ke_im : ko_im;
+        const double* ie =
+            i_even_.data() + static_cast<std::size_t>((n + mp0 + qmax) / 2);
+        double re = 0.0, im = 0.0;
+        for (index_t s = 0; s < cnt; ++s) {
+          re += kre[s] * ie[s];
+          im += kim[s] * ie[s];
+        }
+        // Odd-q patch: I(+-1) = +-i pi/2 at m' = +-1 - n.
+        cplx acc{re, im};
+        if (std::abs(1 - n) <= off) {
+          acc += kvals[static_cast<std::size_t>(1 - n + off)] *
+                 cplx{0.0, kPi / 2.0};
+        }
+        if (std::abs(-1 - n) <= off) {
+          acc += kvals[static_cast<std::size_t>(-1 - n + off)] *
+                 cplx{0.0, -kPi / 2.0};
+        }
+        wrow[static_cast<std::size_t>(n + off)] = acc;
+      }
+    });
   }
 
   // Step 4: z_{l,m} = i^{-m} sqrt((2l+1)/(4 pi)) *
   //                   sum_{n=-l}^{l} d_{n,0} d_{n,m} W_{m,n}.
+  // The Wigner products are prefused per (l, m) into fused_wigner_, so the
+  // reduction is a contiguous dot product; per-l coefficient slices are
+  // disjoint (tri_index(l, 0..l) is contiguous).
   std::vector<cplx> coeffs(static_cast<std::size_t>(tri_count(L)));
   static const cplx kIPowNeg[4] = {cplx{1, 0}, cplx{0, -1}, cplx{-1, 0},
                                    cplx{0, 1}};
-  for (index_t l = 0; l < L; ++l) {
+  common::parallel_for(0, L, [&](index_t l) {
     const double norm = std::sqrt((2.0 * l + 1.0) / (4.0 * kPi));
+    const index_t len = 2 * l + 1;
     for (index_t m = 0; m <= l; ++m) {
-      cplx acc{0.0, 0.0};
-      const cplx* wrow = w.data() + static_cast<std::size_t>(m * nw);
-      for (index_t n = -l; n <= l; ++n) {
-        const double dn0 = wigner_->value(l, n, 0);
-        const double dnm = wigner_->value(l, n, m);
-        acc += dn0 * dnm * wrow[static_cast<std::size_t>(n + L - 1)];
+      const double* f = fused_wigner_.data() +
+                        fused_offset_[static_cast<std::size_t>(tri_index(l, m))];
+      const cplx* ws =
+          w.data() + static_cast<std::size_t>(m * nw + (L - 1 - l));
+      double re = 0.0, im = 0.0;
+      for (index_t t = 0; t < len; ++t) {
+        re += f[t] * ws[t].real();
+        im += f[t] * ws[t].imag();
       }
       coeffs[static_cast<std::size_t>(tri_index(l, m))] =
-          kIPowNeg[m % 4] * norm * acc;
+          kIPowNeg[m % 4] * norm * cplx{re, im};
     }
-  }
+  });
   return coeffs;
 }
 
@@ -153,9 +222,13 @@ std::vector<double> SHTPlan::synthesize(std::span<const cplx> coeffs) const {
   const index_t nlon = grid_.nlon;
   std::vector<double> field(static_cast<std::size_t>(grid_.num_points()));
 
-  std::vector<cplx> bins(static_cast<std::size_t>(nlon));
-  std::vector<cplx> h(static_cast<std::size_t>(L));
-  for (index_t i = 0; i < nlat; ++i) {
+  // Rings are independent: each worker reuses persistent FFT/accumulator
+  // scratch across rings and across synthesize calls.
+  common::parallel_for(0, nlat, [&](index_t i) {
+    thread_local std::vector<cplx> bins;
+    thread_local std::vector<cplx> h;
+    bins.resize(static_cast<std::size_t>(nlon));
+    h.resize(static_cast<std::size_t>(L));
     const double* leg = legendre_->row(i);
     // H_m(theta_i) = sum_{l >= m} z_{l,m} Pbar_l^m(cos theta_i).
     for (index_t m = 0; m < L; ++m) {
@@ -180,7 +253,7 @@ std::vector<double> SHTPlan::synthesize(std::span<const cplx> coeffs) const {
       field[static_cast<std::size_t>(i * nlon + j)] =
           bins[static_cast<std::size_t>(j)].real() * static_cast<double>(nlon);
     }
-  }
+  });
   return field;
 }
 

@@ -51,10 +51,11 @@ struct GridShape {
 double colatitude_integral(index_t q);
 
 /// Reusable SHT of fixed band limit and grid. Construction precomputes the
-/// Wigner-d(pi/2) table, the Legendre table, FFT plans, and the I(q) table
-/// (the paper's pre-computation strategy); analyze/synthesize are then
-/// thread-safe and allocation-local, so many time slots can be transformed
-/// concurrently.
+/// Wigner-d(pi/2) table, the Legendre table, FFT plans, the I(q) table, and a
+/// flat table of fused products d^l_{n,0} * d^l_{n,m} (the paper's
+/// pre-computation strategy); analyze/synthesize are then thread-safe, run
+/// their ring/order loops on the shared worker pool, and reuse per-thread
+/// scratch buffers, so many time slots can be transformed concurrently.
 class SHTPlan {
  public:
   SHTPlan(index_t band_limit, GridShape grid);
@@ -80,12 +81,14 @@ class SHTPlan {
   std::unique_ptr<LegendreTable> legendre_;
   std::shared_ptr<const fft::Plan> fft_lon_;
   std::shared_ptr<const fft::Plan> fft_colat_;
-  std::vector<double> i_table_;  // I(q) for q = -(2L-2) .. 2L-2, offset 2L-2
-  index_t n_ext_ = 0;            // 2*nlat - 2
+  std::vector<double> i_even_;  // I(q) for even q, packed at (q+2L-2)/2
+  index_t n_ext_ = 0;           // 2*nlat - 2
 
-  double integral_i(index_t q) const {
-    return i_table_[static_cast<std::size_t>(q + 2 * (band_limit_ - 1))];
-  }
+  // Fused Wigner products for the analysis Step 4: row tri_index(l, m) holds
+  // d^l_{n,0}(pi/2) * d^l_{n,m}(pi/2) for n = -l..l, so the per-coefficient
+  // reduction is a contiguous real-times-complex dot product.
+  std::vector<double> fused_wigner_;
+  std::vector<index_t> fused_offset_;  // offset of row (l, m), tri_index order
 };
 
 /// Reference forward analysis via brute-force quadrature of Eq. (4) using

@@ -1,0 +1,234 @@
+// The blocked tile kernels must reproduce the retained scalar *_ref oracles:
+// 1e-12 relative in f64, 1e-4 relative in f32, across rectangular shapes,
+// degenerate sizes, and sizes straddling every blocking boundary (micro-tile
+// MR/NR, panel NB = 64, cache blocks MC = 96 / KC = 256).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/kernels.hpp"
+
+namespace {
+
+using namespace exaclim;
+using namespace exaclim::linalg;
+
+template <typename T>
+std::vector<T> random_vec(index_t n, std::uint64_t seed, double scale = 1.0) {
+  common::Rng rng(seed);
+  std::vector<T> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<T>(rng.normal(0.0, scale));
+  return v;
+}
+
+/// Well-conditioned SPD tile: diagonally dominant exponential decay.
+template <typename T>
+std::vector<T> spd_tile(index_t n, double diag_boost = 1.0) {
+  std::vector<T> a(static_cast<std::size_t>(n * n));
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      a[static_cast<std::size_t>(i * n + j)] = static_cast<T>(
+          std::exp(-std::abs(static_cast<double>(i - j)) / 16.0));
+    }
+    a[static_cast<std::size_t>(i * n + i)] += static_cast<T>(diag_boost);
+  }
+  return a;
+}
+
+template <typename T>
+double max_rel_err(const std::vector<T>& got, const std::vector<T>& want) {
+  double scale = 1.0;
+  for (const T& w : want) scale = std::max(scale, std::abs(static_cast<double>(w)));
+  double err = 0.0;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    err = std::max(err, std::abs(static_cast<double>(got[i]) -
+                                 static_cast<double>(want[i])) /
+                            scale);
+  }
+  return err;
+}
+
+constexpr double kTolF64 = 1e-12;
+constexpr double kTolF32 = 1e-4;
+
+// Shapes chosen to straddle every boundary in the blocked engine: unit and
+// prime sizes, the micro-tile widths (4/8/16/32), the factorization panel
+// NB = 64, the cache blocks MC = 96 and KC = 256, and their off-by-ones.
+struct Shape {
+  index_t m, n, k;
+};
+const Shape kGemmShapes[] = {
+    {1, 1, 1},   {1, 7, 3},    {7, 1, 5},     {5, 5, 1},    {7, 7, 7},
+    {8, 32, 16}, {13, 9, 17},  {33, 31, 29},  {64, 64, 64}, {65, 63, 67},
+    {96, 97, 95}, {100, 41, 257}, {128, 128, 300}, {256, 256, 256}};
+
+TEST(KernelsBlocked, GemmMatchesRefF64) {
+  for (const Shape& s : kGemmShapes) {
+    auto a = random_vec<double>(s.m * s.k, 1);
+    auto b = random_vec<double>(s.n * s.k, 2);
+    auto c = random_vec<double>(s.m * s.n, 3);
+    auto want = c;
+    gemm_nt_minus_f64(a.data(), b.data(), c.data(), s.m, s.n, s.k);
+    gemm_nt_minus_ref_f64(a.data(), b.data(), want.data(), s.m, s.n, s.k);
+    EXPECT_LT(max_rel_err(c, want), kTolF64)
+        << "m=" << s.m << " n=" << s.n << " k=" << s.k;
+  }
+}
+
+TEST(KernelsBlocked, GemmMatchesRefF32) {
+  for (const Shape& s : kGemmShapes) {
+    auto a = random_vec<float>(s.m * s.k, 4);
+    auto b = random_vec<float>(s.n * s.k, 5);
+    auto c = random_vec<float>(s.m * s.n, 6);
+    auto want = c;
+    gemm_nt_minus_f32(a.data(), b.data(), c.data(), s.m, s.n, s.k);
+    gemm_nt_minus_ref_f32(a.data(), b.data(), want.data(), s.m, s.n, s.k);
+    EXPECT_LT(max_rel_err(c, want), kTolF32)
+        << "m=" << s.m << " n=" << s.n << " k=" << s.k;
+  }
+}
+
+const Shape kSyrkShapes[] = {{1, 0, 1},   {7, 0, 7},    {13, 0, 29},
+                             {64, 0, 64}, {65, 0, 127}, {96, 0, 96},
+                             {97, 0, 95}, {192, 0, 256}, {256, 0, 256}};
+
+TEST(KernelsBlocked, SyrkMatchesRefF64) {
+  for (const Shape& s : kSyrkShapes) {
+    auto a = random_vec<double>(s.m * s.k, 7);
+    auto c = random_vec<double>(s.m * s.m, 8);
+    auto want = c;
+    syrk_ln_minus_f64(a.data(), c.data(), s.m, s.k);
+    syrk_ln_minus_ref_f64(a.data(), want.data(), s.m, s.k);
+    EXPECT_LT(max_rel_err(c, want), kTolF64) << "m=" << s.m << " k=" << s.k;
+  }
+}
+
+TEST(KernelsBlocked, SyrkMatchesRefF32) {
+  for (const Shape& s : kSyrkShapes) {
+    auto a = random_vec<float>(s.m * s.k, 9);
+    auto c = random_vec<float>(s.m * s.m, 10);
+    auto want = c;
+    syrk_ln_minus_f32(a.data(), c.data(), s.m, s.k);
+    syrk_ln_minus_ref_f32(a.data(), want.data(), s.m, s.k);
+    EXPECT_LT(max_rel_err(c, want), kTolF32) << "m=" << s.m << " k=" << s.k;
+  }
+}
+
+TEST(KernelsBlocked, SyrkLeavesStrictUpperUntouched) {
+  const index_t m = 65, k = 33;
+  auto a = random_vec<double>(m * k, 11);
+  auto c = random_vec<double>(m * m, 12);
+  const auto before = c;
+  syrk_ln_minus_f64(a.data(), c.data(), m, k);
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = i + 1; j < m; ++j) {
+      EXPECT_EQ(c[static_cast<std::size_t>(i * m + j)],
+                before[static_cast<std::size_t>(i * m + j)]);
+    }
+  }
+}
+
+TEST(KernelsBlocked, TrsmMatchesRefF64) {
+  for (index_t n : {1, 7, 31, 64, 65, 100, 129, 256}) {
+    for (index_t m : {1, 7, 64, 96, 200}) {
+      auto l = spd_tile<double>(n);
+      potrf_lower_ref_f64(l.data(), n);
+      auto b = random_vec<double>(m * n, 13);
+      auto want = b;
+      trsm_rlt_f64(l.data(), b.data(), m, n);
+      trsm_rlt_ref_f64(l.data(), want.data(), m, n);
+      EXPECT_LT(max_rel_err(b, want), kTolF64) << "m=" << m << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelsBlocked, TrsmMatchesRefF32) {
+  for (index_t n : {1, 7, 64, 65, 129}) {
+    for (index_t m : {1, 13, 96}) {
+      auto l = spd_tile<float>(n);
+      potrf_lower_ref_f32(l.data(), n);
+      auto b = random_vec<float>(m * n, 14);
+      auto want = b;
+      trsm_rlt_f32(l.data(), b.data(), m, n);
+      trsm_rlt_ref_f32(l.data(), want.data(), m, n);
+      EXPECT_LT(max_rel_err(b, want), kTolF32) << "m=" << m << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelsBlocked, PotrfMatchesRefF64) {
+  for (index_t n : {1, 2, 7, 63, 64, 65, 96, 100, 129, 200, 256}) {
+    auto a = spd_tile<double>(n);
+    auto want = a;
+    potrf_lower_f64(a.data(), n);
+    potrf_lower_ref_f64(want.data(), n);
+    // Compare the lower triangles only (strictly-upper is untouched input).
+    double err = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      for (index_t j = 0; j <= i; ++j) {
+        err = std::max(err, std::abs(a[static_cast<std::size_t>(i * n + j)] -
+                                     want[static_cast<std::size_t>(i * n + j)]));
+      }
+    }
+    EXPECT_LT(err, kTolF64 * 10) << "n=" << n;
+  }
+}
+
+TEST(KernelsBlocked, PotrfMatchesRefF32) {
+  for (index_t n : {1, 7, 64, 65, 129}) {
+    auto a = spd_tile<float>(n);
+    auto want = a;
+    potrf_lower_f32(a.data(), n);
+    potrf_lower_ref_f32(want.data(), n);
+    double err = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      for (index_t j = 0; j <= i; ++j) {
+        err = std::max(
+            err, std::abs(static_cast<double>(a[static_cast<std::size_t>(i * n + j)]) -
+                          static_cast<double>(want[static_cast<std::size_t>(i * n + j)])));
+      }
+    }
+    EXPECT_LT(err, kTolF32) << "n=" << n;
+  }
+}
+
+TEST(KernelsBlocked, PotrfReconstructsInput) {
+  // End-to-end: L * L^T must reproduce the original SPD tile.
+  const index_t n = 129;
+  auto a = spd_tile<double>(n);
+  const auto orig = a;
+  potrf_lower_f64(a.data(), n);
+  double err = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j <= i; ++j) {
+      double acc = 0.0;
+      for (index_t p = 0; p <= j; ++p) {
+        acc += a[static_cast<std::size_t>(i * n + p)] *
+               a[static_cast<std::size_t>(j * n + p)];
+      }
+      err = std::max(err, std::abs(acc - orig[static_cast<std::size_t>(i * n + j)]));
+    }
+  }
+  EXPECT_LT(err, 1e-10);
+}
+
+TEST(KernelsBlocked, PotrfThrowsOnIndefiniteTile) {
+  const index_t n = 96;
+  auto a = spd_tile<double>(n);
+  a[static_cast<std::size_t>(70 * n + 70)] = -100.0;  // in the second panel
+  EXPECT_THROW(potrf_lower_f64(a.data(), n), NumericalError);
+}
+
+TEST(KernelsBlocked, GemmZeroSizesAreNoops) {
+  auto c = random_vec<double>(4 * 4, 15);
+  const auto before = c;
+  gemm_nt_minus_f64(nullptr, nullptr, c.data(), 0, 4, 4);
+  gemm_nt_minus_f64(nullptr, nullptr, c.data(), 4, 0, 4);
+  gemm_nt_minus_f64(nullptr, nullptr, c.data(), 4, 4, 0);
+  EXPECT_EQ(c, before);
+}
+
+}  // namespace

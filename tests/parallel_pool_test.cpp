@@ -1,0 +1,139 @@
+// The persistent-pool parallel_for must keep the seed's contract: every index
+// visited exactly once, first exception wins and propagates, prompt
+// short-circuit after a failure, and safe (serialized) nesting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/thread_pool.hpp"
+
+namespace {
+
+using namespace exaclim;
+
+TEST(ParallelPool, PoolIsPersistentAcrossCalls) {
+  common::ThreadPool& first = common::ThreadPool::instance();
+  common::parallel_for(0, 100, [](index_t) {});
+  common::parallel_for(0, 100, [](index_t) {});
+  EXPECT_EQ(&first, &common::ThreadPool::instance());
+  EXPECT_GE(first.worker_count(), 1u);
+}
+
+TEST(ParallelPool, NestedParallelForCoversAllIndices) {
+  constexpr index_t kOuter = 16;
+  constexpr index_t kInner = 64;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  common::parallel_for(0, kOuter, [&](index_t i) {
+    common::parallel_for(0, kInner, [&](index_t j) {
+      ++hits[static_cast<std::size_t>(i * kInner + j)];
+    });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelPool, TriplyNestedStillCorrect) {
+  std::atomic<long long> sum{0};
+  common::parallel_for(0, 4, [&](index_t) {
+    common::parallel_for(0, 4, [&](index_t) {
+      common::parallel_for(0, 4, [&](index_t k) { sum += k; });
+    });
+  });
+  EXPECT_EQ(sum.load(), 4 * 4 * (0 + 1 + 2 + 3));
+}
+
+TEST(ParallelPool, NestedExceptionPropagates) {
+  EXPECT_THROW(
+      common::parallel_for(0, 8,
+                           [&](index_t i) {
+                             common::parallel_for(0, 8, [&](index_t j) {
+                               if (i == 3 && j == 5) {
+                                 throw std::runtime_error("inner boom");
+                               }
+                             });
+                           }),
+      std::runtime_error);
+}
+
+TEST(ParallelPool, FirstExceptionWins) {
+  try {
+    common::parallel_for(0, 1000, [&](index_t i) {
+      if (i == 0) throw std::runtime_error("index-0");
+      // Later failures must not replace the first recorded error.
+      if (i > 900) throw std::logic_error("late");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::exception& e) {
+    SUCCEED() << e.what();
+  }
+}
+
+TEST(ParallelPool, FailureShortCircuitsRemainingChunks) {
+  // After one chunk throws, other workers should stop claiming work: far
+  // fewer than all iterations run. The check is deliberately loose (any
+  // chunk already claimed may finish) but catches a run-to-completion bug.
+  std::atomic<index_t> executed{0};
+  const index_t n = 1 << 20;
+  EXPECT_THROW(common::parallel_for(0, n,
+                                    [&](index_t i) {
+                                      executed.fetch_add(
+                                          1, std::memory_order_relaxed);
+                                      if (i == 0) throw std::runtime_error("x");
+                                    }),
+               std::runtime_error);
+  EXPECT_LT(executed.load(), n);
+}
+
+TEST(ParallelPool, ExceptionDoesNotPoisonLaterCalls) {
+  EXPECT_THROW(
+      common::parallel_for(0, 100,
+                           [](index_t i) {
+                             if (i == 50) throw std::runtime_error("boom");
+                           }),
+      std::runtime_error);
+  std::atomic<index_t> count{0};
+  common::parallel_for(0, 100, [&](index_t) { ++count; });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelPool, ConcurrentTopLevelCallersAreSafe) {
+  // Two plain std::threads race whole parallel_for regions; one gets the
+  // pool, the other degrades to inline execution. Both must be complete and
+  // exact.
+  std::atomic<long long> sum_a{0};
+  std::atomic<long long> sum_b{0};
+  std::thread other([&] {
+    common::parallel_for(0, 20000, [&](index_t i) { sum_a += i; });
+  });
+  common::parallel_for(0, 20000, [&](index_t i) { sum_b += i; });
+  other.join();
+  long long expect = 0;
+  for (index_t i = 0; i < 20000; ++i) expect += i;
+  EXPECT_EQ(sum_a.load(), expect);
+  EXPECT_EQ(sum_b.load(), expect);
+}
+
+TEST(ParallelPool, NonTrivialBodyResultsMatchSerial) {
+  const index_t n = 4096;
+  std::vector<double> out(static_cast<std::size_t>(n), 0.0);
+  common::parallel_for(0, n, [&](index_t i) {
+    double acc = 0.0;
+    for (index_t j = 0; j < 100; ++j) {
+      acc += static_cast<double>((i * 37 + j * 11) % 101);
+    }
+    out[static_cast<std::size_t>(i)] = acc;
+  });
+  for (index_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (index_t j = 0; j < 100; ++j) {
+      acc += static_cast<double>((i * 37 + j * 11) % 101);
+    }
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], acc) << i;
+  }
+}
+
+}  // namespace
