@@ -277,13 +277,79 @@ void bench_type(const char* precision, exaclim::bench::JsonBench& out) {
   }
 }
 
+void bench_f16(exaclim::bench::JsonBench& out) {
+  // Full HP tile-update task bodies, new vs old. New: widen the scaled-half
+  // C tile, run the packed-half kernel (f16 operands consumed in place,
+  // scales folded into alpha), repack C with a fresh scale. Old
+  // (round-through-f32): widen every f16 operand AND the C tile to full f32
+  // copies with the element-wise converters, run the f32 blocked kernel,
+  // narrow C back — the task body the engines used before the packed path.
+  using exaclim::bench::time_op;
+  for (index_t nb : {64, 128, 256}) {
+    const auto af = random_tile<float>(nb, 1);
+    const auto bf = random_tile<float>(nb, 2);
+    std::vector<common::half> ah(af.size()), bh(bf.size());
+    const float sa = convert_f32_to_f16_scaled(af.data(), ah.data(), nb * nb);
+    const float sb = convert_f32_to_f16_scaled(bf.data(), bh.data(), nb * nb);
+    std::vector<common::half> c16(static_cast<std::size_t>(nb * nb));
+    float sc = convert_f32_to_f16_scaled(random_tile<float>(nb, 3).data(),
+                                         c16.data(), nb * nb);
+    std::vector<float> aw(af.size()), bw(bf.size()), cw(c16.size());
+
+    const double gemm_flops = 2.0 * nb * nb * nb;
+    double tb = time_op([&] {
+      convert_f16_scaled_to_f32(c16.data(), sc, cw.data(), nb * nb);
+      gemm_nt_minus_f16(ah.data(), sa, bh.data(), sb, cw.data(), nb, nb, nb);
+      sc = convert_f32_to_f16_scaled(cw.data(), c16.data(), nb * nb);
+    });
+    double tr = time_op([&] {
+      convert_f16_to_f32(ah.data(), aw.data(), nb * nb);
+      convert_f16_to_f32(bh.data(), bw.data(), nb * nb);
+      convert_f16_to_f32(c16.data(), cw.data(), nb * nb);
+      gemm_nt_minus_f32(aw.data(), bw.data(), cw.data(), nb, nb, nb);
+      convert_f32_to_f16(cw.data(), c16.data(), nb * nb);
+    });
+    out.add(json_row("gemm_nt", "f16", nb, gemm_flops, tb, tr));
+
+    const double syrk_flops = static_cast<double>(nb) * nb * nb;
+    tb = time_op([&] {
+      convert_f16_scaled_to_f32(c16.data(), sc, cw.data(), nb * nb);
+      syrk_ln_minus_f16(ah.data(), sa, cw.data(), nb, nb);
+      sc = convert_f32_to_f16_scaled(cw.data(), c16.data(), nb * nb);
+    });
+    tr = time_op([&] {
+      convert_f16_to_f32(ah.data(), aw.data(), nb * nb);
+      convert_f16_to_f32(c16.data(), cw.data(), nb * nb);
+      syrk_ln_minus_f32(aw.data(), cw.data(), nb, nb);
+      convert_f32_to_f16(cw.data(), c16.data(), nb * nb);
+    });
+    out.add(json_row("syrk_ln", "f16", nb, syrk_flops, tb, tr));
+  }
+}
+
 void write_kernels_json() {
   exaclim::bench::JsonBench out;
   bench_type<double>("f64", out);
   bench_type<float>("f32", out);
-  char meta[128];
-  std::snprintf(meta, sizeof(meta), "{\"bench\": \"kernels\", \"hardware_concurrency\": %u}",
-                std::thread::hardware_concurrency());
+  bench_f16(out);
+  // The ISA fields catch a stale build dir configured without -march=native,
+  // which silently drops the wide micro-tiles and the F16C conversions and
+  // makes every speedup column meaningless.
+#if defined(__AVX512F__)
+  const int avx512 = 1;
+#else
+  const int avx512 = 0;
+#endif
+#if defined(__F16C__)
+  const int f16c = 1;
+#else
+  const int f16c = 0;
+#endif
+  char meta[160];
+  std::snprintf(meta, sizeof(meta),
+                "{\"bench\": \"kernels\", \"hardware_concurrency\": %u, "
+                "\"avx512\": %d, \"f16c\": %d}",
+                std::thread::hardware_concurrency(), avx512, f16c);
   if (out.write("BENCH_kernels.json", meta)) {
     std::printf("wrote BENCH_kernels.json\n");
   }

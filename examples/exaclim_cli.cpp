@@ -31,31 +31,58 @@ using exaclim::IoError;
 
 namespace {
 
-/// Minimal --key value argument parser.
+/// Minimal --key value argument parser. A trailing flag without a value is
+/// an error, not a silent drop.
 std::map<std::string, std::string> parse_args(int argc, char** argv,
                                               int first) {
   std::map<std::string, std::string> args;
-  for (int i = first; i + 1 < argc; i += 2) {
+  for (int i = first; i < argc; i += 2) {
     if (std::strncmp(argv[i], "--", 2) != 0) {
       throw InvalidArgument(std::string("expected --flag, got ") + argv[i]);
+    }
+    if (i + 1 >= argc) {
+      throw InvalidArgument(std::string("flag ") + argv[i] +
+                            " expects a value");
     }
     args[argv[i] + 2] = argv[i + 1];
   }
   return args;
 }
 
+/// Required flag: present (even if explicitly empty) or throw.
 std::string get(const std::map<std::string, std::string>& args,
-                const std::string& key, const std::string& fallback = "") {
+                const std::string& key) {
   auto it = args.find(key);
-  if (it != args.end()) return it->second;
-  if (!fallback.empty()) return fallback;
-  throw InvalidArgument("missing required flag --" + key);
+  if (it == args.end()) throw InvalidArgument("missing required flag --" + key);
+  return it->second;
+}
+
+/// Optional flag: the fallback applies only when the flag is absent, so an
+/// explicitly empty value is preserved rather than misread as missing.
+std::string get_or(const std::map<std::string, std::string>& args,
+                   const std::string& key, const std::string& fallback) {
+  auto it = args.find(key);
+  return it != args.end() ? it->second : fallback;
 }
 
 index_t get_int(const std::map<std::string, std::string>& args,
                 const std::string& key, index_t fallback) {
   auto it = args.find(key);
-  return it != args.end() ? std::stoll(it->second) : fallback;
+  if (it == args.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(it->second, &pos);
+    if (pos != it->second.size()) {
+      throw InvalidArgument("flag --" + key + " expects an integer, got '" +
+                            it->second + "'");
+    }
+    return static_cast<index_t>(v);
+  } catch (const InvalidArgument&) {
+    throw;
+  } catch (const std::exception&) {  // std::invalid_argument / out_of_range
+    throw InvalidArgument("flag --" + key + " expects an integer, got '" +
+                          it->second + "'");
+  }
 }
 
 int cmd_generate(const std::map<std::string, std::string>& args) {
@@ -86,8 +113,21 @@ int cmd_train(const std::map<std::string, std::string>& args) {
   cfg.harmonics = get_int(args, "harmonics", 5);
   cfg.steps_per_year = data.steps_per_year();
   cfg.cholesky_variant =
-      linalg::parse_variant(get(args, "variant", "DP/HP"));
+      linalg::parse_variant(get_or(args, "variant", "DP/HP"));
   cfg.tile_size = get_int(args, "tile-size", 128);
+
+  // Validate the output flags before the expensive training step.
+  const std::string model_path = get(args, "model");
+  const std::string storage_name = get_or(args, "factor-storage", "fp64");
+  core::FactorStorage storage = core::FactorStorage::FP64;
+  if (storage_name == "fp32") {
+    storage = core::FactorStorage::FP32;
+  } else if (storage_name == "fp16") {
+    storage = core::FactorStorage::FP16Scaled;
+  } else if (storage_name != "fp64") {
+    throw InvalidArgument("flag --factor-storage expects fp64|fp32|fp16, got '" +
+                          storage_name + "'");
+  }
 
   core::ClimateEmulator emulator(cfg);
   const auto forcing = climate::historical_forcing(data.num_years());
@@ -99,11 +139,6 @@ int cmd_train(const std::map<std::string, std::string>& args) {
               linalg::variant_name(cfg.cholesky_variant).c_str(),
               report.covariance_deficient ? ", covariance jittered" : "");
 
-  const std::string storage_name = get(args, "factor-storage", "fp64");
-  core::FactorStorage storage = core::FactorStorage::FP64;
-  if (storage_name == "fp32") storage = core::FactorStorage::FP32;
-  if (storage_name == "fp16") storage = core::FactorStorage::FP16Scaled;
-  const std::string model_path = get(args, "model");
   core::save_emulator(emulator, model_path, storage);
   std::printf("wrote %s (factor storage %s)\n", model_path.c_str(),
               storage_name.c_str());

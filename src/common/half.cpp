@@ -55,6 +55,57 @@ std::uint16_t float_to_half_bits(float f) noexcept {
   return static_cast<std::uint16_t>(h);
 }
 
+std::uint16_t double_to_half_bits(double d) noexcept {
+  const std::uint64_t u = std::bit_cast<std::uint64_t>(d);
+  const auto sign = static_cast<std::uint32_t>((u >> 48) & 0x8000u);
+  const std::uint64_t abs = u & 0x7FFFFFFFFFFFFFFFull;
+
+  if (abs >= 0x7FF0000000000000ull) {
+    // Inf or NaN. Preserve NaN-ness with a quiet mantissa bit.
+    const std::uint32_t mant = abs > 0x7FF0000000000000ull ? 0x0200u : 0u;
+    return static_cast<std::uint16_t>(sign | 0x7C00u | mant);
+  }
+
+  const int exp_d = static_cast<int>(abs >> 52);  // biased by 1023
+  const int e = exp_d - 1023;
+  const std::uint64_t mant = abs & 0x000FFFFFFFFFFFFFull;
+
+  if (e >= 16) {
+    // Magnitude >= 2^16: overflow to infinity regardless of rounding.
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (exp_d == 0 || e <= -26) {
+    // Double subnormals and anything below 2^-25 round to zero (the tie at
+    // exactly 2^-25 goes to even = zero and is handled by the shift path,
+    // which only values with e == -25 can reach).
+    return static_cast<std::uint16_t>(sign);
+  }
+  if (e <= -15) {
+    // Subnormal half: express the value in units of 2^-24 (the subnormal
+    // unit) and round the 53-bit significand with round-to-nearest-even.
+    // shift = 28 - e is in [43, 53], so the shifts below are well defined.
+    const std::uint64_t m = mant | 0x0010000000000000ull;
+    const int shift = 28 - e;
+    const std::uint64_t result = m >> shift;
+    const std::uint64_t rem = m & ((1ull << shift) - 1ull);
+    const std::uint64_t halfway = 1ull << (shift - 1);
+    std::uint64_t rounded = result;
+    if (rem > halfway || (rem == halfway && (result & 1ull))) ++rounded;
+    // A carry out of the subnormal field lands on exponent 1 = 2^-14, which
+    // is exactly the encoding arithmetic below the normal path relies on.
+    return static_cast<std::uint16_t>(sign | static_cast<std::uint32_t>(rounded));
+  }
+  // Normal half: rebias exponent (1023 -> 15), round mantissa 52 -> 10 bits.
+  std::uint32_t h = sign | (static_cast<std::uint32_t>(e + 15) << 10) |
+                    static_cast<std::uint32_t>(mant >> 42);
+  const std::uint64_t rem = mant & 0x000003FFFFFFFFFFull;
+  const std::uint64_t halfway = 1ull << 41;
+  // The increment carries into the exponent correctly, including rounding
+  // values in [65520, 65536) up to infinity.
+  if (rem > halfway || (rem == halfway && (h & 1u))) ++h;
+  return static_cast<std::uint16_t>(h);
+}
+
 float half_bits_to_float(std::uint16_t h) noexcept {
   const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
   const std::uint32_t exp = (h >> 10) & 0x1Fu;

@@ -16,6 +16,13 @@ namespace exaclim::common {
 /// overflow to infinity, denormal support).
 std::uint16_t float_to_half_bits(float f) noexcept;
 
+/// Convert an IEEE binary64 double to binary16 bits with a SINGLE
+/// round-to-nearest-even. Narrowing f64 -> f32 -> f16 rounds twice and can
+/// differ by one ulp near f16 midpoints (e.g. 1 + 2^-11 + 2^-40) or flush a
+/// would-be subnormal to zero; this routine rounds the 52-bit mantissa
+/// straight to the f16 grid.
+std::uint16_t double_to_half_bits(double d) noexcept;
+
 /// Convert IEEE binary16 bits to a binary32 float (exact).
 float half_bits_to_float(std::uint16_t h) noexcept;
 
@@ -26,7 +33,7 @@ class half {
  public:
   half() = default;
   explicit half(float f) noexcept : bits_(float_to_half_bits(f)) {}
-  explicit half(double d) noexcept : half(static_cast<float>(d)) {}
+  explicit half(double d) noexcept : bits_(double_to_half_bits(d)) {}
 
   explicit operator float() const noexcept { return half_bits_to_float(bits_); }
   explicit operator double() const noexcept {

@@ -11,24 +11,28 @@ namespace exaclim::linalg {
 
 namespace {
 
-/// Representation an operand must be delivered in. F16R means "a float
-/// buffer whose values have been rounded through binary16" — the operand form
-/// consumed by tensor-core style fp16 GEMMs.
-enum class Repr : std::uint8_t { F64, F32, F16R };
+/// Representation an operand must be delivered in. F16P means "packed
+/// binary16 plus a scale factor" — the operand form consumed by the
+/// packed-half gemm/syrk kernels (f16 inputs, f32 accumulate, scale folded
+/// into alpha). FP16-stored tiles are already in this form, so delivering
+/// them costs no conversion at all.
+enum class Repr : std::uint8_t { F64, F32, F16P };
 
 Repr operand_repr(Precision out_precision) {
   switch (out_precision) {
     case Precision::FP64: return Repr::F64;
     case Precision::FP32: return Repr::F32;
-    case Precision::FP16: return Repr::F16R;
+    case Precision::FP16: return Repr::F16P;
   }
   return Repr::F64;
 }
 
-/// One converted operand: at most one of the two buffers is filled.
+/// One converted operand: at most one of the three buffers is filled.
 struct Operand {
   const double* d = nullptr;
   const float* f = nullptr;
+  const common::half* h = nullptr;
+  float scale = 1.0f;  // scale of h; true value = float(h[i]) * scale
 };
 
 /// Executes tile tasks and manages operand conversion/caching.
@@ -59,64 +63,56 @@ class Engine {
  private:
   // --- Operand delivery ----------------------------------------------------
 
+  /// Receiver-placement scratch owning a converted operand for one task.
+  struct OperandScratch {
+    std::vector<double> d;
+    std::vector<float> f;
+    std::vector<common::half> h;
+  };
+
   /// Returns tile (i, j) in representation `repr`. Sender placement caches
   /// the converted copy so later consumers reuse it; Receiver placement
   /// converts into private scratch each call.
-  Operand fetch(index_t i, index_t j, Repr repr, std::vector<double>& dscratch,
-                std::vector<float>& fscratch) {
+  Operand fetch(index_t i, index_t j, Repr repr, OperandScratch& scratch) {
     const TileBuffer& t = a_.tile(i, j);
-    // Fast paths: the storage already has the right representation.
+    // Fast paths: the storage already has the right representation. FP16
+    // tiles ARE the packed-half form, so F16P requests are free.
     if (repr == Repr::F64 && t.precision() == Precision::FP64) {
-      return {.d = t.f64(), .f = nullptr};
+      return {.d = t.f64()};
     }
     if (repr == Repr::F32 && t.precision() == Precision::FP32) {
-      return {.d = nullptr, .f = t.f32()};
+      return {.f = t.f32()};
     }
-    // FP16 storage is already half-rounded; widening to float is exactly the
-    // F16R form (and also serves plain F32 requests).
-    if ((repr == Repr::F16R || repr == Repr::F32) &&
-        t.precision() == Precision::FP16) {
-      return {.d = nullptr, .f = fetch_f32_of_f16(i, j, t, fscratch)};
+    if (repr == Repr::F16P && t.precision() == Precision::FP16) {
+      return {.h = t.f16(), .scale = t.scale()};
     }
     if (opt_.placement == ConversionPlacement::Sender) {
       auto& entry = cache_[{i, j, repr}];
-      if (entry.d.empty() && entry.f.empty()) convert_into(t, repr, entry);
+      if (entry.d.empty() && entry.f.empty() && entry.h.empty()) {
+        convert_into(t, repr, entry);
+      }
       return {.d = entry.d.empty() ? nullptr : entry.d.data(),
-              .f = entry.f.empty() ? nullptr : entry.f.data()};
+              .f = entry.f.empty() ? nullptr : entry.f.data(),
+              .h = entry.h.empty() ? nullptr : entry.h.data(),
+              .scale = entry.hscale};
     }
     CacheEntry local;
     convert_into(t, repr, local);
-    if (!local.d.empty()) {
-      dscratch = std::move(local.d);
-      return {.d = dscratch.data(), .f = nullptr};
-    }
-    fscratch = std::move(local.f);
-    return {.d = nullptr, .f = fscratch.data()};
+    scratch.d = std::move(local.d);
+    scratch.f = std::move(local.f);
+    scratch.h = std::move(local.h);
+    return {.d = scratch.d.empty() ? nullptr : scratch.d.data(),
+            .f = scratch.f.empty() ? nullptr : scratch.f.data(),
+            .h = scratch.h.empty() ? nullptr : scratch.h.data(),
+            .scale = local.hscale};
   }
 
   struct CacheEntry {
     std::vector<double> d;
     std::vector<float> f;
+    std::vector<common::half> h;
+    float hscale = 1.0f;
   };
-
-  const float* fetch_f32_of_f16(index_t i, index_t j, const TileBuffer& t,
-                                std::vector<float>& fscratch) {
-    if (opt_.placement == ConversionPlacement::Sender) {
-      auto& entry = cache_[{i, j, Repr::F32}];
-      if (entry.f.empty()) {
-        entry.f.resize(static_cast<std::size_t>(t.count()));
-        common::Timer timer;
-        convert_f16_to_f32(t.f16(), entry.f.data(), t.count());
-        account_conversion(t.count(), 4, timer.seconds());
-      }
-      return entry.f.data();
-    }
-    fscratch.resize(static_cast<std::size_t>(t.count()));
-    common::Timer timer;
-    convert_f16_to_f32(t.f16(), fscratch.data(), t.count());
-    account_conversion(t.count(), 4, timer.seconds());
-    return fscratch.data();
-  }
 
   void convert_into(const TileBuffer& t, Repr repr, CacheEntry& out) {
     common::Timer timer;
@@ -132,11 +128,16 @@ class Engine {
         t.to_f32(out.f.data());
         account_conversion(count, 4, timer.seconds());
         break;
-      case Repr::F16R:
-        out.f.resize(static_cast<std::size_t>(count));
-        t.to_f32(out.f.data());
-        round_through_f16(out.f.data(), count);
-        account_conversion(count, 4, timer.seconds());
+      case Repr::F16P:
+        // Scaled narrowing of an FP64/FP32 tile into packed-half operand
+        // form (FP16 storage never reaches here — it is served directly).
+        out.h.resize(static_cast<std::size_t>(count));
+        if (t.precision() == Precision::FP64) {
+          out.hscale = convert_f64_to_f16_scaled(t.f64(), out.h.data(), count);
+        } else {
+          out.hscale = convert_f32_to_f16_scaled(t.f32(), out.h.data(), count);
+        }
+        account_conversion(count, 2, timer.seconds());
         break;
     }
   }
@@ -174,25 +175,25 @@ class Engine {
     TileBuffer& b = a_.tile(i, k);
     const index_t m = b.rows();
     const index_t n = b.cols();
-    std::vector<double> dscratch;
-    std::vector<float> fscratch;
+    OperandScratch scratch;
     switch (b.precision()) {
       case Precision::FP64: {
-        const Operand l = fetch(k, k, Repr::F64, dscratch, fscratch);
+        const Operand l = fetch(k, k, Repr::F64, scratch);
         trsm_rlt_f64(l.d, b.f64(), m, n);
         break;
       }
       case Precision::FP32: {
-        const Operand l = fetch(k, k, Repr::F32, dscratch, fscratch);
+        const Operand l = fetch(k, k, Repr::F32, scratch);
         trsm_rlt_f32(l.f, b.f32(), m, n);
         break;
       }
       case Precision::FP16: {
-        const Operand l = fetch(k, k, Repr::F32, dscratch, fscratch);
+        // Solve on the true values; the repack picks a fresh tile scale.
+        const Operand l = fetch(k, k, Repr::F32, scratch);
         std::vector<float> x(static_cast<std::size_t>(m * n));
-        convert_f16_to_f32(b.f16(), x.data(), m * n);
+        b.to_f32(x.data());
         trsm_rlt_f32(l.f, x.data(), m, n);
-        convert_f32_to_f16(x.data(), b.f16(), m * n);
+        b.from_f32(x.data());
         break;
       }
     }
@@ -205,25 +206,24 @@ class Engine {
     TileBuffer& c = a_.tile(i, i);
     const index_t m = c.rows();
     const index_t kk = a_.tile(i, k).cols();
-    std::vector<double> dscratch;
-    std::vector<float> fscratch;
+    OperandScratch scratch;
     switch (c.precision()) {
       case Precision::FP64: {
-        const Operand in = fetch(i, k, Repr::F64, dscratch, fscratch);
+        const Operand in = fetch(i, k, Repr::F64, scratch);
         syrk_ln_minus_f64(in.d, c.f64(), m, kk);
         break;
       }
       case Precision::FP32: {
-        const Operand in = fetch(i, k, Repr::F32, dscratch, fscratch);
+        const Operand in = fetch(i, k, Repr::F32, scratch);
         syrk_ln_minus_f32(in.f, c.f32(), m, kk);
         break;
       }
       case Precision::FP16: {
-        const Operand in = fetch(i, k, Repr::F16R, dscratch, fscratch);
+        const Operand in = fetch(i, k, Repr::F16P, scratch);
         std::vector<float> cs(static_cast<std::size_t>(m * m));
-        convert_f16_to_f32(c.f16(), cs.data(), m * m);
-        syrk_ln_minus_f32(in.f, cs.data(), m, kk);
-        convert_f32_to_f16(cs.data(), c.f16(), m * m);
+        c.to_f32(cs.data());
+        syrk_ln_minus_f16(in.h, in.scale, cs.data(), m, kk);
+        c.from_f32(cs.data());
         break;
       }
     }
@@ -238,10 +238,9 @@ class Engine {
     const index_t n = c.cols();
     const index_t kk = a_.tile(i, k).cols();
     const Repr repr = operand_repr(c.precision());
-    std::vector<double> dsa, dsb;
-    std::vector<float> fsa, fsb;
-    const Operand a_op = fetch(i, k, repr, dsa, fsa);
-    const Operand b_op = fetch(j, k, repr, dsb, fsb);
+    OperandScratch sa, sb;
+    const Operand a_op = fetch(i, k, repr, sa);
+    const Operand b_op = fetch(j, k, repr, sb);
     switch (c.precision()) {
       case Precision::FP64:
         gemm_nt_minus_f64(a_op.d, b_op.d, c.f64(), m, n, kk);
@@ -251,9 +250,10 @@ class Engine {
         break;
       case Precision::FP16: {
         std::vector<float> cs(static_cast<std::size_t>(m * n));
-        convert_f16_to_f32(c.f16(), cs.data(), m * n);
-        gemm_nt_minus_f32(a_op.f, b_op.f, cs.data(), m, n, kk);
-        convert_f32_to_f16(cs.data(), c.f16(), m * n);
+        c.to_f32(cs.data());
+        gemm_nt_minus_f16(a_op.h, a_op.scale, b_op.h, b_op.scale, cs.data(), m,
+                          n, kk);
+        c.from_f32(cs.data());
         break;
       }
     }

@@ -1,8 +1,15 @@
 #include "linalg/kernels.hpp"
 
 #include <algorithm>
+#include <cfloat>
 #include <cmath>
+#include <cstring>
+#include <type_traits>
 #include <vector>
+
+#if defined(__F16C__)
+#include <immintrin.h>
+#endif
 
 #include "common/error.hpp"
 
@@ -27,6 +34,34 @@ std::size_t precision_bytes(Precision p) {
 }
 
 namespace {
+
+/// Widens `count` contiguous halves to floats. F16C gives an 8-wide hardware
+/// conversion; the scalar tail (and the no-F16C fallback) use the bit-exact
+/// software path.
+inline void widen_f16_block(const common::half* src, float* dst,
+                            index_t count) {
+  index_t i = 0;
+#if defined(__F16C__)
+  for (; i + 8 <= count; i += 8) {
+    __m128i h;
+    std::memcpy(&h, src + i, 16);
+    _mm256_storeu_ps(dst + i, _mm256_cvtph_ps(h));
+  }
+#endif
+  for (; i < count; ++i) dst[i] = common::half_bits_to_float(src[i].bits());
+}
+
+/// Picks the power-of-two scale s with max_abs / s in [16384, 32768], the
+/// max-abs normalization shared by every scaled f16 conversion. Clamped so
+/// both s and 1/s stay normal floats; an all-zero (or non-finite-max) buffer
+/// gets s = 1.
+inline float pick_f16_scale(double max_abs) {
+  if (!(max_abs > 0.0) || !std::isfinite(max_abs)) return 1.0f;
+  int e = 0;
+  std::frexp(max_abs, &e);  // max_abs = f * 2^e, f in [0.5, 1)
+  const int scale_exp = std::clamp(e - 15, -125, 126);
+  return static_cast<float>(std::ldexp(1.0, scale_exp));
+}
 
 // ===========================================================================
 // Scalar reference kernels (the seed implementations, retained as oracles).
@@ -161,6 +196,7 @@ struct Blocked {
     std::vector<T> pack_a;
     std::vector<T> pack_b;
     std::vector<T> diag;  // dense scratch for SYRK diagonal blocks
+    std::vector<T> row;   // widened source row for packed-half operands
   };
   static Scratch& scratch() {
     thread_local Scratch s;
@@ -168,24 +204,45 @@ struct Blocked {
   }
 
   /// Packs an mc x kc block of (a, lda) into MR-wide, zero-padded slivers:
-  /// dst[(i0/MR) * kc * MR + p * MR + i] = a[(i0 + i) * lda + p].
-  template <index_t W>
-  static void pack(const T* a, index_t lda, index_t mc, index_t kc, T* dst) {
-    for (index_t i0 = 0; i0 < mc; i0 += W) {
-      const index_t w = std::min(W, mc - i0);
-      for (index_t p = 0; p < kc; ++p) {
-        index_t i = 0;
-        for (; i < w; ++i) dst[i] = a[(i0 + i) * lda + p];
-        for (; i < W; ++i) dst[i] = T(0);
-        dst += W;
+  /// dst[(i0/MR) * kc * MR + p * MR + i] = a[(i0 + i) * lda + p]. A
+  /// common::half source is widened to T while packing (row-wise, so the
+  /// hardware conversion sees contiguous halves); no f32 copy of the operand
+  /// tile ever exists outside the pack buffer.
+  template <index_t W, typename S>
+  static void pack(const S* a, index_t lda, index_t mc, index_t kc, T* dst) {
+    if constexpr (std::is_same_v<S, common::half>) {
+      std::vector<T>& row = scratch().row;
+      row.resize(static_cast<std::size_t>(kc));
+      for (index_t i0 = 0; i0 < mc; i0 += W) {
+        const index_t w = std::min(W, mc - i0);
+        for (index_t i = 0; i < w; ++i) {
+          widen_f16_block(a + (i0 + i) * lda, row.data(), kc);
+          for (index_t p = 0; p < kc; ++p) dst[p * W + i] = row[p];
+        }
+        for (index_t i = w; i < W; ++i) {
+          for (index_t p = 0; p < kc; ++p) dst[p * W + i] = T(0);
+        }
+        dst += kc * W;
+      }
+    } else {
+      for (index_t i0 = 0; i0 < mc; i0 += W) {
+        const index_t w = std::min(W, mc - i0);
+        for (index_t p = 0; p < kc; ++p) {
+          index_t i = 0;
+          for (; i < w; ++i) dst[i] = a[(i0 + i) * lda + p];
+          for (; i < W; ++i) dst[i] = T(0);
+          dst += W;
+        }
       }
     }
   }
 
-  /// C(mr x nr) -= Apack-sliver * Bpack-sliver^T over kc terms. The full
-  /// MR x NR accumulator is always computed (padded lanes multiply zeros);
-  /// only the valid mr x nr corner is written back.
-  static void micro_kernel(const T* ap, const T* bp, index_t kc, T* c,
+  /// C(mr x nr) -= alpha * Apack-sliver * Bpack-sliver^T over kc terms. The
+  /// full MR x NR accumulator is always computed (padded lanes multiply
+  /// zeros); only the valid mr x nr corner is written back. alpha is applied
+  /// at write-back only (exact for alpha == 1), which is where the packed-
+  /// half kernels fold the per-tile scales.
+  static void micro_kernel(const T* ap, const T* bp, index_t kc, T alpha, T* c,
                            index_t ldc, index_t mr, index_t nr) {
     T acc[MR][NR] = {};
     for (index_t p = 0; p < kc; ++p) {
@@ -199,19 +256,21 @@ struct Blocked {
     if (mr == MR && nr == NR) {
       for (index_t i = 0; i < MR; ++i) {
         T* ci = c + i * ldc;
-        for (index_t j = 0; j < NR; ++j) ci[j] -= acc[i][j];
+        for (index_t j = 0; j < NR; ++j) ci[j] -= alpha * acc[i][j];
       }
     } else {
       for (index_t i = 0; i < mr; ++i) {
         T* ci = c + i * ldc;
-        for (index_t j = 0; j < nr; ++j) ci[j] -= acc[i][j];
+        for (index_t j = 0; j < nr; ++j) ci[j] -= alpha * acc[i][j];
       }
     }
   }
 
-  /// C (m x n, ldc) -= A (m x k, lda) * B (n x k, ldb)^T.
-  static void gemm(const T* a, index_t lda, const T* b, index_t ldb, T* c,
-                   index_t ldc, index_t m, index_t n, index_t k) {
+  /// C (m x n, ldc) -= alpha * A (m x k, lda) * B (n x k, ldb)^T. Operand
+  /// types SA/SB are T or common::half (widened while packing).
+  template <typename SA, typename SB>
+  static void gemm(const SA* a, index_t lda, const SB* b, index_t ldb, T alpha,
+                   T* c, index_t ldc, index_t m, index_t n, index_t k) {
     if (m <= 0 || n <= 0 || k <= 0) return;
     Scratch& s = scratch();
     for (index_t pc = 0; pc < k; pc += KC) {
@@ -231,8 +290,8 @@ struct Blocked {
             const index_t nr = std::min(NR, nc - jr);
             for (index_t ir = 0; ir < mc; ir += MR) {
               const T* ap = s.pack_a.data() + (ir / MR) * kc * MR;
-              micro_kernel(ap, bp, kc, c + (ic + ir) * ldc + jc + jr, ldc,
-                           std::min(MR, mc - ir), nr);
+              micro_kernel(ap, bp, kc, alpha, c + (ic + ir) * ldc + jc + jr,
+                           ldc, std::min(MR, mc - ir), nr);
             }
           }
         }
@@ -240,22 +299,24 @@ struct Blocked {
     }
   }
 
-  /// C (m x m lower, ldc) -= A (m x k, lda) * A^T. Off-diagonal blocks go
-  /// straight through the GEMM engine; diagonal blocks are computed densely
-  /// into scratch and only the lower triangle is written back.
-  static void syrk(const T* a, index_t lda, T* c, index_t ldc, index_t m,
-                   index_t k) {
+  /// C (m x m lower, ldc) -= alpha * A (m x k, lda) * A^T. Off-diagonal
+  /// blocks go straight through the GEMM engine; diagonal blocks are computed
+  /// densely into scratch and only the lower triangle is written back.
+  template <typename SA>
+  static void syrk(const SA* a, index_t lda, T alpha, T* c, index_t ldc,
+                   index_t m, index_t k) {
     if (m <= 0 || k <= 0) return;
     for (index_t i0 = 0; i0 < m; i0 += MC) {
       const index_t mb = std::min(MC, m - i0);
       // Strictly-below-diagonal rectangle.
-      gemm(a + i0 * lda, lda, a, lda, c + i0 * ldc, ldc, mb, i0, k);
+      gemm(a + i0 * lda, lda, a, lda, alpha, c + i0 * ldc, ldc, mb, i0, k);
       // Diagonal block: dense scratch, triangular write-back. The scratch
       // must be copied out before the next block reuses it, and gemm() uses
       // separate pack buffers so there is no aliasing.
       std::vector<T>& d = scratch().diag;
       d.assign(static_cast<std::size_t>(mb * mb), T(0));
-      gemm(a + i0 * lda, lda, a + i0 * lda, lda, d.data(), mb, mb, mb, k);
+      gemm(a + i0 * lda, lda, a + i0 * lda, lda, alpha, d.data(), mb, mb, mb,
+           k);
       for (index_t i = 0; i < mb; ++i) {
         T* ci = c + (i0 + i) * ldc + i0;
         const T* di = d.data() + i * mb;
@@ -307,7 +368,7 @@ struct Blocked {
                    index_t n) {
     for (index_t j0 = 0; j0 < n; j0 += NB) {
       const index_t jb = std::min(NB, n - j0);
-      gemm(b, ldb, l + j0 * ldl, ldl, b + j0, ldb, m, jb, j0);
+      gemm(b, ldb, l + j0 * ldl, ldl, T(1), b + j0, ldb, m, jb, j0);
       trsm_panel(l + j0 * ldl + j0, ldl, b + j0, ldb, m, jb);
     }
   }
@@ -322,7 +383,7 @@ struct Blocked {
       if (rest <= 0) continue;
       T* below = a + (j0 + jb) * n + j0;
       trsm(a + j0 * n + j0, n, below, n, rest, jb);
-      syrk(below, n, a + (j0 + jb) * n + (j0 + jb), n, rest, jb);
+      syrk(below, n, T(1), a + (j0 + jb) * n + (j0 + jb), n, rest, jb);
     }
   }
 };
@@ -343,18 +404,43 @@ void trsm_rlt_f32(const float* l, float* b, index_t m, index_t n) {
 
 void gemm_nt_minus_f64(const double* a, const double* b, double* c, index_t m,
                        index_t n, index_t k) {
-  Blocked<double>::gemm(a, k, b, k, c, n, m, n, k);
+  Blocked<double>::gemm(a, k, b, k, 1.0, c, n, m, n, k);
 }
 void gemm_nt_minus_f32(const float* a, const float* b, float* c, index_t m,
                        index_t n, index_t k) {
-  Blocked<float>::gemm(a, k, b, k, c, n, m, n, k);
+  Blocked<float>::gemm(a, k, b, k, 1.0f, c, n, m, n, k);
 }
 
 void syrk_ln_minus_f64(const double* a, double* c, index_t m, index_t k) {
-  Blocked<double>::syrk(a, k, c, m, m, k);
+  Blocked<double>::syrk(a, k, 1.0, c, m, m, k);
 }
 void syrk_ln_minus_f32(const float* a, float* c, index_t m, index_t k) {
-  Blocked<float>::syrk(a, k, c, m, m, k);
+  Blocked<float>::syrk(a, k, 1.0f, c, m, m, k);
+}
+
+namespace {
+/// Product of two per-tile scales, computed in double and clamped into the
+/// finite float range: an overflowed (inf) alpha would turn zero
+/// accumulators into NaN via inf * 0 at write-back, whereas with a clamped
+/// alpha zero updates stay zero and non-zero updates overflow f32 exactly
+/// where the true values do.
+float fold_scales(float sa, float sb) {
+  const double alpha = static_cast<double>(sa) * static_cast<double>(sb);
+  return static_cast<float>(
+      std::clamp(alpha, -double{FLT_MAX}, double{FLT_MAX}));
+}
+}  // namespace
+
+void gemm_nt_minus_f16(const common::half* a, float a_scale,
+                       const common::half* b, float b_scale, float* c,
+                       index_t m, index_t n, index_t k) {
+  Blocked<float>::gemm(a, k, b, k, fold_scales(a_scale, b_scale), c, n, m, n,
+                       k);
+}
+
+void syrk_ln_minus_f16(const common::half* a, float a_scale, float* c,
+                       index_t m, index_t k) {
+  Blocked<float>::syrk(a, k, fold_scales(a_scale, a_scale), c, m, m, k);
 }
 
 // --- Scalar reference oracles ------------------------------------------------
@@ -394,9 +480,9 @@ void convert_f32_to_f64(const float* src, double* dst, index_t count) {
   for (index_t i = 0; i < count; ++i) dst[i] = static_cast<double>(src[i]);
 }
 void convert_f64_to_f16(const double* src, common::half* dst, index_t count) {
-  for (index_t i = 0; i < count; ++i) {
-    dst[i] = common::half(static_cast<float>(src[i]));
-  }
+  // half(double) rounds once, straight from the f64 mantissa; narrowing
+  // through float first would round twice (see double_to_half_bits).
+  for (index_t i = 0; i < count; ++i) dst[i] = common::half(src[i]);
 }
 void convert_f16_to_f64(const common::half* src, double* dst, index_t count) {
   for (index_t i = 0; i < count; ++i) dst[i] = static_cast<double>(src[i]);
@@ -412,6 +498,56 @@ void round_through_f16(float* data, index_t count) {
   for (index_t i = 0; i < count; ++i) {
     data[i] = static_cast<float>(common::half(data[i]));
   }
+}
+
+float convert_f64_to_f16_scaled(const double* src, common::half* dst,
+                                index_t count) {
+  double max_abs = 0.0;
+  for (index_t i = 0; i < count; ++i) {
+    max_abs = std::max(max_abs, std::abs(src[i]));
+  }
+  const float scale = pick_f16_scale(max_abs);
+  // 1/scale is a normal float by construction; multiplying by it is exact.
+  const double inv = 1.0 / static_cast<double>(scale);
+  for (index_t i = 0; i < count; ++i) dst[i] = common::half(src[i] * inv);
+  return scale;
+}
+
+float convert_f32_to_f16_scaled(const float* src, common::half* dst,
+                                index_t count) {
+  float max_abs = 0.0f;
+  for (index_t i = 0; i < count; ++i) {
+    max_abs = std::max(max_abs, std::abs(src[i]));
+  }
+  const float scale = pick_f16_scale(static_cast<double>(max_abs));
+  const float inv = 1.0f / scale;
+  index_t i = 0;
+#if defined(__F16C__)
+  const __m256 vinv = _mm256_set1_ps(inv);
+  for (; i + 8 <= count; i += 8) {
+    const __m256 v = _mm256_mul_ps(_mm256_loadu_ps(src + i), vinv);
+    const __m128i h =
+        _mm256_cvtps_ph(v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    std::memcpy(dst + i, &h, 16);
+  }
+#endif
+  for (; i < count; ++i) dst[i] = common::half(src[i] * inv);
+  return scale;
+}
+
+void convert_f16_scaled_to_f64(const common::half* src, float scale,
+                               double* dst, index_t count) {
+  const double s = static_cast<double>(scale);
+  for (index_t i = 0; i < count; ++i) {
+    dst[i] = static_cast<double>(common::half_bits_to_float(src[i].bits())) * s;
+  }
+}
+
+void convert_f16_scaled_to_f32(const common::half* src, float scale,
+                               float* dst, index_t count) {
+  widen_f16_block(src, dst, count);
+  if (scale == 1.0f) return;
+  for (index_t i = 0; i < count; ++i) dst[i] *= scale;
 }
 
 }  // namespace exaclim::linalg

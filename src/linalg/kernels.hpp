@@ -60,6 +60,26 @@ void gemm_nt_minus_f32(const float* a, const float* b, float* c, index_t m,
 void syrk_ln_minus_f64(const double* a, double* c, index_t m, index_t k);
 void syrk_ln_minus_f32(const float* a, float* c, index_t m, index_t k);
 
+// --- Packed-half kernels -----------------------------------------------------
+//
+// The HP tile path stores tiles as packed binary16 plus one per-tile scale
+// (true value = float(h) * scale, see TileBuffer). These kernels consume the
+// packed halves directly: operand panels are widened f16 -> f32 while being
+// packed into the blocked engine's sliver buffers (F16C-vectorized when the
+// ISA has it), the multiply-accumulate runs in f32 — the tensor-core
+// contract — and the operand scales are folded into a single alpha applied
+// at accumulator write-back. No f32 copy of the operand tiles is ever
+// materialized, unlike the previous round-through-f32 path.
+
+/// C (f32, m x n) -= (a_scale * b_scale) * Ah (m x k) * Bh (n x k)^T.
+void gemm_nt_minus_f16(const common::half* a, float a_scale,
+                       const common::half* b, float b_scale, float* c,
+                       index_t m, index_t n, index_t k);
+
+/// C (f32, m x m lower incl. diagonal) -= a_scale^2 * Ah (m x k) * Ah^T.
+void syrk_ln_minus_f16(const common::half* a, float a_scale, float* c,
+                       index_t m, index_t k);
+
 // --- Scalar reference oracles ----------------------------------------------
 //
 // The seed's element-wise kernels, kept verbatim as correctness oracles for
@@ -88,7 +108,32 @@ void convert_f32_to_f16(const float* src, common::half* dst, index_t count);
 void convert_f16_to_f32(const common::half* src, float* dst, index_t count);
 
 /// Rounds a float buffer through binary16 in place (tensor-core operand
-/// rounding without a separate half buffer).
+/// rounding without a separate half buffer). Values beyond +-65504 saturate
+/// to infinity; the scaled conversions below are the overflow-safe form.
 void round_through_f16(float* data, index_t count);
+
+// --- Scaled f16 conversion ---------------------------------------------------
+//
+// Max-abs normalization into binary16: the narrowing conversions choose a
+// power-of-two scale s with max|v| / s in [16384, 32768] (safely inside the
+// binary16 range) and store h = round_f16(v / s), so tile entries of any
+// magnitude survive the 5-bit exponent — the compute-path mirror of the
+// serializer's FactorStorage::FP16Scaled. The scale is exact to apply
+// (power of two), division by it rounds nothing, and an all-zero buffer
+// gets s = 1. The returned scale is always a normal float.
+
+/// Narrows with per-buffer scaling; returns the chosen scale. The f64
+/// variant rounds once, straight from double (see double_to_half_bits).
+float convert_f64_to_f16_scaled(const double* src, common::half* dst,
+                                index_t count);
+float convert_f32_to_f16_scaled(const float* src, common::half* dst,
+                                index_t count);
+
+/// Widens packed halves and re-applies the scale (exact but for f16
+/// subnormals scaled back up, where the product may round once).
+void convert_f16_scaled_to_f64(const common::half* src, float scale,
+                               double* dst, index_t count);
+void convert_f16_scaled_to_f32(const common::half* src, float scale,
+                               float* dst, index_t count);
 
 }  // namespace exaclim::linalg

@@ -8,6 +8,14 @@
 // plus the tile-centric adaptive policy of [47], which picks each tile's
 // precision from its norm relative to the matrix norm (strong correlation ->
 // high precision).
+//
+// Both policies may assign FP16 to tiles regardless of magnitude: FP16 tile
+// storage is per-tile max-abs scaled (see TileBuffer), so a covariance
+// matrix with entries far beyond the binary16 range of +-65504 still
+// factorizes to a finite factor — the policies need no magnitude guard of
+// their own. The practical ceiling is the f32 accumulate of the HP update
+// path (entries up to ~1e38); the per-tile scale itself is clamped to the
+// normal-float range, saturating only beyond ~5e42.
 #pragma once
 
 #include <string>

@@ -70,8 +70,8 @@ void TileBuffer::load_f64(const double* src) {
       convert_f64_to_f32(src, reinterpret_cast<float*>(bytes_.data()), count());
       break;
     case Precision::FP16:
-      convert_f64_to_f16(src, reinterpret_cast<common::half*>(bytes_.data()),
-                         count());
+      scale_ = convert_f64_to_f16_scaled(
+          src, reinterpret_cast<common::half*>(bytes_.data()), count());
       break;
   }
 }
@@ -86,8 +86,9 @@ void TileBuffer::store_f64(double* dst) const {
                          count());
       break;
     case Precision::FP16:
-      convert_f16_to_f64(reinterpret_cast<const common::half*>(bytes_.data()),
-                         dst, count());
+      convert_f16_scaled_to_f64(
+          reinterpret_cast<const common::half*>(bytes_.data()), scale_, dst,
+          count());
       break;
   }
 }
@@ -102,8 +103,9 @@ void TileBuffer::to_f32(float* dst) const {
       std::memcpy(dst, bytes_.data(), static_cast<std::size_t>(count()) * 4);
       break;
     case Precision::FP16:
-      convert_f16_to_f32(reinterpret_cast<const common::half*>(bytes_.data()),
-                         dst, count());
+      convert_f16_scaled_to_f32(
+          reinterpret_cast<const common::half*>(bytes_.data()), scale_, dst,
+          count());
       break;
   }
 }
@@ -117,8 +119,8 @@ void TileBuffer::from_f32(const float* src) {
       std::memcpy(bytes_.data(), src, static_cast<std::size_t>(count()) * 4);
       break;
     case Precision::FP16:
-      convert_f32_to_f16(src, reinterpret_cast<common::half*>(bytes_.data()),
-                         count());
+      scale_ = convert_f32_to_f16_scaled(
+          src, reinterpret_cast<common::half*>(bytes_.data()), count());
       break;
   }
 }

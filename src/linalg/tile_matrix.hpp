@@ -38,7 +38,12 @@ struct PrecisionMap {
   double storage_bytes(index_t n, index_t nb) const;
 };
 
-/// A single tile: owning buffer + precision tag.
+/// A single tile: owning buffer + precision tag. FP16 tiles are stored as
+/// packed binary16 with one per-tile power-of-two scale chosen at load time
+/// (max-abs normalization: true value = float(f16()[i]) * scale()). This is
+/// the compute-path mirror of FactorStorage::FP16Scaled and keeps tile
+/// entries of any magnitude finite — an unscaled f16 load saturates to
+/// +-inf past 65504.
 class TileBuffer {
  public:
   TileBuffer() = default;
@@ -56,19 +61,27 @@ class TileBuffer {
   common::half* f16();
   const common::half* f16() const;
 
-  /// Loads from a double source (rounding into the tile's precision).
+  /// Scale factor of an FP16 tile's packed halves (1.0 for FP64/FP32 tiles
+  /// and for freshly constructed FP16 tiles). Refreshed by every lossy load.
+  float scale() const { return scale_; }
+
+  /// Loads from a double source (rounding into the tile's precision; FP16
+  /// tiles pick a fresh max-abs scale).
   void load_f64(const double* src);
-  /// Stores to a double destination (widening from the tile's precision).
+  /// Stores to a double destination (widening from the tile's precision and
+  /// re-applying the scale).
   void store_f64(double* dst) const;
-  /// Copies this tile into a float scratch buffer (size count()).
+  /// Copies this tile's true values into a float scratch buffer (count()).
   void to_f32(float* dst) const;
-  /// Overwrites this tile from a float scratch buffer.
+  /// Overwrites this tile from a float scratch buffer (FP16 tiles pick a
+  /// fresh max-abs scale).
   void from_f32(const float* src);
 
  private:
   Precision prec_ = Precision::FP64;
   index_t rows_ = 0;
   index_t cols_ = 0;
+  float scale_ = 1.0f;
   std::vector<std::byte> bytes_;
 };
 

@@ -20,6 +20,8 @@ namespace {
 struct ResolvedOperand {
   const double* d = nullptr;
   const float* f = nullptr;
+  const exaclim::common::half* h = nullptr;
+  float hscale = 1.0f;
 };
 
 }  // namespace
@@ -28,7 +30,7 @@ CholeskyGraph::Repr CholeskyGraph::operand_repr(Precision out) {
   switch (out) {
     case Precision::FP64: return Repr::F64;
     case Precision::FP32: return Repr::F32;
-    case Precision::FP16: return Repr::F16R;
+    case Precision::FP16: return Repr::F16P;
   }
   return Repr::F64;
 }
@@ -37,7 +39,7 @@ CholeskyGraph::Repr CholeskyGraph::natural_repr(Precision storage) {
   switch (storage) {
     case Precision::FP64: return Repr::F64;
     case Precision::FP32: return Repr::F32;
-    case Precision::FP16: return Repr::F16R;  // widened == half-rounded floats
+    case Precision::FP16: return Repr::F16P;  // storage IS the packed form
   }
   return Repr::F64;
 }
@@ -71,14 +73,22 @@ DataHandle CholeskyGraph::ensure_convert(index_t i, index_t j, Repr repr,
       buffer->f.resize(static_cast<std::size_t>(count));
       body = [&t, buffer, count] { t.to_f32(buffer->f.data()); };
       break;
-    case Repr::F16R:
-      buffer->f.resize(static_cast<std::size_t>(count));
-      if (t.precision() == Precision::FP16) {
-        body = [&t, buffer, count] { t.to_f32(buffer->f.data()); };
+    case Repr::F16P:
+      // Scaled narrowing of an FP64/FP32 tile into packed-half operand form
+      // (FP16 storage never gets here — consumers read it directly). The
+      // scale is chosen when the CONVERT task executes.
+      buffer->h.resize(static_cast<std::size_t>(count));
+      if (t.precision() == Precision::FP64) {
+        body = [&t, buffer, count] {
+          buffer->hscale =
+              linalg::convert_f64_to_f16_scaled(t.f64(), buffer->h.data(),
+                                                count);
+        };
       } else {
         body = [&t, buffer, count] {
-          t.to_f32(buffer->f.data());
-          linalg::round_through_f16(buffer->f.data(), count);
+          buffer->hscale =
+              linalg::convert_f32_to_f16_scaled(t.f32(), buffer->h.data(),
+                                                count);
         };
       }
       break;
@@ -124,45 +134,48 @@ void CholeskyGraph::build() {
     const TileBuffer& t = a_.tile(i, j);
     const bool direct =
         (repr == Repr::F64 && t.precision() == Precision::FP64) ||
-        (repr == Repr::F32 && t.precision() == Precision::FP32);
+        (repr == Repr::F32 && t.precision() == Precision::FP32) ||
+        (repr == Repr::F16P && t.precision() == Precision::FP16);
     if (direct) return tile_handle(i, j);
-    // Everything else is a conversion, including widening FP16 storage (the
-    // widened buffer of an FP16 tile doubles as its F16R form, so F32
-    // requests against FP16 storage share the F16R copy).
-    Repr effective = repr;
-    if (t.precision() == Precision::FP16 && repr == Repr::F32) {
-      effective = Repr::F16R;
-    }
-    if (sender) return ensure_convert(i, j, effective, k);
+    if (sender) return ensure_convert(i, j, repr, k);
     element_conversions_ += static_cast<double>(t.count());
     return tile_handle(i, j);
   };
 
-  // Executes a receiver-side (or widening) conversion inside a task body.
+  // Executes a receiver-side conversion inside a task body.
   auto resolve = [](const TileBuffer& t, Repr repr, std::vector<double>& ds,
-                    std::vector<float>& fs) -> ResolvedOperand {
+                    std::vector<float>& fs,
+                    std::vector<common::half>& hs) -> ResolvedOperand {
     if (repr == Repr::F64 && t.precision() == Precision::FP64) {
-      return {.d = t.f64(), .f = nullptr};
+      return {.d = t.f64()};
     }
     if (repr == Repr::F32 && t.precision() == Precision::FP32) {
-      return {.d = nullptr, .f = t.f32()};
+      return {.f = t.f32()};
+    }
+    if (repr == Repr::F16P && t.precision() == Precision::FP16) {
+      return {.h = t.f16(), .hscale = t.scale()};
     }
     switch (repr) {
       case Repr::F64:
         ds.resize(static_cast<std::size_t>(t.count()));
         t.store_f64(ds.data());
-        return {.d = ds.data(), .f = nullptr};
+        return {.d = ds.data()};
       case Repr::F32:
         fs.resize(static_cast<std::size_t>(t.count()));
         t.to_f32(fs.data());
-        return {.d = nullptr, .f = fs.data()};
-      case Repr::F16R:
-        fs.resize(static_cast<std::size_t>(t.count()));
-        t.to_f32(fs.data());
-        if (t.precision() != Precision::FP16) {
-          linalg::round_through_f16(fs.data(), t.count());
+        return {.f = fs.data()};
+      case Repr::F16P: {
+        hs.resize(static_cast<std::size_t>(t.count()));
+        float scale;
+        if (t.precision() == Precision::FP64) {
+          scale = linalg::convert_f64_to_f16_scaled(t.f64(), hs.data(),
+                                                    t.count());
+        } else {
+          scale = linalg::convert_f32_to_f16_scaled(t.f32(), hs.data(),
+                                                    t.count());
         }
-        return {.d = nullptr, .f = fs.data()};
+        return {.h = hs.data(), .hscale = scale};
+      }
     }
     return {};
   };
@@ -215,12 +228,13 @@ void CholeskyGraph::build() {
       task.fn = [&b, &diag, l_copy, resolve, m, n, bp, l_repr] {
         std::vector<double> ds;
         std::vector<float> fs;
+        std::vector<common::half> hs;
         ResolvedOperand l;
         if (l_copy != nullptr) {
           l = {.d = l_copy->d.empty() ? nullptr : l_copy->d.data(),
                .f = l_copy->f.empty() ? nullptr : l_copy->f.data()};
         } else {
-          l = resolve(diag, l_repr, ds, fs);
+          l = resolve(diag, l_repr, ds, fs, hs);
         }
         switch (bp) {
           case Precision::FP64:
@@ -230,10 +244,11 @@ void CholeskyGraph::build() {
             linalg::trsm_rlt_f32(l.f, b.f32(), m, n);
             break;
           case Precision::FP16: {
+            // Solve on the true values; the repack picks a fresh tile scale.
             std::vector<float> x(static_cast<std::size_t>(m * n));
-            linalg::convert_f16_to_f32(b.f16(), x.data(), m * n);
+            b.to_f32(x.data());
             linalg::trsm_rlt_f32(l.f, x.data(), m, n);
-            linalg::convert_f32_to_f16(x.data(), b.f16(), m * n);
+            b.from_f32(x.data());
             break;
           }
         }
@@ -252,11 +267,7 @@ void CholeskyGraph::build() {
         const DataHandle in_handle = operand_handle(i, k, repr, k);
         Copy* in_copy = nullptr;
         if (sender && in_handle.id != tile_handle(i, k).id) {
-          Repr eff = repr;
-          if (in.precision() == Precision::FP16 && repr == Repr::F32) {
-            eff = Repr::F16R;
-          }
-          in_copy = &copy_slot(i, k, eff).buffer;
+          in_copy = &copy_slot(i, k, repr).buffer;
         }
         Task task;
         task.name = "SYRK(" + std::to_string(i) + "," + std::to_string(k) + ")";
@@ -270,12 +281,15 @@ void CholeskyGraph::build() {
         task.fn = [&c, &in, in_copy, resolve, m, kk, cp, repr] {
           std::vector<double> ds;
           std::vector<float> fs;
+          std::vector<common::half> hs;
           ResolvedOperand op;
           if (in_copy != nullptr) {
             op = {.d = in_copy->d.empty() ? nullptr : in_copy->d.data(),
-                  .f = in_copy->f.empty() ? nullptr : in_copy->f.data()};
+                  .f = in_copy->f.empty() ? nullptr : in_copy->f.data(),
+                  .h = in_copy->h.empty() ? nullptr : in_copy->h.data(),
+                  .hscale = in_copy->hscale};
           } else {
-            op = resolve(in, repr, ds, fs);
+            op = resolve(in, repr, ds, fs, hs);
           }
           switch (cp) {
             case Precision::FP64:
@@ -286,9 +300,9 @@ void CholeskyGraph::build() {
               break;
             case Precision::FP16: {
               std::vector<float> cs(static_cast<std::size_t>(m * m));
-              linalg::convert_f16_to_f32(c.f16(), cs.data(), m * m);
-              linalg::syrk_ln_minus_f32(op.f, cs.data(), m, kk);
-              linalg::convert_f32_to_f16(cs.data(), c.f16(), m * m);
+              c.to_f32(cs.data());
+              linalg::syrk_ln_minus_f16(op.h, op.hscale, cs.data(), m, kk);
+              c.from_f32(cs.data());
               break;
             }
           }
@@ -306,17 +320,12 @@ void CholeskyGraph::build() {
         const Repr repr = operand_repr(c.precision());
         const DataHandle a_handle = operand_handle(i, k, repr, k);
         const DataHandle b_handle = operand_handle(j, k, repr, k);
-        auto copy_for = [&](index_t r, const TileBuffer& t,
-                            DataHandle h) -> Copy* {
+        auto copy_for = [&](index_t r, DataHandle h) -> Copy* {
           if (!sender || h.id == tile_handle(r, k).id) return nullptr;
-          Repr eff = repr;
-          if (t.precision() == Precision::FP16 && repr == Repr::F32) {
-            eff = Repr::F16R;
-          }
-          return &copy_slot(r, k, eff).buffer;
+          return &copy_slot(r, k, repr).buffer;
         };
-        Copy* a_copy = copy_for(i, ain, a_handle);
-        Copy* b_copy = copy_for(j, bin, b_handle);
+        Copy* a_copy = copy_for(i, a_handle);
+        Copy* b_copy = copy_for(j, b_handle);
         Task task;
         task.name = "GEMM(" + std::to_string(i) + "," + std::to_string(j) +
                     "," + std::to_string(k) + ")";
@@ -332,17 +341,20 @@ void CholeskyGraph::build() {
                    repr] {
           std::vector<double> dsa, dsb;
           std::vector<float> fsa, fsb;
+          std::vector<common::half> hsa, hsb;
           auto get = [&](const TileBuffer& t, Copy* copy,
-                         std::vector<double>& ds,
-                         std::vector<float>& fs) -> ResolvedOperand {
+                         std::vector<double>& ds, std::vector<float>& fs,
+                         std::vector<common::half>& hs) -> ResolvedOperand {
             if (copy != nullptr) {
               return {.d = copy->d.empty() ? nullptr : copy->d.data(),
-                      .f = copy->f.empty() ? nullptr : copy->f.data()};
+                      .f = copy->f.empty() ? nullptr : copy->f.data(),
+                      .h = copy->h.empty() ? nullptr : copy->h.data(),
+                      .hscale = copy->hscale};
             }
-            return resolve(t, repr, ds, fs);
+            return resolve(t, repr, ds, fs, hs);
           };
-          const ResolvedOperand a_op = get(ain, a_copy, dsa, fsa);
-          const ResolvedOperand b_op = get(bin, b_copy, dsb, fsb);
+          const ResolvedOperand a_op = get(ain, a_copy, dsa, fsa, hsa);
+          const ResolvedOperand b_op = get(bin, b_copy, dsb, fsb, hsb);
           switch (cp) {
             case Precision::FP64:
               linalg::gemm_nt_minus_f64(a_op.d, b_op.d, c.f64(), m, n, kk);
@@ -352,9 +364,10 @@ void CholeskyGraph::build() {
               break;
             case Precision::FP16: {
               std::vector<float> cs(static_cast<std::size_t>(m * n));
-              linalg::convert_f16_to_f32(c.f16(), cs.data(), m * n);
-              linalg::gemm_nt_minus_f32(a_op.f, b_op.f, cs.data(), m, n, kk);
-              linalg::convert_f32_to_f16(cs.data(), c.f16(), m * n);
+              c.to_f32(cs.data());
+              linalg::gemm_nt_minus_f16(a_op.h, a_op.hscale, b_op.h,
+                                        b_op.hscale, cs.data(), m, n, kk);
+              c.from_f32(cs.data());
               break;
             }
           }

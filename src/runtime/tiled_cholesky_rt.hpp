@@ -61,8 +61,12 @@ class CholeskyGraph {
   struct Copy {
     std::vector<double> d;
     std::vector<float> f;
+    std::vector<common::half> h;  // packed-half operand form
+    float hscale = 1.0f;          // scale of h, written by the CONVERT task
   };
-  enum class Repr : std::uint8_t { F64, F32, F16R };
+  /// F16P = packed binary16 + scale, the operand form of the packed-half
+  /// kernels. FP16-stored tiles are already in it (no CONVERT task needed).
+  enum class Repr : std::uint8_t { F64, F32, F16P };
 
   static Repr operand_repr(linalg::Precision out);
   static Repr natural_repr(linalg::Precision storage);
