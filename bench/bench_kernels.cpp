@@ -15,6 +15,8 @@
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "common/topology.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/kernels.hpp"
 #include "runtime/tiled_cholesky_rt.hpp"
@@ -327,11 +329,51 @@ void bench_f16(exaclim::bench::JsonBench& out) {
   }
 }
 
+/// Runtime-parallel tiled Cholesky on the unified team, with the scheduler's
+/// steal/affinity/park counters recorded so scheduler changes stay
+/// measurable in the committed trajectory. 16x16 tiles is the acceptance
+/// shape for the work-stealing runtime (enough width that affinity and
+/// steal policy matter).
+void bench_scheduler(exaclim::bench::JsonBench& out) {
+  using exaclim::bench::time_op;
+  const index_t nb = 64;
+  const index_t nt = 16;
+  const index_t n = nb * nt;
+  const Matrix a = spd(n);
+  runtime::RtCholeskyResult last;
+  const double secs = time_op(
+      [&] {
+        auto tiled = TiledSymmetricMatrix::from_dense(
+            a, nb, make_band_policy(nt, PrecisionVariant::DP));
+        last = runtime::cholesky_tiled_parallel(tiled, {});
+      },
+      0.3, 2);
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"kernel\": \"cholesky_rt\", \"precision\": \"f64\", \"n\": %lld, "
+      "\"tiles\": %lld, \"ms\": %.4f, \"dag_ms\": %.4f, \"threads\": %u, "
+      "\"efficiency\": %.3f, \"steal_hits\": %lld, \"steal_misses\": %lld, "
+      "\"affinity_hits\": %lld, \"affinity_misses\": %lld, \"parks\": %lld, "
+      "\"wakes\": %lld}",
+      static_cast<long long>(n), static_cast<long long>(nt), secs * 1e3,
+      last.run.seconds * 1e3, last.run.threads,
+      last.run.parallel_efficiency(),
+      static_cast<long long>(last.run.counters.steal_hits),
+      static_cast<long long>(last.run.counters.steal_misses),
+      static_cast<long long>(last.run.counters.affinity_hits),
+      static_cast<long long>(last.run.counters.affinity_misses),
+      static_cast<long long>(last.run.counters.parks),
+      static_cast<long long>(last.run.counters.wakes));
+  out.add(buf);
+}
+
 void write_kernels_json() {
   exaclim::bench::JsonBench out;
   bench_type<double>("f64", out);
   bench_type<float>("f32", out);
   bench_f16(out);
+  bench_scheduler(out);
   // The ISA fields catch a stale build dir configured without -march=native,
   // which silently drops the wide micro-tiles and the F16C conversions and
   // makes every speedup column meaningless.
@@ -345,11 +387,16 @@ void write_kernels_json() {
 #else
   const int f16c = 0;
 #endif
-  char meta[160];
+  const auto& team = exaclim::common::WorkerTeam::instance();
+  const auto& topo = exaclim::common::Topology::instance();
+  char meta[256];
   std::snprintf(meta, sizeof(meta),
                 "{\"bench\": \"kernels\", \"hardware_concurrency\": %u, "
-                "\"avx512\": %d, \"f16c\": %d}",
-                std::thread::hardware_concurrency(), avx512, f16c);
+                "\"avx512\": %d, \"f16c\": %d, \"threads\": %u, "
+                "\"pinned\": %d, \"numa_nodes\": %u}",
+                std::thread::hardware_concurrency(), avx512, f16c,
+                team.max_participants(), team.pinned() ? 1 : 0,
+                topo.num_nodes());
   if (out.write("BENCH_kernels.json", meta)) {
     std::printf("wrote BENCH_kernels.json\n");
   }

@@ -14,6 +14,8 @@
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "common/topology.hpp"
 #include "fft/fft.hpp"
 #include "sht/packing.hpp"
 #include "sht/sht.hpp"
@@ -151,10 +153,14 @@ void write_sht_json() {
         l3 / ts, ref_cols);
     out.add(buf);
   }
-  char meta[128];
+  const auto& team = exaclim::common::WorkerTeam::instance();
+  const auto& topo = exaclim::common::Topology::instance();
+  char meta[224];
   std::snprintf(meta, sizeof(meta),
-                "{\"bench\": \"sht\", \"hardware_concurrency\": %u}",
-                std::thread::hardware_concurrency());
+                "{\"bench\": \"sht\", \"hardware_concurrency\": %u, "
+                "\"threads\": %u, \"pinned\": %d, \"numa_nodes\": %u}",
+                std::thread::hardware_concurrency(), team.max_participants(),
+                team.pinned() ? 1 : 0, topo.num_nodes());
   if (out.write("BENCH_sht.json", meta)) {
     std::printf("wrote BENCH_sht.json\n");
   }

@@ -11,6 +11,11 @@
 //   exaclim_cli info     --file <dataset-or-model>
 //   exaclim_cli verify   --data data.bin --emu emu.bin [--band-limit L]
 //
+// Global flags (any subcommand): --threads N sizes the process-wide worker
+// team (default: hardware concurrency); --pin 0|1 toggles NUMA/SMT-aware
+// core pinning of the team's workers (default: off, or the EXACLIM_PIN env
+// var).
+//
 // The workflow a downstream modelling centre would run: generate (or bring)
 // an ensemble, train once, archive only the model file, regenerate members
 // on demand, and verify statistical consistency.
@@ -21,6 +26,7 @@
 
 #include "climate/synthetic_esm.hpp"
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "core/consistency.hpp"
 #include "core/emulator.hpp"
 #include "core/serialize.hpp"
@@ -206,9 +212,38 @@ int cmd_verify(const std::map<std::string, std::string>& args) {
   return report.consistent() ? 0 : 2;
 }
 
+/// Applies the global --threads / --pin flags before any parallel work runs
+/// (the worker team is created lazily on first use and cannot be resized
+/// afterwards). Values are validated with the same strictness as the other
+/// integer flags: non-numeric or out-of-range input names the flag.
+void configure_runtime(const std::map<std::string, std::string>& args) {
+  unsigned threads = 0;
+  int pin = -1;
+  if (args.count("threads") != 0) {
+    const index_t t = get_int(args, "threads", 0);
+    if (t <= 0 || t > 1024) {
+      throw InvalidArgument("flag --threads expects an integer in [1, 1024], got '" +
+                            args.at("threads") + "'");
+    }
+    threads = static_cast<unsigned>(t);
+  }
+  if (args.count("pin") != 0) {
+    const index_t p = get_int(args, "pin", 0);
+    if (p != 0 && p != 1) {
+      throw InvalidArgument("flag --pin expects 0 or 1, got '" +
+                            args.at("pin") + "'");
+    }
+    pin = static_cast<int>(p);
+  }
+  if (threads > 0 || pin >= 0) {
+    common::WorkerTeam::configure(threads, pin);
+  }
+}
+
 void usage() {
   std::printf(
       "usage: exaclim_cli <generate|train|emulate|info|verify> [--flags]\n"
+      "       global flags: --threads N, --pin 0|1\n"
       "see the header comment of examples/exaclim_cli.cpp for details\n");
 }
 
@@ -222,6 +257,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     const auto args = parse_args(argc, argv, 2);
+    configure_runtime(args);
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "train") return cmd_train(args);
     if (cmd == "emulate") return cmd_emulate(args);

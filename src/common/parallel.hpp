@@ -2,10 +2,12 @@
 // (runtime/) would be overkill: embarrassingly parallel loops over time
 // slots, grid points, or coefficient indices.
 //
-// Work is executed on the process-wide persistent ThreadPool: no threads are
-// spawned per call, the callable is dispatched through a monomorphic
-// trampoline (no std::function, no allocation), and nested or concurrent
-// parallel_for calls safely degrade to inline serial execution.
+// Work is executed on the process-wide persistent WorkerTeam — the same
+// thread team the task-graph scheduler drafts from, so a process never runs
+// two competing pools. No threads are spawned per call, the callable is
+// dispatched through a monomorphic trampoline (no std::function, no
+// allocation), and nested or concurrent parallel_for calls (including
+// parallel_for inside a DAG task) safely degrade to inline serial execution.
 #pragma once
 
 #include <algorithm>
@@ -20,10 +22,11 @@
 
 namespace exaclim::common {
 
-/// Number of worker threads to use by default (hardware concurrency, >= 1).
+/// Number of worker threads to use by default: the worker team's actual
+/// width (which honors --threads / EXACLIM_THREADS overrides), so chunk
+/// sizing matches the participants that will really run. >= 1.
 inline unsigned default_thread_count() {
-  const unsigned hc = std::thread::hardware_concurrency();
-  return hc == 0 ? 1u : hc;
+  return WorkerTeam::instance().max_participants();
 }
 
 /// Runs body(i) for i in [begin, end) across up to `threads` workers with
@@ -35,7 +38,7 @@ void parallel_for(index_t begin, index_t end, F&& body,
                   unsigned threads = default_thread_count()) {
   const index_t n = end - begin;
   if (n <= 0) return;
-  if (threads <= 1 || n == 1 || ThreadPool::in_parallel_region()) {
+  if (threads <= 1 || n == 1 || WorkerTeam::in_parallel_region()) {
     for (index_t i = begin; i < end; ++i) body(i);
     return;
   }
@@ -60,7 +63,7 @@ void parallel_for(index_t begin, index_t end, F&& body,
   ctx.end = end;
   ctx.chunk = chunk;
 
-  constexpr ThreadPool::JobFn work = [](void* p, unsigned /*rank*/) {
+  constexpr WorkerTeam::JobFn work = [](void* p, unsigned /*rank*/) {
     Ctx& c = *static_cast<Ctx*>(p);
     for (;;) {
       // Short-circuit before claiming a chunk: a throwing body elsewhere
@@ -81,7 +84,7 @@ void parallel_for(index_t begin, index_t end, F&& body,
     }
   };
 
-  ThreadPool::instance().run(workers, work, &ctx);
+  WorkerTeam::instance().run(workers, work, &ctx);
   if (ctx.failed.load() && ctx.error) std::rethrow_exception(ctx.error);
 }
 

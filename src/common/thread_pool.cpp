@@ -1,39 +1,105 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "common/topology.hpp"
 
 namespace exaclim::common {
 
 namespace {
 
-/// Set while a thread (worker or caller) executes a pool job.
+/// Set while a thread (worker or caller) executes a team job.
 thread_local bool t_in_region = false;
 
+/// Pre-instance configuration (see WorkerTeam::configure).
+std::atomic<unsigned> g_threads_override{0};
+std::atomic<int> g_pin_override{-1};
+std::atomic<bool> g_instantiated{false};
+
 unsigned worker_target() {
-  const unsigned hc = std::thread::hardware_concurrency();
+  const unsigned hc = std::max(1u, std::thread::hardware_concurrency());
+  // Overrides are clamped to generous-oversubscription territory (8x the
+  // machine, floor 64): an absurd EXACLIM_THREADS must degrade to a big
+  // team, not abort the process with std::system_error when the function-
+  // local-static constructor fails to spawn a million threads.
+  const unsigned cap = std::max(64u, 8 * hc);
+  // `configured` counts total participants (caller included), so an explicit
+  // request for 1 really means zero workers: a serial run (debugging,
+  // deterministic ordering) must not silently execute on two threads.
+  const unsigned configured = g_threads_override.load(std::memory_order_relaxed);
+  if (configured > 0) return std::min(configured, cap) - 1;
+  if (const char* env = std::getenv("EXACLIM_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) {
+      return static_cast<unsigned>(std::min<long>(v, cap)) - 1;
+    }
+  }
   // The caller always participates, so hc - 1 workers saturate the machine;
-  // keep at least one worker so parallelism is exercised even on 1-core CI.
-  return std::max(1u, hc == 0 ? 1u : hc - 1);
+  // keep at least one worker by default so parallelism is exercised even on
+  // 1-core CI.
+  return std::max(1u, hc - 1);
+}
+
+bool pin_requested() {
+  const int configured = g_pin_override.load(std::memory_order_relaxed);
+  if (configured >= 0) return configured != 0;
+  if (const char* env = std::getenv("EXACLIM_PIN")) {
+    return env[0] == '1' || env[0] == 'y' || env[0] == 'Y';
+  }
+  return false;
 }
 
 }  // namespace
 
-ThreadPool& ThreadPool::instance() {
-  static ThreadPool pool;
-  return pool;
+WorkerTeam& WorkerTeam::instance() {
+  static WorkerTeam team;
+  return team;
 }
 
-bool ThreadPool::in_parallel_region() { return t_in_region; }
+bool WorkerTeam::in_parallel_region() { return t_in_region; }
 
-ThreadPool::ThreadPool() {
+bool WorkerTeam::configure(unsigned threads, int pin) {
+  if (g_instantiated.load(std::memory_order_acquire)) return false;
+  if (threads > 0) g_threads_override.store(threads, std::memory_order_relaxed);
+  if (pin >= 0) g_pin_override.store(pin, std::memory_order_relaxed);
+  return !g_instantiated.load(std::memory_order_acquire);
+}
+
+WorkerTeam::WorkerTeam() {
+  g_instantiated.store(true, std::memory_order_release);
   const unsigned n = worker_target();
+  pin_ = pin_requested();
+  const Topology& topo = Topology::instance();
+
+  // Participant rank r maps to a topology slot: slot 0 (the caller's
+  // assumed neighborhood) is left unpinned and reserved for rank 0, worker
+  // w (rank w+1) pins to slots 1..ncpu-1, wrapping back to slot 1 — never
+  // onto the caller's slot — when there are more workers than CPUs.
+  const unsigned ncpu = topo.num_cpus();
+  auto slot_of_rank = [ncpu](unsigned r) -> unsigned {
+    if (r == 0 || ncpu <= 1) return 0;
+    return 1 + (r - 1) % (ncpu - 1);
+  };
+  worker_cpu_.assign(n, -1);
+  rank_node_.assign(n + 1, 0);
+  for (unsigned r = 0; r <= n; ++r) {
+    rank_node_[r] = topo.node_of_slot(slot_of_rank(r));
+  }
+  if (pin_) {
+    for (unsigned w = 0; w < n; ++w) {
+      worker_cpu_[w] = topo.slots()[slot_of_rank(w + 1)].cpu;
+    }
+  }
+
   workers_.reserve(n);
   for (unsigned r = 0; r < n; ++r) {
     workers_.emplace_back([this, r] { worker_loop(r); });
   }
 }
 
-ThreadPool::~ThreadPool() {
+WorkerTeam::~WorkerTeam() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
@@ -42,7 +108,37 @@ ThreadPool::~ThreadPool() {
   for (auto& t : workers_) t.join();
 }
 
-void ThreadPool::worker_loop(unsigned rank) {
+bool WorkerTeam::pinned() const {
+  return pin_ && !workers_.empty() &&
+         pins_ok_.load(std::memory_order_acquire) ==
+             static_cast<unsigned>(workers_.size());
+}
+
+int WorkerTeam::node_of_rank(unsigned rank) const {
+  if (rank_node_.empty()) return 0;
+  return rank_node_[rank % rank_node_.size()];
+}
+
+std::vector<unsigned> WorkerTeam::victim_order(unsigned rank,
+                                               unsigned participants) const {
+  std::vector<unsigned> near, far;
+  const int my_node = node_of_rank(rank);
+  for (unsigned d = 1; d < participants; ++d) {
+    const unsigned v = (rank + d) % participants;
+    (node_of_rank(v) == my_node ? near : far).push_back(v);
+  }
+  near.insert(near.end(), far.begin(), far.end());
+  return near;
+}
+
+void WorkerTeam::worker_loop(unsigned rank) {
+  if (pin_ && worker_cpu_[rank] >= 0) {
+    // A rejected pin (e.g. cpuset shrank since startup) leaves the worker
+    // floating; locality degrades but nothing breaks.
+    if (Topology::pin_current_thread(worker_cpu_[rank])) {
+      pins_ok_.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
   std::uint64_t seen = 0;
   for (;;) {
     JobFn fn = nullptr;
@@ -66,7 +162,7 @@ void ThreadPool::worker_loop(unsigned rank) {
   }
 }
 
-void ThreadPool::run(unsigned parallelism, JobFn fn, void* ctx) {
+void WorkerTeam::run(unsigned parallelism, JobFn fn, void* ctx) {
   const unsigned extra =
       parallelism == 0 ? 0
                        : std::min(parallelism - 1,

@@ -11,6 +11,7 @@
 #include <immintrin.h>
 #endif
 
+#include "common/arena.hpp"
 #include "common/error.hpp"
 
 namespace exaclim::linalg {
@@ -192,11 +193,19 @@ struct Blocked {
   // Panel width for the blocked POTRF/TRSM factorizations.
   static constexpr index_t NB = 64;
 
+  // Per-worker scratch: pack buffers and SYRK diagonal scratch live in a
+  // grow-only thread-local arena (common/arena.hpp). The owning worker
+  // allocates and first-touches every page, so on NUMA machines the packed
+  // panels are node-local to the worker streaming them; buffers grow to the
+  // high-water tile size and then the hot path never allocates again. The
+  // arena also guarantees older allocations stay valid while new ones are
+  // carved (a mid-pack `row` growth cannot invalidate a live pack pointer).
   struct Scratch {
-    std::vector<T> pack_a;
-    std::vector<T> pack_b;
-    std::vector<T> diag;  // dense scratch for SYRK diagonal blocks
-    std::vector<T> row;   // widened source row for packed-half operands
+    common::ScratchArena arena;
+    common::ArenaBuffer<T> pack_a;
+    common::ArenaBuffer<T> pack_b;
+    common::ArenaBuffer<T> diag;  // dense scratch for SYRK diagonal blocks
+    common::ArenaBuffer<T> row;   // widened source row for packed-half operands
   };
   static Scratch& scratch() {
     thread_local Scratch s;
@@ -211,12 +220,12 @@ struct Blocked {
   template <index_t W, typename S>
   static void pack(const S* a, index_t lda, index_t mc, index_t kc, T* dst) {
     if constexpr (std::is_same_v<S, common::half>) {
-      std::vector<T>& row = scratch().row;
-      row.resize(static_cast<std::size_t>(kc));
+      Scratch& s = scratch();
+      T* row = s.row.ensure(s.arena, static_cast<std::size_t>(kc));
       for (index_t i0 = 0; i0 < mc; i0 += W) {
         const index_t w = std::min(W, mc - i0);
         for (index_t i = 0; i < w; ++i) {
-          widen_f16_block(a + (i0 + i) * lda, row.data(), kc);
+          widen_f16_block(a + (i0 + i) * lda, row, kc);
           for (index_t p = 0; p < kc; ++p) dst[p * W + i] = row[p];
         }
         for (index_t i = w; i < W; ++i) {
@@ -278,18 +287,20 @@ struct Blocked {
       for (index_t jc = 0; jc < n; jc += NC) {
         const index_t nc = std::min(NC, n - jc);
         const index_t nb_slivers = (nc + NR - 1) / NR;
-        s.pack_b.resize(static_cast<std::size_t>(nb_slivers * kc * NR));
-        pack<NR>(b + jc * ldb + pc, ldb, nc, kc, s.pack_b.data());
+        T* pack_b = s.pack_b.ensure(
+            s.arena, static_cast<std::size_t>(nb_slivers * kc * NR));
+        pack<NR>(b + jc * ldb + pc, ldb, nc, kc, pack_b);
         for (index_t ic = 0; ic < m; ic += MC) {
           const index_t mc = std::min(MC, m - ic);
           const index_t ma_slivers = (mc + MR - 1) / MR;
-          s.pack_a.resize(static_cast<std::size_t>(ma_slivers * kc * MR));
-          pack<MR>(a + ic * lda + pc, lda, mc, kc, s.pack_a.data());
+          T* pack_a = s.pack_a.ensure(
+              s.arena, static_cast<std::size_t>(ma_slivers * kc * MR));
+          pack<MR>(a + ic * lda + pc, lda, mc, kc, pack_a);
           for (index_t jr = 0; jr < nc; jr += NR) {
-            const T* bp = s.pack_b.data() + (jr / NR) * kc * NR;
+            const T* bp = pack_b + (jr / NR) * kc * NR;
             const index_t nr = std::min(NR, nc - jr);
             for (index_t ir = 0; ir < mc; ir += MR) {
-              const T* ap = s.pack_a.data() + (ir / MR) * kc * MR;
+              const T* ap = pack_a + (ir / MR) * kc * MR;
               micro_kernel(ap, bp, kc, alpha, c + (ic + ir) * ldc + jc + jr,
                            ldc, std::min(MR, mc - ir), nr);
             }
@@ -313,13 +324,13 @@ struct Blocked {
       // Diagonal block: dense scratch, triangular write-back. The scratch
       // must be copied out before the next block reuses it, and gemm() uses
       // separate pack buffers so there is no aliasing.
-      std::vector<T>& d = scratch().diag;
-      d.assign(static_cast<std::size_t>(mb * mb), T(0));
-      gemm(a + i0 * lda, lda, a + i0 * lda, lda, alpha, d.data(), mb, mb, mb,
-           k);
+      Scratch& s = scratch();
+      T* d = s.diag.ensure(s.arena, static_cast<std::size_t>(mb * mb));
+      std::fill_n(d, static_cast<std::size_t>(mb * mb), T(0));
+      gemm(a + i0 * lda, lda, a + i0 * lda, lda, alpha, d, mb, mb, mb, k);
       for (index_t i = 0; i < mb; ++i) {
         T* ci = c + (i0 + i) * ldc + i0;
-        const T* di = d.data() + i * mb;
+        const T* di = d + i * mb;
         for (index_t j = 0; j <= i; ++j) ci[j] += di[j];
       }
     }

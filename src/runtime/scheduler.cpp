@@ -5,49 +5,308 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "common/timer.hpp"
+#include "common/work_steal_deque.hpp"
 
 namespace exaclim::runtime {
 
 namespace {
 
-/// Per-worker deque guarded by a light mutex. Tile tasks run for micro- to
-/// milliseconds, so contention on these locks is negligible; this keeps the
-/// stealing logic obviously correct.
-struct WorkerQueue {
-  std::mutex mu;
-  std::deque<TaskId> tasks;
+constexpr TaskId kNil = -1;
 
-  void push(TaskId id) {
-    std::lock_guard<std::mutex> lock(mu);
-    tasks.push_back(id);
-  }
-  bool pop_local_best(const TaskGraph& graph, TaskId& out) {
-    std::lock_guard<std::mutex> lock(mu);
-    if (tasks.empty()) return false;
-    // Pick the highest-priority entry; ties go to the most recently pushed
-    // (LIFO keeps caches warm).
-    auto best = tasks.end() - 1;
-    for (auto it = tasks.begin(); it != tasks.end(); ++it) {
-      if (graph.task(*it).priority > graph.task(*best).priority) best = it;
-    }
-    out = *best;
-    tasks.erase(best);
-    return true;
-  }
-  bool steal(TaskId& out) {
-    std::lock_guard<std::mutex> lock(mu);
-    if (tasks.empty()) return false;
-    out = tasks.front();  // steal the oldest (FIFO end) — classic Cilk rule
-    tasks.pop_front();
-    return true;
-  }
+/// Per-participant scheduling state, cache-line padded: the deque top and
+/// mailbox head are CAS targets for every thief on the machine.
+struct alignas(64) WorkerState {
+  common::WorkStealDeque<TaskId> deque;
+  std::atomic<TaskId> mail_head{kNil};
+
+  // Private counters, merged into RunStats after the run.
+  index_t steal_hits = 0;
+  index_t steal_misses = 0;
+  index_t parks = 0;
+  index_t affinity_hits = 0;
+  index_t affinity_misses = 0;
+  double busy = 0.0;
 };
+
+/// Everything one execute() call shares between its participants. Workers
+/// come from the process-wide WorkerTeam; this context exists only for the
+/// duration of the run.
+struct ExecContext {
+  ExecContext(const TaskGraph& g, const SchedulerOptions& opt, Trace* tr,
+              unsigned parts)
+      : graph(g),
+        options(opt),
+        trace(tr),
+        participants(parts),
+        n(g.num_tasks()),
+        remaining_preds(static_cast<std::size_t>(g.num_tasks())),
+        mail_next(static_cast<std::size_t>(g.num_tasks())) {
+    for (index_t i = 0; i < n; ++i) {
+      remaining_preds[static_cast<std::size_t>(i)].store(
+          g.task(i).num_predecessors, std::memory_order_relaxed);
+    }
+    workers.reserve(participants);
+    for (unsigned r = 0; r < participants; ++r) {
+      workers.push_back(std::make_unique<WorkerState>());
+    }
+    // 2D block-cyclic worker grid for tile affinity: p*q <= participants,
+    // p as square as possible so both tile rows and columns spread.
+    grid_p = 1;
+    for (int p = 1;
+         p * p <= static_cast<int>(participants); ++p) {
+      grid_p = p;
+    }
+    grid_q = static_cast<int>(participants) / grid_p;
+    const auto& team = common::WorkerTeam::instance();
+    victims.reserve(participants);
+    for (unsigned r = 0; r < participants; ++r) {
+      victims.push_back(team.victim_order(r, participants));
+    }
+  }
+
+  const TaskGraph& graph;
+  const SchedulerOptions& options;
+  Trace* trace;
+  const unsigned participants;
+  const index_t n;
+  int grid_p = 1;
+  int grid_q = 1;
+
+  std::vector<std::atomic<index_t>> remaining_preds;
+  std::vector<std::atomic<TaskId>> mail_next;  ///< intrusive mailbox links
+  std::vector<std::unique_ptr<WorkerState>> workers;
+  std::vector<std::vector<unsigned>> victims;  ///< NUMA-near-first, per rank
+
+  std::atomic<index_t> completed{0};
+  /// Ranks that actually entered the run: when the team is busy the region
+  /// degrades to the caller alone, and stats must report that, not the
+  /// planned width (a serial run would otherwise read as ~6% efficiency).
+  std::atomic<unsigned> joined{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  // Idle-worker parking. A worker that repeatedly fails to find work stops
+  // busy-spinning and waits on this condition variable with an exponentially
+  // growing bounded timeout; task completions that publish new ready work
+  // bump `wake_epoch` and notify. The timeout (rather than exact wakeup
+  // accounting) makes lost-wakeup hangs structurally impossible while still
+  // keeping idle workers off the cores during skinny DAG phases.
+  std::mutex idle_mu;
+  std::condition_variable idle_cv;
+  std::atomic<std::uint64_t> wake_epoch{0};
+  std::atomic<unsigned> sleepers{0};
+  std::atomic<index_t> wakes{0};
+
+  /// Shared run clock so trace timestamps from different workers align.
+  common::Timer clock;
+
+  /// Home worker of a task's output tile, or -1 when the task carries no
+  /// affinity coordinates.
+  int home_of(TaskId id) const {
+    const Task& t = graph.task(id);
+    if (t.home_row < 0 || t.home_col < 0) return -1;
+    return static_cast<int>(t.home_row % grid_p) * grid_q +
+           static_cast<int>(t.home_col % grid_q);
+  }
+
+  // --- lock-free MPMC mailbox (Treiber stack over mail_next) ---------------
+  // Each TaskId becomes ready exactly once per run, so a popped node can
+  // never re-enter the stack and the classic ABA hazard cannot occur.
+
+  void mail_push(WorkerState& w, TaskId id) {
+    TaskId head = w.mail_head.load(std::memory_order_acquire);
+    do {
+      mail_next[static_cast<std::size_t>(id)].store(head,
+                                                    std::memory_order_relaxed);
+    } while (!w.mail_head.compare_exchange_weak(head, id,
+                                                std::memory_order_release,
+                                                std::memory_order_acquire));
+  }
+
+  bool mail_pop(WorkerState& w, TaskId& out) {
+    TaskId head = w.mail_head.load(std::memory_order_acquire);
+    while (head != kNil) {
+      const TaskId next =
+          mail_next[static_cast<std::size_t>(head)].load(
+              std::memory_order_relaxed);
+      if (w.mail_head.compare_exchange_weak(head, next,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+        out = head;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // --- ready-task routing ---------------------------------------------------
+
+  void wake_workers() {
+    wake_epoch.fetch_add(1, std::memory_order_release);
+    if (sleepers.load(std::memory_order_acquire) > 0) {
+      {
+        std::lock_guard<std::mutex> lock(idle_mu);
+      }
+      idle_cv.notify_all();
+      wakes.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Routes a newly-ready task: homed tasks are mailed to their home worker
+  /// (cache affinity beats spawner locality); everything else goes on the
+  /// spawner's own deque (PaRSEC-style locality default).
+  void push_ready(unsigned me, TaskId id) {
+    const int home = home_of(id);
+    if (home >= 0 && home != static_cast<int>(me)) {
+      mail_push(*workers[static_cast<std::size_t>(home)], id);
+    } else {
+      workers[me]->deque.push(id);
+    }
+  }
+
+  /// Finds the next task for `me`: own mailbox (affinity deliveries), own
+  /// deque (LIFO, hottest first), then steals — NUMA-near victims' deques
+  /// first, then victim mailboxes so affinity work can never be stranded
+  /// behind a busy home worker (or a home rank that never joined the run,
+  /// e.g. when the team was busy and the region degraded to one
+  /// participant).
+  bool find_task(unsigned me, TaskId& id) {
+    WorkerState& my = *workers[me];
+    if (mail_pop(my, id)) return true;
+    if (my.deque.pop(id)) return true;
+    for (unsigned v : victims[me]) {
+      if (workers[v]->deque.steal(id)) {
+        ++my.steal_hits;
+        return true;
+      }
+    }
+    for (unsigned v : victims[me]) {
+      if (mail_pop(*workers[v], id)) {
+        ++my.steal_hits;
+        return true;
+      }
+    }
+    ++my.steal_misses;
+    return false;
+  }
+
+  void worker(unsigned me);
+};
+
+void ExecContext::worker(unsigned me) {
+  joined.fetch_add(1, std::memory_order_relaxed);
+  WorkerState& my = *workers[me];
+  // Spin briefly before parking: during dense DAG phases new work arrives
+  // within microseconds and a yield-spin wins; during skinny phases the
+  // spin limit trips and the worker sleeps instead of burning a core.
+  constexpr unsigned kSpinLimit = 32;
+  unsigned idle_spins = 0;
+  auto park_us = std::chrono::microseconds(50);
+  for (;;) {
+    if (completed.load(std::memory_order_acquire) >= n ||
+        failed.load(std::memory_order_relaxed)) {
+      return;
+    }
+    const std::uint64_t epoch_before =
+        wake_epoch.load(std::memory_order_acquire);
+    TaskId id = kNil;
+    if (!find_task(me, id)) {
+      if (++idle_spins < kSpinLimit) {
+        std::this_thread::yield();
+        continue;
+      }
+      ++my.parks;
+      const double park_t0 = clock.seconds();
+      sleepers.fetch_add(1, std::memory_order_acq_rel);
+      {
+        std::unique_lock<std::mutex> lock(idle_mu);
+        idle_cv.wait_for(lock, park_us, [&] {
+          return wake_epoch.load(std::memory_order_acquire) != epoch_before ||
+                 completed.load(std::memory_order_acquire) >= n ||
+                 failed.load(std::memory_order_relaxed);
+        });
+      }
+      sleepers.fetch_sub(1, std::memory_order_acq_rel);
+      if (trace != nullptr && options.collect_trace) {
+        trace->record_park({"", me, park_t0, clock.seconds()});
+      }
+      park_us = std::min(park_us * 2, std::chrono::microseconds(2000));
+      continue;
+    }
+    idle_spins = 0;
+    park_us = std::chrono::microseconds(50);
+
+    const Task& t = graph.task(id);
+    const double t0 = clock.seconds();
+    try {
+      if (t.fn) t.fn();
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!failed.exchange(true)) first_error = std::current_exception();
+      }
+      completed.fetch_add(1, std::memory_order_release);
+      wake_workers();  // parked workers must observe the failure
+      return;
+    }
+    const double t1 = clock.seconds();
+    my.busy += t1 - t0;
+    const int home = home_of(id);
+    if (home >= 0) {
+      ++(home == static_cast<int>(me) ? my.affinity_hits
+                                      : my.affinity_misses);
+    }
+    if (trace != nullptr && options.collect_trace) {
+      trace->record({t.name, me, t0, t1});
+    }
+    // Collect newly-ready successors, then publish in ascending priority so
+    // the LIFO owner pop takes the highest-priority one first.
+    TaskId ready_buf[16];
+    std::vector<TaskId> ready_overflow;
+    std::size_t n_ready = 0;
+    for (TaskId succ : t.successors) {
+      if (remaining_preds[static_cast<std::size_t>(succ)].fetch_sub(
+              1, std::memory_order_acq_rel) == 1) {
+        if (n_ready < 16) {
+          ready_buf[n_ready++] = succ;
+        } else {
+          ready_overflow.push_back(succ);
+        }
+      }
+    }
+    auto by_priority_asc = [&](TaskId a, TaskId b) {
+      return graph.task(a).priority < graph.task(b).priority;
+    };
+    std::sort(ready_buf, ready_buf + n_ready, by_priority_asc);
+    std::sort(ready_overflow.begin(), ready_overflow.end(), by_priority_asc);
+    // Overflow entries all rank above the buffer only if sorted globally;
+    // with <=16 successors in every real graph this path is cold — publish
+    // buffer first, overflow after (still ascending within each).
+    bool pushed = false;
+    for (std::size_t i = 0; i < n_ready; ++i) {
+      push_ready(me, ready_buf[i]);
+      pushed = true;
+    }
+    for (TaskId succ : ready_overflow) {
+      push_ready(me, succ);
+      pushed = true;
+    }
+    completed.fetch_add(1, std::memory_order_release);
+    // New ready work (stealable from this queue) or global completion:
+    // either way parked workers need a look.
+    if (pushed || completed.load(std::memory_order_acquire) >= n) {
+      wake_workers();
+    }
+  }
+}
 
 }  // namespace
 
@@ -55,47 +314,25 @@ RunStats execute(const TaskGraph& graph, const SchedulerOptions& options,
                  Trace* trace) {
   const index_t n = graph.num_tasks();
   RunStats stats;
-  const unsigned threads =
-      options.threads == 0
-          ? std::max(1u, std::thread::hardware_concurrency())
-          : options.threads;
-  stats.threads = threads;
+  auto& team = common::WorkerTeam::instance();
+  // Default width is the configured team, not hardware_concurrency: an
+  // explicit --threads/EXACLIM_THREADS override must reach DAG runs too.
+  const unsigned requested =
+      options.threads == 0 ? team.max_participants() : options.threads;
+  // One thread team per process: the scheduler drafts from the shared
+  // WorkerTeam instead of spawning its own threads, so a requested width
+  // beyond the team clamps rather than oversubscribing.
+  const unsigned participants = std::min(requested, team.max_participants());
+  stats.threads = participants;
   if (n == 0) return stats;
 
-  std::vector<std::atomic<index_t>> remaining_preds(static_cast<std::size_t>(n));
-  for (index_t i = 0; i < n; ++i) {
-    remaining_preds[static_cast<std::size_t>(i)].store(
-        graph.task(i).num_predecessors, std::memory_order_relaxed);
-  }
+  ExecContext ctx(graph, options, trace, participants);
 
-  std::vector<WorkerQueue> queues(threads);
-  std::atomic<index_t> completed{0};
-  std::atomic<index_t> steals{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mu;
-  std::vector<double> busy(threads, 0.0);
-
-  // Idle-worker parking. A worker that repeatedly fails to find work stops
-  // busy-spinning and waits on this condition variable with an exponentially
-  // growing bounded timeout; task completions that push new ready work bump
-  // `wake_epoch` and notify. The timeout (rather than exact wakeup
-  // accounting) makes lost-wakeup hangs structurally impossible while still
-  // keeping idle workers off the cores during skinny DAG phases.
-  std::mutex idle_mu;
-  std::condition_variable idle_cv;
-  std::atomic<std::uint64_t> wake_epoch{0};
-  std::atomic<unsigned> sleepers{0};
-  auto wake_workers = [&] {
-    wake_epoch.fetch_add(1, std::memory_order_release);
-    if (sleepers.load(std::memory_order_acquire) > 0) {
-      std::lock_guard<std::mutex> lock(idle_mu);
-      idle_cv.notify_all();
-    }
-  };
-
-  // Seed initial ready tasks round-robin in descending priority so that
-  // high-priority roots start immediately on distinct workers.
+  // Seed initial ready tasks in descending priority: homed roots go to
+  // their affinity worker, the rest round-robin so high-priority roots
+  // start immediately on distinct workers. Each target deque is then filled
+  // in ascending priority (LIFO pop -> highest first). Seeding happens
+  // before the team is dispatched, so the owner-only push rule is safe.
   {
     std::vector<TaskId> roots;
     for (index_t i = 0; i < n; ++i) {
@@ -104,103 +341,47 @@ RunStats execute(const TaskGraph& graph, const SchedulerOptions& options,
     std::stable_sort(roots.begin(), roots.end(), [&](TaskId a, TaskId b) {
       return graph.task(a).priority > graph.task(b).priority;
     });
-    unsigned w = 0;
+    std::vector<std::vector<TaskId>> per_queue(participants);
+    unsigned rr = 0;
     for (TaskId id : roots) {
-      queues[w % threads].push(id);
-      ++w;
+      const int home = ctx.home_of(id);
+      const unsigned target =
+          home >= 0 ? static_cast<unsigned>(home) : (rr++ % participants);
+      per_queue[target].push_back(id);
+    }
+    for (unsigned w = 0; w < participants; ++w) {
+      for (auto it = per_queue[w].rbegin(); it != per_queue[w].rend(); ++it) {
+        ctx.workers[w]->deque.push(*it);
+      }
     }
   }
 
   common::Timer global;
-  auto worker_fn = [&](unsigned me) {
-    common::Timer clock;
-    // Spin briefly before parking: during dense DAG phases new work arrives
-    // within microseconds and a yield-spin wins; during skinny phases the
-    // spin limit trips and the worker sleeps instead of burning a core.
-    constexpr unsigned kSpinLimit = 32;
-    unsigned idle_spins = 0;
-    auto park_us = std::chrono::microseconds(50);
-    for (;;) {
-      if (completed.load(std::memory_order_acquire) >= n ||
-          failed.load(std::memory_order_relaxed)) {
-        return;
-      }
-      const std::uint64_t epoch_before =
-          wake_epoch.load(std::memory_order_acquire);
-      TaskId id = -1;
-      bool got = queues[me].pop_local_best(graph, id);
-      if (!got) {
-        for (unsigned v = 1; v < threads && !got; ++v) {
-          got = queues[(me + v) % threads].steal(id);
-          if (got) steals.fetch_add(1, std::memory_order_relaxed);
-        }
-      }
-      if (!got) {
-        if (++idle_spins < kSpinLimit) {
-          std::this_thread::yield();
-          continue;
-        }
-        sleepers.fetch_add(1, std::memory_order_acq_rel);
-        {
-          std::unique_lock<std::mutex> lock(idle_mu);
-          idle_cv.wait_for(lock, park_us, [&] {
-            return wake_epoch.load(std::memory_order_acquire) != epoch_before ||
-                   completed.load(std::memory_order_acquire) >= n ||
-                   failed.load(std::memory_order_relaxed);
-          });
-        }
-        sleepers.fetch_sub(1, std::memory_order_acq_rel);
-        park_us = std::min(park_us * 2, std::chrono::microseconds(2000));
-        continue;
-      }
-      idle_spins = 0;
-      park_us = std::chrono::microseconds(50);
-      const Task& t = graph.task(id);
-      const double t0 = clock.seconds();
-      try {
-        if (t.fn) t.fn();
-      } catch (...) {
-        {
-          std::lock_guard<std::mutex> lock(error_mu);
-          if (!failed.exchange(true)) first_error = std::current_exception();
-        }
-        completed.fetch_add(1, std::memory_order_release);
-        wake_workers();  // parked workers must observe the failure
-        return;
-      }
-      const double t1 = clock.seconds();
-      busy[me] += t1 - t0;
-      if (trace != nullptr && options.collect_trace) {
-        trace->record({t.name, me, t0, t1});
-      }
-      bool pushed = false;
-      for (TaskId succ : t.successors) {
-        if (remaining_preds[static_cast<std::size_t>(succ)].fetch_sub(
-                1, std::memory_order_acq_rel) == 1) {
-          queues[me].push(succ);
-          pushed = true;
-        }
-      }
-      completed.fetch_add(1, std::memory_order_release);
-      // New ready work (stealable from this queue) or global completion:
-      // either way parked workers need a look.
-      if (pushed || completed.load(std::memory_order_acquire) >= n) {
-        wake_workers();
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(threads - 1);
-  for (unsigned w = 1; w < threads; ++w) pool.emplace_back(worker_fn, w);
-  worker_fn(0);
-  for (auto& th : pool) th.join();
+  team.run(
+      participants,
+      [](void* p, unsigned rank) { static_cast<ExecContext*>(p)->worker(rank); },
+      &ctx);
 
   stats.seconds = global.seconds();
-  stats.tasks_executed = completed.load();
-  stats.steals = steals.load();
-  for (double b : busy) stats.busy_seconds += b;
-  if (failed && first_error) std::rethrow_exception(first_error);
+  stats.threads = std::max(1u, ctx.joined.load());
+  stats.tasks_executed = ctx.completed.load();
+  stats.worker_busy_seconds.resize(participants, 0.0);
+  for (unsigned w = 0; w < participants; ++w) {
+    const WorkerState& ws = *ctx.workers[w];
+    stats.counters.steal_hits += ws.steal_hits;
+    stats.counters.steal_misses += ws.steal_misses;
+    stats.counters.parks += ws.parks;
+    stats.counters.affinity_hits += ws.affinity_hits;
+    stats.counters.affinity_misses += ws.affinity_misses;
+    stats.worker_busy_seconds[w] = ws.busy;
+    stats.busy_seconds += ws.busy;
+  }
+  stats.counters.wakes = ctx.wakes.load();
+  stats.steals = stats.counters.steal_hits;
+  if (trace != nullptr && options.collect_trace) {
+    trace->set_counters(stats.counters);
+  }
+  if (ctx.failed && ctx.first_error) std::rethrow_exception(ctx.first_error);
   EXACLIM_NUMERIC_CHECK(stats.tasks_executed == n,
                         "scheduler finished without executing every task");
   return stats;

@@ -1,10 +1,17 @@
-// Priority work-stealing scheduler for TaskGraph execution.
+// Priority work-stealing scheduler for TaskGraph execution, running on the
+// process-wide unified WorkerTeam (no scheduler-owned threads).
 //
-// Each worker owns a deque; ready tasks spawned by a worker go to its own
-// deque (data locality, like PaRSEC's locality-aware scheduling), idle
-// workers steal from victims round-robin. Priorities are honored greedily:
-// workers pop the highest-priority task of their local deque; the initial
-// ready set is seeded in priority order.
+// Each participating worker owns a lock-free Chase–Lev deque (owner
+// push/pop at the bottom, CAS-only steals at the top) plus a lock-free
+// mailbox for tile-affinity deliveries: a task whose output tile is "homed"
+// on another worker (2D block-cyclic map over Task::home_row/home_col) is
+// mailed to that worker instead of queued locally, so TRSM/GEMM chains
+// updating one tile column stay on the worker whose caches hold the packed
+// panels. Idle workers steal NUMA-near victims first (deques, then
+// mailboxes), using the team's topology map. Priorities are honored
+// greedily: newly-ready successors are pushed in ascending priority so the
+// LIFO owner pop takes the highest first; the initial ready set is seeded
+// in priority order.
 #pragma once
 
 #include <vector>
@@ -15,16 +22,21 @@
 namespace exaclim::runtime {
 
 struct SchedulerOptions {
-  unsigned threads = 0;   ///< 0 = hardware concurrency
+  unsigned threads = 0;   ///< 0 = one participant per team slot (hw concurrency)
   bool collect_trace = false;
 };
 
 struct RunStats {
   double seconds = 0.0;
   index_t tasks_executed = 0;
-  index_t steals = 0;
+  index_t steals = 0;         ///< successful steals (== counters.steal_hits)
   double busy_seconds = 0.0;  ///< summed task durations across workers
-  unsigned threads = 0;
+  unsigned threads = 0;       ///< actual participants (capped by the team)
+
+  /// Scheduler health counters: steal hit/miss, park/wake, affinity.
+  TraceCounters counters;
+  /// Per-participant busy seconds (index = worker rank).
+  std::vector<double> worker_busy_seconds;
 
   /// busy / (threads * wall): 1.0 means no idle time at all.
   double parallel_efficiency() const {
@@ -35,8 +47,9 @@ struct RunStats {
 };
 
 /// Executes every task in the graph, respecting dependencies. Rethrows the
-/// first task exception after quiescing the pool. If `trace` is non-null and
-/// options.collect_trace is set, per-task execution records are appended.
+/// first task exception after quiescing the workers. If `trace` is non-null
+/// and options.collect_trace is set, per-task execution records (and park
+/// intervals + run counters) are appended.
 RunStats execute(const TaskGraph& graph, const SchedulerOptions& options = {},
                  Trace* trace = nullptr);
 

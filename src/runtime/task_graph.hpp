@@ -39,6 +39,13 @@ struct Task {
   TaskKind kind = TaskKind::Generic;
   int priority = 0;       ///< larger runs earlier among ready tasks
   double weight = 1.0;    ///< abstract cost (flops) for simulation/critical path
+  /// Tile coordinates of the task's output datum, for affinity scheduling:
+  /// the scheduler maps (home_row, home_col) to a home worker via a 2D
+  /// block-cyclic grid, so tasks updating the same tile (and the same tile
+  /// column) land on the worker whose cache already holds the packed panels.
+  /// Negative = no affinity (scheduler routes by locality of the spawner).
+  index_t home_row = -1;
+  index_t home_col = -1;
   std::vector<DataAccess> accesses;
   std::vector<TaskId> successors;   // filled by TaskGraph
   index_t num_predecessors = 0;     // filled by TaskGraph

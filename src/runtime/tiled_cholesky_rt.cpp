@@ -64,28 +64,38 @@ DataHandle CholeskyGraph::ensure_convert(index_t i, index_t j, Repr repr,
                                      std::to_string(j) + ")");
   Copy* buffer = &slot.buffer;
   std::function<void()> body;
+  // The converted buffers are allocated INSIDE the task body, not at graph
+  // build time: the executing worker (usually the consumers' affinity home)
+  // first-touches the pages, so on a NUMA machine the copy lands on the
+  // node that will read it. Consumers are ordered after the CONVERT task by
+  // the inferred RAW edge, so they never observe the vector mid-resize.
   switch (repr) {
     case Repr::F64:
-      buffer->d.resize(static_cast<std::size_t>(count));
-      body = [&t, buffer, count] { t.store_f64(buffer->d.data()); };
+      body = [&t, buffer, count] {
+        buffer->d.resize(static_cast<std::size_t>(count));
+        t.store_f64(buffer->d.data());
+      };
       break;
     case Repr::F32:
-      buffer->f.resize(static_cast<std::size_t>(count));
-      body = [&t, buffer, count] { t.to_f32(buffer->f.data()); };
+      body = [&t, buffer, count] {
+        buffer->f.resize(static_cast<std::size_t>(count));
+        t.to_f32(buffer->f.data());
+      };
       break;
     case Repr::F16P:
       // Scaled narrowing of an FP64/FP32 tile into packed-half operand form
       // (FP16 storage never gets here — consumers read it directly). The
       // scale is chosen when the CONVERT task executes.
-      buffer->h.resize(static_cast<std::size_t>(count));
       if (t.precision() == Precision::FP64) {
         body = [&t, buffer, count] {
+          buffer->h.resize(static_cast<std::size_t>(count));
           buffer->hscale =
               linalg::convert_f64_to_f16_scaled(t.f64(), buffer->h.data(),
                                                 count);
         };
       } else {
         body = [&t, buffer, count] {
+          buffer->h.resize(static_cast<std::size_t>(count));
           buffer->hscale =
               linalg::convert_f32_to_f16_scaled(t.f32(), buffer->h.data(),
                                                 count);
@@ -97,6 +107,8 @@ DataHandle CholeskyGraph::ensure_convert(index_t i, index_t j, Repr repr,
   task.fn = std::move(body);
   task.name = "CONVERT(" + std::to_string(i) + "," + std::to_string(j) + ")";
   task.kind = TaskKind::Convert;
+  task.home_row = i;
+  task.home_col = j;
   task.priority = static_cast<int>(3 * (a_.num_tile_rows() - k));
   task.weight = static_cast<double>(count);
   task.accesses = {{tile_handle(i, j), Access::Read},
@@ -188,6 +200,8 @@ void CholeskyGraph::build() {
       Task task;
       task.name = "POTRF(" + std::to_string(k) + ")";
       task.kind = TaskKind::Potrf;
+      task.home_row = k;
+      task.home_col = k;
       task.priority = prio_base + 3;
       const index_t n = t.rows();
       task.weight = static_cast<double>(n) * static_cast<double>(n) *
@@ -220,6 +234,8 @@ void CholeskyGraph::build() {
       Task task;
       task.name = "TRSM(" + std::to_string(i) + "," + std::to_string(k) + ")";
       task.kind = TaskKind::Trsm;
+      task.home_row = i;
+      task.home_col = k;
       task.priority = prio_base + 2;
       const index_t m = b.rows();
       const index_t n = b.cols();
@@ -272,6 +288,8 @@ void CholeskyGraph::build() {
         Task task;
         task.name = "SYRK(" + std::to_string(i) + "," + std::to_string(k) + ")";
         task.kind = TaskKind::Syrk;
+        task.home_row = i;
+        task.home_col = i;
         task.priority = prio_base + 1;
         const index_t m = c.rows();
         const index_t kk = in.cols();
@@ -330,6 +348,8 @@ void CholeskyGraph::build() {
         task.name = "GEMM(" + std::to_string(i) + "," + std::to_string(j) +
                     "," + std::to_string(k) + ")";
         task.kind = TaskKind::Gemm;
+        task.home_row = i;
+        task.home_col = j;
         task.priority = prio_base;
         const index_t m = c.rows();
         const index_t n = c.cols();

@@ -11,18 +11,37 @@ void Trace::record(TraceEvent event) {
   events_.push_back(std::move(event));
 }
 
+void Trace::record_park(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  park_events_.push_back(std::move(event));
+}
+
+void Trace::set_counters(const TraceCounters& counters) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_ = counters;
+}
+
 void Trace::write_chrome_json(const std::string& path) const {
   std::ofstream out(path);
   if (!out) throw IoError("cannot open trace file: " + path);
   out << "{\"traceEvents\":[";
   bool first = true;
-  for (const TraceEvent& e : events_) {
+  auto emit = [&](const TraceEvent& e, const char* name) {
     if (!first) out << ',';
     first = false;
-    out << "{\"name\":\"" << e.name << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+    out << "{\"name\":\"" << name << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
         << e.worker << ",\"ts\":" << e.start_seconds * 1e6
         << ",\"dur\":" << (e.end_seconds - e.start_seconds) * 1e6 << '}';
-  }
+  };
+  for (const TraceEvent& e : events_) emit(e, e.name.c_str());
+  for (const TraceEvent& e : park_events_) emit(e, "(parked)");
+  if (!first) out << ',';
+  out << "{\"name\":\"scheduler_counters\",\"ph\":\"M\",\"pid\":1,\"args\":{"
+      << "\"steal_hits\":" << counters_.steal_hits
+      << ",\"steal_misses\":" << counters_.steal_misses
+      << ",\"parks\":" << counters_.parks << ",\"wakes\":" << counters_.wakes
+      << ",\"affinity_hits\":" << counters_.affinity_hits
+      << ",\"affinity_misses\":" << counters_.affinity_misses << "}}";
   out << "]}\n";
   if (!out) throw IoError("trace write failed: " + path);
 }

@@ -1,9 +1,13 @@
-// The persistent-pool parallel_for must keep the seed's contract: every index
+// The persistent-team parallel_for must keep the seed's contract: every index
 // visited exactly once, first exception wins and propagates, prompt
-// short-circuit after a failure, and safe (serialized) nesting.
+// short-circuit after a failure, and safe (serialized) nesting. The team is
+// also the scheduler's worker source, so this file additionally verifies the
+// one-thread-team property: DAG tasks and parallel_for chunks execute on the
+// same set of threads, never on freshly spawned ones.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -11,17 +15,108 @@
 
 #include "common/parallel.hpp"
 #include "common/thread_pool.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/task_graph.hpp"
 
 namespace {
 
 using namespace exaclim;
 
 TEST(ParallelPool, PoolIsPersistentAcrossCalls) {
-  common::ThreadPool& first = common::ThreadPool::instance();
+  common::WorkerTeam& first = common::WorkerTeam::instance();
   common::parallel_for(0, 100, [](index_t) {});
   common::parallel_for(0, 100, [](index_t) {});
-  EXPECT_EQ(&first, &common::ThreadPool::instance());
+  EXPECT_EQ(&first, &common::WorkerTeam::instance());
   EXPECT_GE(first.worker_count(), 1u);
+}
+
+TEST(ParallelPool, ConfigureAfterCreationIsRejected) {
+  common::WorkerTeam::instance();  // force creation
+  EXPECT_FALSE(common::WorkerTeam::configure(4, 1));
+}
+
+// Collects the thread ids of every team member (caller + all workers) by
+// dispatching a full-width job.
+std::set<std::thread::id> team_thread_ids() {
+  auto& team = common::WorkerTeam::instance();
+  struct Ctx {
+    std::mutex mu;
+    std::set<std::thread::id> ids;
+  } ctx;
+  common::WorkerTeam::JobFn record = [](void* p, unsigned) {
+    auto& c = *static_cast<Ctx*>(p);
+    std::lock_guard<std::mutex> lock(c.mu);
+    c.ids.insert(std::this_thread::get_id());
+  };
+  team.run(team.max_participants(), record, &ctx);
+  return ctx.ids;
+}
+
+TEST(UnifiedTeam, ExactlyOneThreadTeamServesBothEngines) {
+  auto& team = common::WorkerTeam::instance();
+  const auto team_ids = team_thread_ids();
+  // Full-width dispatch drafts every worker plus the caller.
+  EXPECT_EQ(team_ids.size(), team.max_participants());
+
+  // Every DAG task must run on a team thread (or the caller): the scheduler
+  // spawns no threads of its own.
+  std::mutex mu;
+  std::set<std::thread::id> task_ids;
+  runtime::TaskGraph g;
+  for (int i = 0; i < 64; ++i) {
+    const auto h = g.create_handle("");
+    runtime::Task t;
+    t.fn = [&mu, &task_ids] {
+      std::lock_guard<std::mutex> lock(mu);
+      task_ids.insert(std::this_thread::get_id());
+    };
+    t.accesses = {{h, runtime::Access::Write}};
+    g.submit(std::move(t));
+  }
+  runtime::SchedulerOptions opt;
+  opt.threads = 16;
+  const runtime::RunStats stats = runtime::execute(g, opt);
+  EXPECT_LE(stats.threads, team.max_participants());
+  for (const auto& id : task_ids) {
+    EXPECT_TRUE(team_ids.count(id) == 1 ||
+                id == std::this_thread::get_id());
+  }
+
+  // Same for parallel_for chunks.
+  std::set<std::thread::id> pf_ids;
+  common::parallel_for(0, 4096, [&](index_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    pf_ids.insert(std::this_thread::get_id());
+  });
+  for (const auto& id : pf_ids) {
+    EXPECT_TRUE(team_ids.count(id) == 1 ||
+                id == std::this_thread::get_id());
+  }
+}
+
+TEST(UnifiedTeam, ParallelForInsideDagTaskIsCorrect) {
+  // A parallel_for issued from inside a DAG task must degrade to inline
+  // execution on the occupied team (not deadlock, not oversubscribe) and
+  // still visit every index exactly once.
+  constexpr int kTasks = 16;
+  constexpr index_t kInner = 512;
+  std::vector<std::atomic<long long>> sums(kTasks);
+  runtime::TaskGraph g;
+  for (int t = 0; t < kTasks; ++t) {
+    const auto h = g.create_handle("");
+    runtime::Task task;
+    task.fn = [&sums, t] {
+      common::parallel_for(0, kInner,
+                           [&sums, t](index_t i) { sums[t] += i; });
+    };
+    task.accesses = {{h, runtime::Access::Write}};
+    g.submit(std::move(task));
+  }
+  runtime::SchedulerOptions opt;
+  opt.threads = 8;
+  runtime::execute(g, opt);
+  const long long expect = kInner * (kInner - 1) / 2;
+  for (int t = 0; t < kTasks; ++t) EXPECT_EQ(sums[t].load(), expect) << t;
 }
 
 TEST(ParallelPool, NestedParallelForCoversAllIndices) {

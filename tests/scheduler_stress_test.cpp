@@ -1,0 +1,286 @@
+// Stress tests for the lock-free runtime: the Chase–Lev work-stealing deque
+// under concurrent push/pop/steal (with ring growth), exception propagation
+// across stolen DAG tasks, tile-affinity accounting, and concurrent
+// top-level execute() calls racing for the one worker team. Run these under
+// the `tsan` CMake preset (ctest -L runtime) to validate the memory-order
+// annotations — the raw-thread tests below race the deque directly, without
+// going through the team, so they exercise real concurrency even on 1-core
+// CI machines (preemption interleavings) and full parallelism elsewhere.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "common/work_steal_deque.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace {
+
+using namespace exaclim;
+using common::WorkStealDeque;
+
+// ---------- Chase–Lev deque -------------------------------------------------
+
+TEST(ChaseLevDeque, OwnerPopIsLifoStealIsFifo) {
+  WorkStealDeque<std::int64_t> dq;
+  for (std::int64_t v = 0; v < 10; ++v) dq.push(v);
+  std::int64_t out = -1;
+  ASSERT_TRUE(dq.pop(out));
+  EXPECT_EQ(out, 9);  // owner takes the hottest (most recent) end
+  ASSERT_TRUE(dq.steal(out));
+  EXPECT_EQ(out, 0);  // thieves take the coldest end
+  ASSERT_TRUE(dq.steal(out));
+  EXPECT_EQ(out, 1);
+  ASSERT_TRUE(dq.pop(out));
+  EXPECT_EQ(out, 8);
+}
+
+TEST(ChaseLevDeque, EmptyAndSingleElementRaces) {
+  WorkStealDeque<std::int64_t> dq;
+  std::int64_t out = -1;
+  EXPECT_FALSE(dq.pop(out));
+  EXPECT_FALSE(dq.steal(out));
+  dq.push(42);
+  ASSERT_TRUE(dq.pop(out));
+  EXPECT_EQ(out, 42);
+  EXPECT_FALSE(dq.pop(out));
+  EXPECT_FALSE(dq.steal(out));
+}
+
+/// Owner pushes N values (popping some itself), thieves steal concurrently;
+/// every value must be consumed exactly once across all threads.
+void chase_lev_stress(std::int64_t n, std::int64_t initial_capacity,
+                      unsigned n_thieves) {
+  WorkStealDeque<std::int64_t> dq(initial_capacity);
+  std::vector<std::atomic<int>> seen(static_cast<std::size_t>(n));
+  std::atomic<std::int64_t> consumed{0};
+  std::atomic<bool> done{false};
+
+  auto consume = [&](std::int64_t v) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, n);
+    seen[static_cast<std::size_t>(v)].fetch_add(1, std::memory_order_relaxed);
+    consumed.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> thieves;
+  for (unsigned t = 0; t < n_thieves; ++t) {
+    thieves.emplace_back([&] {
+      std::int64_t v;
+      while (!done.load(std::memory_order_acquire)) {
+        if (dq.steal(v)) {
+          consume(v);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+      while (dq.steal(v)) consume(v);
+    });
+  }
+
+  // Owner: bursty pushes interleaved with LIFO pops, forcing ring growth
+  // (initial capacity far below n) while thieves hammer the top.
+  common::Rng rng(2026);
+  std::int64_t next = 0;
+  while (next < n) {
+    const std::int64_t burst =
+        1 + static_cast<std::int64_t>(rng.uniform_u64(128));
+    for (std::int64_t b = 0; b < burst && next < n; ++b) dq.push(next++);
+    if (rng.uniform_u64(4) == 0) {
+      std::int64_t v;
+      if (dq.pop(v)) consume(v);
+    }
+  }
+  {
+    std::int64_t v;
+    while (dq.pop(v)) consume(v);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+
+  EXPECT_EQ(consumed.load(), n);
+  for (std::int64_t v = 0; v < n; ++v) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(v)].load(), 1) << "value " << v;
+  }
+}
+
+TEST(ChaseLevDeque, ConcurrentPushPopStealStress) {
+  chase_lev_stress(/*n=*/200000, /*initial_capacity=*/64, /*n_thieves=*/3);
+}
+
+TEST(ChaseLevDeque, RingGrowthUnderConcurrentSteals) {
+  // Tiny initial ring: growth happens dozens of times while thieves hold
+  // stale ring pointers (retired rings must stay readable).
+  chase_lev_stress(/*n=*/100000, /*initial_capacity=*/8, /*n_thieves=*/4);
+}
+
+// ---------- scheduler: exceptions, affinity, concurrency --------------------
+
+runtime::Task make_task(std::function<void()> fn,
+                        std::vector<runtime::DataAccess> accesses,
+                        int priority = 0) {
+  runtime::Task t;
+  t.fn = std::move(fn);
+  t.accesses = std::move(accesses);
+  t.priority = priority;
+  return t;
+}
+
+TEST(SchedulerStress, ExceptionPropagatesAcrossStolenTasks) {
+  // Many independent tasks seeded across every worker's deque: the throwing
+  // one is usually executed by a worker other than the caller, so the error
+  // must cross the steal/completion path back to the calling thread.
+  runtime::TaskGraph g;
+  std::atomic<index_t> executed{0};
+  for (int i = 0; i < 256; ++i) {
+    const auto h = g.create_handle("");
+    g.submit(make_task(
+        [&executed, i] {
+          if (i == 137) throw NumericalError("stolen boom");
+          executed.fetch_add(1, std::memory_order_relaxed);
+        },
+        {{h, runtime::Access::Write}}));
+  }
+  runtime::SchedulerOptions opt;
+  opt.threads = 8;
+  EXPECT_THROW(runtime::execute(g, opt), NumericalError);
+
+  // The team must be clean for the next run.
+  runtime::TaskGraph g2;
+  std::atomic<index_t> count{0};
+  for (int i = 0; i < 64; ++i) {
+    const auto h = g2.create_handle("");
+    g2.submit(make_task([&count] { ++count; }, {{h, runtime::Access::Write}}));
+  }
+  const runtime::RunStats stats = runtime::execute(g2, opt);
+  EXPECT_EQ(stats.tasks_executed, 64);
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(SchedulerStress, AffinityCountersCoverEveryHomedTask) {
+  // Tasks with home tiles: every executed homed task is either an affinity
+  // hit or a miss, and with tasks homed across a tile grid both routing
+  // paths (own-deque and mailbox) execute every task exactly once.
+  runtime::TaskGraph g;
+  constexpr index_t kTiles = 8;
+  std::vector<std::atomic<int>> runs(kTiles * kTiles);
+  for (index_t r = 0; r < kTiles; ++r) {
+    for (index_t c = 0; c < kTiles; ++c) {
+      const auto h = g.create_handle("");
+      runtime::Task t = make_task(
+          [&runs, r, c] {
+            runs[static_cast<std::size_t>(r * kTiles + c)].fetch_add(1);
+          },
+          {{h, runtime::Access::Write}});
+      t.home_row = r;
+      t.home_col = c;
+      g.submit(std::move(t));
+    }
+  }
+  runtime::SchedulerOptions opt;
+  opt.threads = 4;
+  const runtime::RunStats stats = runtime::execute(g, opt);
+  EXPECT_EQ(stats.tasks_executed, kTiles * kTiles);
+  EXPECT_EQ(stats.counters.affinity_hits + stats.counters.affinity_misses,
+            kTiles * kTiles);
+  for (auto& r : runs) EXPECT_EQ(r.load(), 1);
+}
+
+TEST(SchedulerStress, RandomAffinityDagRespectsDependences) {
+  // Random DAG + random tile homes: the mailbox routing must never violate
+  // an inferred dependence. Versions are checked inside the tasks exactly
+  // like tests/runtime_fuzz_test.cpp.
+  for (const unsigned threads : {2u, 8u, 16u}) {
+    common::Rng rng(7040 + threads);
+    runtime::TaskGraph g;
+    constexpr index_t kHandles = 12;
+    std::vector<runtime::DataHandle> handles;
+    for (index_t h = 0; h < kHandles; ++h) {
+      handles.push_back(g.create_handle(""));
+    }
+    std::vector<index_t> write_version(kHandles, 0);
+    auto live = std::make_shared<std::vector<std::atomic<index_t>>>(kHandles);
+    auto violations = std::make_shared<std::atomic<int>>(0);
+    constexpr index_t kTasks = 800;
+    for (index_t t = 0; t < kTasks; ++t) {
+      const index_t h =
+          static_cast<index_t>(rng.uniform_u64(kHandles));
+      const index_t h2 =
+          static_cast<index_t>(rng.uniform_u64(kHandles));
+      const index_t expect_h2 = write_version[h2];
+      runtime::Task task;
+      task.accesses = {{handles[h], runtime::Access::ReadWrite},
+                       {handles[h2], runtime::Access::Read}};
+      task.priority = static_cast<int>(rng.uniform_u64(5));
+      task.home_row = static_cast<index_t>(rng.uniform_u64(6));
+      task.home_col = static_cast<index_t>(rng.uniform_u64(6));
+      const index_t expect_h = write_version[h];
+      task.fn = [live, violations, h, h2, expect_h, expect_h2, t] {
+        if ((*live)[static_cast<std::size_t>(h)].load(
+                std::memory_order_acquire) != expect_h ||
+            (*live)[static_cast<std::size_t>(h2)].load(
+                std::memory_order_acquire) != expect_h2) {
+          violations->fetch_add(1, std::memory_order_relaxed);
+        }
+        (*live)[static_cast<std::size_t>(h)].store(t + 1,
+                                                   std::memory_order_release);
+      };
+      write_version[h] = t + 1;
+      g.submit(std::move(task));
+    }
+    ASSERT_TRUE(g.validate());
+    runtime::SchedulerOptions opt;
+    opt.threads = threads;
+    const runtime::RunStats stats = runtime::execute(g, opt);
+    EXPECT_EQ(stats.tasks_executed, kTasks);
+    EXPECT_EQ(violations->load(), 0) << "threads=" << threads;
+  }
+}
+
+TEST(SchedulerStress, ConcurrentTopLevelExecutesShareTheTeam) {
+  // Two threads race whole DAG executions; one drafts the team, the other
+  // degrades to inline execution. Both must complete every task.
+  auto build = [](std::atomic<index_t>& counter) {
+    auto g = std::make_unique<runtime::TaskGraph>();
+    for (int i = 0; i < 200; ++i) {
+      const auto h = g->create_handle("");
+      runtime::Task t;
+      t.fn = [&counter] { counter.fetch_add(1, std::memory_order_relaxed); };
+      t.accesses = {{h, runtime::Access::Write}};
+      g->submit(std::move(t));
+    }
+    return g;
+  };
+  std::atomic<index_t> count_a{0}, count_b{0};
+  auto ga = build(count_a);
+  auto gb = build(count_b);
+  runtime::SchedulerOptions opt;
+  opt.threads = 8;
+  std::thread other([&] { runtime::execute(*ga, opt); });
+  runtime::execute(*gb, opt);
+  other.join();
+  EXPECT_EQ(count_a.load(), 200);
+  EXPECT_EQ(count_b.load(), 200);
+}
+
+TEST(SchedulerStress, ThreadsClampToTheTeam) {
+  auto& team = common::WorkerTeam::instance();
+  runtime::TaskGraph g;
+  const auto h = g.create_handle("");
+  g.submit(make_task([] {}, {{h, runtime::Access::Write}}));
+  runtime::SchedulerOptions opt;
+  opt.threads = 4096;  // absurd request must clamp, not spawn threads
+  const runtime::RunStats stats = runtime::execute(g, opt);
+  EXPECT_LE(stats.threads, team.max_participants());
+  EXPECT_EQ(stats.tasks_executed, 1);
+}
+
+}  // namespace
