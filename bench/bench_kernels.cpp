@@ -368,12 +368,55 @@ void bench_scheduler(exaclim::bench::JsonBench& out) {
   out.add(buf);
 }
 
+/// Checkpointed runtime Cholesky vs the plain run at the same shape: the
+/// committed "ms" is the checkpointed time and "plain_ms" the baseline, so
+/// the snapshot overhead (quiesce + serialize + fsync + rename per round)
+/// stays a regression-visible number.
+void bench_checkpoint(exaclim::bench::JsonBench& out) {
+  using exaclim::bench::time_op;
+  const index_t nb = 64;
+  const index_t nt = 16;
+  const index_t n = nb * nt;
+  const Matrix a = spd(n);
+  const double plain = time_op(
+      [&] {
+        auto tiled = TiledSymmetricMatrix::from_dense(
+            a, nb, make_band_policy(nt, PrecisionVariant::DP));
+        runtime::cholesky_tiled_parallel(tiled, {});
+      },
+      0.3, 2);
+  const std::string ckpt_path = "BENCH_cholesky.ckpt";
+  runtime::RtCholeskyResult last;
+  const double ckpt = time_op(
+      [&] {
+        auto tiled = TiledSymmetricMatrix::from_dense(
+            a, nb, make_band_policy(nt, PrecisionVariant::DP));
+        runtime::RtCholeskyOptions opt;
+        opt.ft.checkpoint_path = ckpt_path;
+        opt.ft.checkpoint_every = 256;
+        last = runtime::cholesky_tiled_parallel(tiled, opt);
+      },
+      0.3, 2);
+  std::remove(ckpt_path.c_str());
+  char buf[384];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"kernel\": \"cholesky_ckpt\", \"precision\": \"f64\", \"n\": %lld, "
+      "\"tiles\": %lld, \"ms\": %.4f, \"plain_ms\": %.4f, "
+      "\"overhead_pct\": %.2f, \"ckpt_every\": 256, \"checkpoints\": %lld}",
+      static_cast<long long>(n), static_cast<long long>(nt), ckpt * 1e3,
+      plain * 1e3, (ckpt / plain - 1.0) * 100.0,
+      static_cast<long long>(last.checkpoints_written));
+  out.add(buf);
+}
+
 void write_kernels_json() {
   exaclim::bench::JsonBench out;
   bench_type<double>("f64", out);
   bench_type<float>("f32", out);
   bench_f16(out);
   bench_scheduler(out);
+  bench_checkpoint(out);
   // The ISA fields catch a stale build dir configured without -march=native,
   // which silently drops the wide micro-tiles and the F16C conversions and
   // makes every speedup column meaningless.

@@ -6,6 +6,8 @@
 //                        [--ar-order P] [--harmonics K]
 //                        [--variant DP|DP/SP|DP/SP/HP|DP/HP]
 //                        [--factor-storage fp64|fp32|fp16]
+//                        [--checkpoint path] [--checkpoint-every N]
+//                        [--resume path] [--fault-tolerance 0|1]
 //   exaclim_cli emulate  --model model.bin --out emu.bin --steps N
 //                        [--ensembles R] [--seed S]
 //   exaclim_cli info     --file <dataset-or-model>
@@ -14,18 +16,28 @@
 // Global flags (any subcommand): --threads N sizes the process-wide worker
 // team (default: hardware concurrency); --pin 0|1 toggles NUMA/SMT-aware
 // core pinning of the team's workers (default: off, or the EXACLIM_PIN env
+// var); --faults <spec> arms the deterministic fault injector (see
+// common/fault.hpp for the spec grammar; default: the EXACLIM_FAULTS env
 // var).
+//
+// Checkpointing (train): --checkpoint writes a crash-consistent snapshot of
+// the Cholesky every --checkpoint-every newly-executed kernel tasks (0 =
+// once, at completion); --resume restores a snapshot and skips its finished
+// work. Env equivalents: EXACLIM_CHECKPOINT, EXACLIM_CHECKPOINT_EVERY,
+// EXACLIM_RESUME.
 //
 // The workflow a downstream modelling centre would run: generate (or bring)
 // an ensemble, train once, archive only the model file, regenerate members
 // on demand, and verify statistical consistency.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
 
 #include "climate/synthetic_esm.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/thread_pool.hpp"
 #include "core/consistency.hpp"
 #include "core/emulator.hpp"
@@ -69,6 +81,17 @@ std::string get_or(const std::map<std::string, std::string>& args,
                    const std::string& key, const std::string& fallback) {
   auto it = args.find(key);
   return it != args.end() ? it->second : fallback;
+}
+
+/// Optional flag with an environment-variable fallback: the flag wins, then
+/// the env var, then the default.
+std::string get_or_env(const std::map<std::string, std::string>& args,
+                       const std::string& key, const char* env,
+                       const std::string& fallback) {
+  auto it = args.find(key);
+  if (it != args.end()) return it->second;
+  const char* v = std::getenv(env);
+  return v != nullptr ? std::string(v) : fallback;
 }
 
 index_t get_int(const std::map<std::string, std::string>& args,
@@ -135,6 +158,37 @@ int cmd_train(const std::map<std::string, std::string>& args) {
                           storage_name + "'");
   }
 
+  // Fault tolerance + checkpoint/restart, validated before the expensive
+  // training step. Flags win over their EXACLIM_* env equivalents.
+  cfg.checkpoint_path =
+      get_or_env(args, "checkpoint", "EXACLIM_CHECKPOINT", "");
+  cfg.resume_path = get_or_env(args, "resume", "EXACLIM_RESUME", "");
+  {
+    const std::string every =
+        get_or_env(args, "checkpoint-every", "EXACLIM_CHECKPOINT_EVERY", "0");
+    try {
+      std::size_t pos = 0;
+      const long long v = std::stoll(every, &pos);
+      if (pos != every.size() || v < 0) throw InvalidArgument("");
+      cfg.checkpoint_every = static_cast<index_t>(v);
+    } catch (const std::exception&) {
+      throw InvalidArgument(
+          "flag --checkpoint-every expects a non-negative integer, got '" +
+          every + "'");
+    }
+  }
+  if (cfg.checkpoint_every > 0 && cfg.checkpoint_path.empty()) {
+    throw InvalidArgument(
+        "flag --checkpoint-every requires --checkpoint <path>");
+  }
+  const index_t ft = get_int(args, "fault-tolerance",
+                             common::FaultInjector::instance().armed() ? 1 : 0);
+  if (ft != 0 && ft != 1) {
+    throw InvalidArgument("flag --fault-tolerance expects 0 or 1, got '" +
+                          args.at("fault-tolerance") + "'");
+  }
+  cfg.fault_tolerance = ft != 0;
+
   core::ClimateEmulator emulator(cfg);
   const auto forcing = climate::historical_forcing(data.num_years());
   const auto report = emulator.train(data, forcing);
@@ -144,6 +198,15 @@ int cmd_train(const std::map<std::string, std::string>& args) {
               static_cast<long long>(cfg.harmonics),
               linalg::variant_name(cfg.cholesky_variant).c_str(),
               report.covariance_deficient ? ", covariance jittered" : "");
+  if (report.resumed_from_checkpoint || report.checkpoints_written > 0 ||
+      report.precision_escalations > 0 || report.jitter_escalations > 0) {
+    std::printf("fault tolerance: %s%lld checkpoint(s) written, "
+                "%lld precision + %lld jitter escalation(s)\n",
+                report.resumed_from_checkpoint ? "resumed, " : "",
+                static_cast<long long>(report.checkpoints_written),
+                static_cast<long long>(report.precision_escalations),
+                static_cast<long long>(report.jitter_escalations));
+  }
 
   core::save_emulator(emulator, model_path, storage);
   std::printf("wrote %s (factor storage %s)\n", model_path.c_str(),
@@ -238,12 +301,22 @@ void configure_runtime(const std::map<std::string, std::string>& args) {
   if (threads > 0 || pin >= 0) {
     common::WorkerTeam::configure(threads, pin);
   }
+  // Deterministic fault injection: --faults <spec> wins over EXACLIM_FAULTS.
+  // FaultPlan::parse throws InvalidArgument naming the offending key.
+  if (args.count("faults") != 0) {
+    common::FaultInjector::instance().arm(
+        common::FaultPlan::parse(args.at("faults")));
+  } else {
+    common::FaultInjector::instance().arm_from_env();
+  }
 }
 
 void usage() {
   std::printf(
       "usage: exaclim_cli <generate|train|emulate|info|verify> [--flags]\n"
-      "       global flags: --threads N, --pin 0|1\n"
+      "       global flags: --threads N, --pin 0|1, --faults <spec>\n"
+      "       train also takes: --checkpoint <path>, --checkpoint-every N,\n"
+      "       --resume <path>, --fault-tolerance 0|1\n"
       "see the header comment of examples/exaclim_cli.cpp for details\n");
 }
 

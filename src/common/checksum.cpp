@@ -1,0 +1,71 @@
+#include "common/checksum.hpp"
+
+#include <array>
+
+#if defined(__SSE4_2__)
+#include <nmmintrin.h>
+#endif
+
+namespace exaclim::common {
+
+namespace {
+
+#if !defined(__SSE4_2__)
+/// Slicing-by-four tables for the Castagnoli polynomial (reflected 0x82F63B78).
+struct Crc32cTables {
+  std::array<std::array<std::uint32_t, 256>, 4> t;
+  constexpr Crc32cTables() : t{} {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFFu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFFu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFFu];
+    }
+  }
+};
+constexpr Crc32cTables kTables;
+#endif
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t bytes, std::uint32_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+#if defined(__SSE4_2__)
+  while (bytes >= 8) {
+    std::uint64_t chunk;
+    __builtin_memcpy(&chunk, p, 8);
+    crc = static_cast<std::uint32_t>(_mm_crc32_u64(crc, chunk));
+    p += 8;
+    bytes -= 8;
+  }
+  while (bytes > 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --bytes;
+  }
+#else
+  while (bytes >= 4) {
+    crc ^= static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+    crc = kTables.t[3][crc & 0xFFu] ^ kTables.t[2][(crc >> 8) & 0xFFu] ^
+          kTables.t[1][(crc >> 16) & 0xFFu] ^ kTables.t[0][crc >> 24];
+    p += 4;
+    bytes -= 4;
+  }
+  while (bytes > 0) {
+    crc = (crc >> 8) ^ kTables.t[0][(crc ^ *p++) & 0xFFu];
+    --bytes;
+  }
+#endif
+  return ~crc;
+}
+
+}  // namespace exaclim::common

@@ -1,0 +1,23 @@
+// CRC32C (Castagnoli) payload checksums.
+//
+// Every persisted artifact (model files, checkpoints) frames its sections
+// with a CRC32C so torn writes and bit rot are detected at load instead of
+// surfacing as silently-wrong science later. The same checksum guards
+// in-memory tile payloads when the fault-tolerant Cholesky runs with
+// integrity checks enabled. Castagnoli rather than the zlib polynomial
+// because hardware support (SSE4.2 crc32) makes it ~free on the machines we
+// target; a table-driven software path keeps it portable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace exaclim::common {
+
+/// CRC32C of `bytes` bytes at `data`, chained from `seed` (pass a previous
+/// result to checksum discontiguous buffers as one stream). Seed 0 is the
+/// conventional starting value.
+std::uint32_t crc32c(const void* data, std::size_t bytes,
+                     std::uint32_t seed = 0);
+
+}  // namespace exaclim::common

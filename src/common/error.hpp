@@ -36,6 +36,15 @@ class IoError : public Error {
   explicit IoError(const std::string& what) : Error(what) {}
 };
 
+/// A failure that is expected to clear on retry (injected fault, interrupted
+/// system call, busy resource). Retry loops in the scheduler and the atomic
+/// file writer treat this class specially: bounded retry with backoff instead
+/// of immediate propagation.
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void throw_check_failure(const char* kind, const char* expr,
                                              const char* file, int line,

@@ -1,0 +1,220 @@
+#include "common/fault.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace exaclim::common {
+
+namespace {
+
+double parse_prob(const std::string& key, const std::string& value) {
+  std::size_t pos = 0;
+  double p = 0.0;
+  try {
+    p = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != value.size() || p < 0.0 || p > 1.0) {
+    throw InvalidArgument("fault spec key '" + key +
+                          "' expects a probability in [0,1], got '" + value +
+                          "'");
+  }
+  return p;
+}
+
+long long parse_ll(const std::string& key, const std::string& value) {
+  std::size_t pos = 0;
+  long long v = 0;
+  try {
+    v = std::stoll(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != value.size()) {
+    throw InvalidArgument("fault spec key '" + key +
+                          "' expects an integer, got '" + value + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ';')) {
+    // Trim surrounding whitespace so specs can be written readably.
+    const auto first = item.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    const auto last = item.find_last_not_of(" \t");
+    item = item.substr(first, last - first + 1);
+
+    const auto eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw InvalidArgument("fault spec entry '" + item +
+                            "' is not a key=value pair");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+
+    if (key == "seed") {
+      plan.seed = static_cast<std::uint64_t>(parse_ll(key, value));
+    } else if (key == "numerical") {
+      plan.numerical_p = parse_prob(key, value);
+    } else if (key == "transient") {
+      plan.transient_p = parse_prob(key, value);
+    } else if (key == "repeats") {
+      const long long r = parse_ll(key, value);
+      if (r < 1) {
+        throw InvalidArgument("fault spec key 'repeats' must be >= 1, got '" +
+                              value + "'");
+      }
+      plan.transient_repeats = static_cast<int>(r);
+    } else if (key == "bitflip") {
+      plan.bitflip_p = parse_prob(key, value);
+    } else if (key == "kind") {
+      plan.task_kind = value;
+    } else if (key == "at") {
+      const auto comma = value.find(',');
+      if (comma == std::string::npos) {
+        throw InvalidArgument(
+            "fault spec key 'at' expects 'row,col', got '" + value + "'");
+      }
+      plan.row = static_cast<index_t>(parse_ll(key, value.substr(0, comma)));
+      plan.col = static_cast<index_t>(parse_ll(key, value.substr(comma + 1)));
+    } else if (key == "io") {
+      const long long n = parse_ll(key, value);
+      if (n < 0) {
+        throw InvalidArgument("fault spec key 'io' must be >= 0, got '" +
+                              value + "'");
+      }
+      plan.io_fail_nth = static_cast<index_t>(n);
+    } else if (key == "io-mode") {
+      if (value == "transient") {
+        plan.io_transient = true;
+      } else if (value == "hard") {
+        plan.io_transient = false;
+      } else {
+        throw InvalidArgument(
+            "fault spec key 'io-mode' expects 'transient' or 'hard', got '" +
+            value + "'");
+      }
+    } else {
+      throw InvalidArgument("unknown fault spec key '" + key + "'");
+    }
+  }
+  return plan;
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = plan;
+  counts_ = FaultCounts{};
+  io_calls_ = 0;
+  armed_.store(plan.any(), std::memory_order_release);
+}
+
+void FaultInjector::arm_from_env() {
+  const char* spec = std::getenv("EXACLIM_FAULTS");
+  if (spec == nullptr || *spec == '\0') return;
+  arm(FaultPlan::parse(spec));
+}
+
+void FaultInjector::disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_release);
+  plan_ = FaultPlan{};
+}
+
+FaultCounts FaultInjector::counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+bool FaultInjector::task_matches(const char* kind, index_t row,
+                                 index_t col) const {
+  if (!plan_.task_kind.empty() && plan_.task_kind != kind) return false;
+  if (plan_.row >= 0 && plan_.row != row) return false;
+  if (plan_.col >= 0 && plan_.col != col) return false;
+  return true;
+}
+
+double FaultInjector::draw(std::uint64_t key, std::uint64_t lane) const {
+  // One independent stream per (task, fault-class) pair, derived purely from
+  // the plan seed: decisions are identical no matter which worker runs the
+  // task or in what order the DAG interleaves.
+  Rng rng(plan_.seed);
+  return rng.split(key * 4u + lane).uniform();
+}
+
+void FaultInjector::on_task(std::uint64_t key, const char* kind, index_t row,
+                            index_t col, int attempt) {
+  if (!armed()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!task_matches(kind, row, col)) return;
+
+  if (plan_.numerical_p > 0.0 && attempt == 0 &&
+      draw(key, 0) < plan_.numerical_p) {
+    ++counts_.numerical;
+    std::ostringstream os;
+    os << "injected numerical fault in " << kind << " at tile (" << row << ","
+       << col << ")";
+    throw NumericalError(os.str());
+  }
+  if (plan_.transient_p > 0.0 && attempt < plan_.transient_repeats &&
+      draw(key, 1) < plan_.transient_p) {
+    ++counts_.transients;
+    std::ostringstream os;
+    os << "injected transient fault in " << kind << " at tile (" << row << ","
+       << col << "), attempt " << attempt;
+    throw TransientError(os.str());
+  }
+}
+
+bool FaultInjector::maybe_bitflip(std::uint64_t key, const char* kind,
+                                  index_t row, index_t col, void* data,
+                                  std::size_t bytes) {
+  if (!armed() || bytes == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (plan_.bitflip_p <= 0.0 || !task_matches(kind, row, col)) return false;
+  if (draw(key, 2) >= plan_.bitflip_p) return false;
+
+  Rng rng(plan_.seed);
+  Rng pick = rng.split(key * 4u + 3u);
+  const std::size_t bit = static_cast<std::size_t>(
+      pick.uniform() * static_cast<double>(bytes * 8u));
+  const std::size_t byte = bit / 8u < bytes ? bit / 8u : bytes - 1u;
+  static_cast<unsigned char*>(data)[byte] ^=
+      static_cast<unsigned char>(1u << (bit % 8u));
+  ++counts_.bitflips;
+  return true;
+}
+
+void FaultInjector::on_io(const char* op, const std::string& path) {
+  if (!armed()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (plan_.io_fail_nth <= 0) return;
+  ++io_calls_;
+  const bool hit = plan_.io_transient ? io_calls_ == plan_.io_fail_nth
+                                      : io_calls_ >= plan_.io_fail_nth;
+  if (!hit) return;
+  ++counts_.io;
+  std::ostringstream os;
+  os << "injected I/O fault: " << op << " on '" << path << "' (call #"
+     << io_calls_ << ")";
+  if (plan_.io_transient) throw TransientError(os.str());
+  throw IoError(os.str());
+}
+
+}  // namespace exaclim::common

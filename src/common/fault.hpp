@@ -1,0 +1,113 @@
+// Deterministic fault injection.
+//
+// The fault-tolerance layer is only trustworthy if its failure paths are
+// exercised, and real faults (non-SPD tiles from rounding, bit rot, torn
+// writes, killed workers) are rare and non-reproducible. This injector turns
+// them into deterministic test inputs: armed with a FaultPlan (programmatic,
+// or parsed from the EXACLIM_FAULTS env / --faults CLI spec), it can
+//   * throw NumericalError from chosen task kinds/coordinates (first attempt
+//     only, so retry/escalation ladders get to prove they recover),
+//   * throw TransientError from tasks for a bounded number of attempts
+//     (exercising the scheduler's bounded retry-with-backoff),
+//   * flip a bit in a tile payload after the producing task completes
+//     (exercising the CRC tile guards), and
+//   * fail the Nth I/O primitive, transiently or persistently (exercising the
+//     atomic writer's retry loop and clean IoError propagation).
+//
+// Determinism does not depend on scheduling order: every per-task decision is
+// drawn from an Rng stream split off the plan seed by a stable per-task key,
+// so the same plan produces the same faults no matter how the DAG interleaves.
+// All hooks are no-ops (one relaxed atomic load) when the injector is
+// disarmed, which is the default.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace exaclim::common {
+
+/// What to inject. Probabilities are per task (or per I/O call); 0 disables
+/// that fault class. The kind/coordinate filters restrict task-level faults.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  double numerical_p = 0.0;  ///< P(throw NumericalError on a task's 1st attempt)
+  double transient_p = 0.0;  ///< P(task hit by transient failures)
+  int transient_repeats = 2; ///< failed attempts before a transient hit clears
+  double bitflip_p = 0.0;    ///< P(flip one payload bit after a task completes)
+
+  std::string task_kind;     ///< restrict task faults to this kind ("" = any)
+  index_t row = -1;          ///< restrict to this home row (-1 = any)
+  index_t col = -1;          ///< restrict to this home col (-1 = any)
+
+  index_t io_fail_nth = 0;   ///< 1-based ordinal of the failing I/O call (0 = off)
+  bool io_transient = true;  ///< transient: only the Nth call fails; else Nth and on
+
+  bool any() const {
+    return numerical_p > 0.0 || transient_p > 0.0 || bitflip_p > 0.0 ||
+           io_fail_nth > 0;
+  }
+
+  /// Parses a spec like
+  ///   "seed=7;numerical=1;kind=POTRF;at=2,2;bitflip=0.05;transient=0.2;
+  ///    repeats=3;io=4;io-mode=hard"
+  /// Unknown keys, malformed numbers, or malformed pairs throw
+  /// InvalidArgument naming the offending key.
+  static FaultPlan parse(const std::string& spec);
+};
+
+/// Number of faults actually injected since the injector was armed.
+struct FaultCounts {
+  index_t numerical = 0;
+  index_t transients = 0;
+  index_t bitflips = 0;
+  index_t io = 0;
+};
+
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  /// Arms the injector with `plan`, resetting counters and I/O ordinals.
+  void arm(const FaultPlan& plan);
+  /// Arms from the EXACLIM_FAULTS env var; no-op when unset/empty.
+  void arm_from_env();
+  void disarm();
+  bool armed() const { return armed_.load(std::memory_order_acquire); }
+
+  FaultCounts counts() const;
+
+  /// Task hook, called by the scheduler before each execution attempt.
+  /// `key` must be stable for the task across runs (the TaskId works).
+  /// Throws NumericalError (attempt 0 only) or TransientError per plan.
+  void on_task(std::uint64_t key, const char* kind, index_t row, index_t col,
+               int attempt);
+
+  /// Payload-corruption hook, called after a task finishes writing `bytes`
+  /// bytes at `data`. Flips one deterministic bit and returns true when the
+  /// plan selects this task; otherwise leaves the payload untouched.
+  bool maybe_bitflip(std::uint64_t key, const char* kind, index_t row,
+                     index_t col, void* data, std::size_t bytes);
+
+  /// I/O hook, called once per I/O primitive (open/write/fsync/rename/read).
+  /// Throws TransientError or IoError per plan; `op` and `path` name the
+  /// failing operation in the error text.
+  void on_io(const char* op, const std::string& path);
+
+ private:
+  FaultInjector() = default;
+  bool task_matches(const char* kind, index_t row, index_t col) const;
+  double draw(std::uint64_t key, std::uint64_t lane) const;
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;
+  FaultPlan plan_;
+  FaultCounts counts_;
+  index_t io_calls_ = 0;
+};
+
+}  // namespace exaclim::common

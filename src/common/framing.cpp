@@ -1,0 +1,167 @@
+#include "common/framing.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "common/checksum.hpp"
+#include "common/error.hpp"
+#include "common/io.hpp"
+
+namespace exaclim::common {
+
+namespace {
+
+constexpr std::size_t kMagicLen = 8;
+
+[[noreturn]] void fail(const std::string& what, std::size_t offset,
+                       const std::string& detail) {
+  std::ostringstream os;
+  os << "corrupt " << what << ": " << detail << " (at byte offset " << offset
+     << ")";
+  throw IoError(os.str());
+}
+
+}  // namespace
+
+void ByteWriter::raw(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  buf_.insert(buf_.end(), p, p + bytes);
+}
+
+ByteReader::ByteReader(const unsigned char* data, std::size_t bytes,
+                       std::string what, std::size_t base_offset)
+    : data_(data), size_(bytes), what_(std::move(what)), base_(base_offset) {}
+
+void ByteReader::raw(void* out, std::size_t bytes) {
+  if (bytes > size_ - pos_) {
+    fail(what_, base_ + pos_,
+         "need " + std::to_string(bytes) + " bytes but only " +
+             std::to_string(size_ - pos_) + " remain in section");
+  }
+  std::memcpy(out, data_ + pos_, bytes);
+  pos_ += bytes;
+}
+
+void ByteReader::check_remaining(std::uint64_t count,
+                                 std::size_t elem_size) const {
+  const std::size_t left = size_ - pos_;
+  if (count > left / elem_size) {
+    fail(what_, base_ + pos_,
+         "element count " + std::to_string(count) + " (x" +
+             std::to_string(elem_size) + " bytes) exceeds the " +
+             std::to_string(left) + " bytes remaining in section");
+  }
+}
+
+FramedWriter::FramedWriter(const std::string& magic) : magic_(magic) {
+  EXACLIM_CHECK(magic.size() == kMagicLen, "artifact magic must be 8 bytes");
+}
+
+void FramedWriter::add_section(std::uint32_t tag, const ByteWriter& payload) {
+  sections_.push_back({tag, payload.bytes()});
+}
+
+void FramedWriter::commit(const std::string& path) const {
+  ByteWriter image;
+  image.raw(magic_.data(), kMagicLen);
+  std::uint64_t total = 0;
+  for (const auto& s : sections_) {
+    total += sizeof(std::uint32_t) + sizeof(std::uint64_t) +
+             sizeof(std::uint32_t) + s.payload.size();
+  }
+  image.pod(total);
+  for (const auto& s : sections_) {
+    image.pod(s.tag);
+    image.pod(static_cast<std::uint64_t>(s.payload.size()));
+    image.pod(crc32c(s.payload.data(), s.payload.size()));
+    image.raw(s.payload.data(), s.payload.size());
+  }
+  atomic_write_file(path, image.bytes().data(), image.bytes().size());
+}
+
+FramedFile::FramedFile(const std::string& path, const std::string& magic,
+                       std::string what)
+    : what_(std::move(what)) {
+  EXACLIM_CHECK(magic.size() == kMagicLen, "artifact magic must be 8 bytes");
+  const std::vector<unsigned char> file = read_file_bytes(path);
+
+  if (file.size() < kMagicLen + sizeof(std::uint64_t)) {
+    fail(what_, file.size(), "file too small to hold the artifact header");
+  }
+  if (std::memcmp(file.data(), magic.data(), kMagicLen) != 0) {
+    // Same 7-byte family with a different trailing version byte means the
+    // format evolved; report that instead of a generic corruption error.
+    if (std::memcmp(file.data(), magic.data(), kMagicLen - 1) == 0) {
+      std::ostringstream os;
+      os << "unsupported " << what_ << " format version '"
+         << std::string(reinterpret_cast<const char*>(file.data()), kMagicLen)
+         << "' (this build reads '" << magic
+         << "'); re-create the artifact with a matching build";
+      throw IoError(os.str());
+    }
+    fail(what_, 0, "bad magic (not a " + what_ + " file)");
+  }
+
+  std::uint64_t total = 0;
+  std::memcpy(&total, file.data() + kMagicLen, sizeof(total));
+  const std::size_t body_start = kMagicLen + sizeof(std::uint64_t);
+  if (total != file.size() - body_start) {
+    fail(what_, kMagicLen,
+         "framed length " + std::to_string(total) + " does not match the " +
+             std::to_string(file.size() - body_start) +
+             " bytes present (truncated or trailing garbage)");
+  }
+
+  std::size_t pos = body_start;
+  while (pos < file.size()) {
+    constexpr std::size_t kSectionHeader =
+        sizeof(std::uint32_t) + sizeof(std::uint64_t) + sizeof(std::uint32_t);
+    if (file.size() - pos < kSectionHeader) {
+      fail(what_, pos, "truncated section header");
+    }
+    Section s;
+    std::memcpy(&s.tag, file.data() + pos, sizeof(s.tag));
+    std::uint64_t len = 0;
+    std::memcpy(&len, file.data() + pos + sizeof(std::uint32_t), sizeof(len));
+    std::uint32_t crc = 0;
+    std::memcpy(&crc,
+                file.data() + pos + sizeof(std::uint32_t) + sizeof(len),
+                sizeof(crc));
+    pos += kSectionHeader;
+    if (len > file.size() - pos) {
+      fail(what_, pos,
+           "section 0x" + std::to_string(s.tag) + " claims " +
+               std::to_string(len) + " bytes but only " +
+               std::to_string(file.size() - pos) + " remain");
+    }
+    const std::uint32_t actual = crc32c(file.data() + pos, len);
+    if (actual != crc) {
+      fail(what_, pos, "section checksum mismatch (payload corrupted)");
+    }
+    s.offset = pos;
+    s.payload.assign(file.data() + pos, file.data() + pos + len);
+    pos += static_cast<std::size_t>(len);
+    sections_.push_back(std::move(s));
+  }
+}
+
+bool FramedFile::has_section(std::uint32_t tag) const {
+  for (const auto& s : sections_) {
+    if (s.tag == tag) return true;
+  }
+  return false;
+}
+
+ByteReader FramedFile::section(std::uint32_t tag) const {
+  for (const auto& s : sections_) {
+    if (s.tag == tag) {
+      return ByteReader(s.payload.data(), s.payload.size(), what_, s.offset);
+    }
+  }
+  std::ostringstream os;
+  os << "corrupt " << what_ << ": required section 0x" << std::hex << tag
+     << " is missing";
+  throw IoError(os.str());
+}
+
+}  // namespace exaclim::common

@@ -1,0 +1,143 @@
+// Checksummed, length-framed binary artifact container.
+//
+// Layout on disk:
+//   [magic: 8 bytes][total_length: u64, bytes after this field]
+//   then one or more sections:
+//   [tag: u32][payload_length: u64][crc32c(payload): u32][payload bytes]
+//
+// Readers validate, in order: magic (a 7-byte family match with a differing
+// trailing version byte is reported as an unsupported version, so old readers
+// and old files fail with an actionable message instead of garbage), total
+// length against the real file size (truncation and trailing garbage both
+// caught up front), each section's length against the bytes remaining, and
+// each payload's CRC32C. Every failure is an IoError naming the byte offset.
+//
+// Writers buffer everything in memory and hand the finished image to
+// atomic_write_file, so artifacts are crash-consistent as well as
+// self-validating.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace exaclim::common {
+
+/// Append-only byte buffer with POD helpers; the unit of a section payload.
+class ByteWriter {
+ public:
+  void raw(const void* data, std::size_t bytes);
+
+  template <typename T>
+  void pod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    raw(&value, sizeof(T));
+  }
+
+  /// Writes a u64 element count followed by the elements.
+  template <typename T>
+  void vec64(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    pod(static_cast<std::uint64_t>(v.size()));
+    raw(v.data(), v.size() * sizeof(T));
+  }
+
+  const std::vector<unsigned char>& bytes() const { return buf_; }
+
+ private:
+  std::vector<unsigned char> buf_;
+};
+
+/// Bounds-checked reader over a byte span. Out-of-bounds reads throw IoError
+/// naming the artifact and the offending offset.
+class ByteReader {
+ public:
+  /// `what` names the artifact in error messages; `base_offset` is the span's
+  /// position in the file so reported offsets are absolute.
+  ByteReader(const unsigned char* data, std::size_t bytes, std::string what,
+             std::size_t base_offset = 0);
+
+  void raw(void* out, std::size_t bytes);
+
+  template <typename T>
+  T pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value;
+    raw(&value, sizeof(T));
+    return value;
+  }
+
+  /// Reads a u64 element count followed by the elements; the count is
+  /// validated against the bytes remaining before any allocation.
+  template <typename T>
+  std::vector<T> vec64() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto n = pod<std::uint64_t>();
+    check_remaining(n, sizeof(T));
+    std::vector<T> v(static_cast<std::size_t>(n));
+    raw(v.data(), v.size() * sizeof(T));
+    return v;
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool at_end() const { return pos_ == size_; }
+  std::size_t offset() const { return base_ + pos_; }
+
+  /// Throws IoError unless `count * elem_size` bytes remain.
+  void check_remaining(std::uint64_t count, std::size_t elem_size) const;
+
+ private:
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::string what_;
+  std::size_t base_;
+};
+
+/// Builds a framed artifact in memory; commit() writes it atomically.
+class FramedWriter {
+ public:
+  /// `magic` must be exactly 8 characters.
+  explicit FramedWriter(const std::string& magic);
+
+  void add_section(std::uint32_t tag, const ByteWriter& payload);
+
+  /// Finalizes the total-length header and atomically writes the artifact.
+  void commit(const std::string& path) const;
+
+ private:
+  std::string magic_;
+  struct Section {
+    std::uint32_t tag;
+    std::vector<unsigned char> payload;
+  };
+  std::vector<Section> sections_;
+};
+
+/// Reads and fully validates a framed artifact; sections are then available
+/// by tag in file order.
+class FramedFile {
+ public:
+  /// Loads `path`, expecting `magic` (8 chars). `what` names the artifact
+  /// kind in error messages ("emulator model", "checkpoint", ...).
+  FramedFile(const std::string& path, const std::string& magic,
+             std::string what);
+
+  /// Returns a reader over the payload of the first section with `tag`;
+  /// throws IoError if absent.
+  ByteReader section(std::uint32_t tag) const;
+  bool has_section(std::uint32_t tag) const;
+
+ private:
+  struct Section {
+    std::uint32_t tag;
+    std::size_t offset;  // payload offset in the file, for error messages
+    std::vector<unsigned char> payload;
+  };
+  std::vector<Section> sections_;
+  std::string what_;
+};
+
+}  // namespace exaclim::common

@@ -1,16 +1,124 @@
 #include "common/io.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <sstream>
+#include <thread>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 
 namespace exaclim::common {
 
+namespace {
+
+constexpr int kMaxWriteAttempts = 4;
+constexpr int kBackoffBaseUs = 100;
+
+[[noreturn]] void throw_errno(const char* op, const std::string& path) {
+  throw IoError(std::string(op) + " failed for '" + path +
+                "': " + std::strerror(errno));
+}
+
+/// One full write-temp + fsync + rename sequence. Throws TransientError (via
+/// the injector) or IoError; on success `path` durably holds the new bytes.
+void write_once(const std::string& path, const void* data, std::size_t bytes,
+                const std::string& tmp_path) {
+  auto& inject = FaultInjector::instance();
+
+  inject.on_io("open", tmp_path);
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("open", tmp_path);
+
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::size_t left = bytes;
+  try {
+    inject.on_io("write", tmp_path);
+    while (left > 0) {
+      const ssize_t n = ::write(fd, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("write", tmp_path);
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    inject.on_io("fsync", tmp_path);
+    if (::fsync(fd) != 0) throw_errno("fsync", tmp_path);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  if (::close(fd) != 0) throw_errno("close", tmp_path);
+
+  inject.on_io("rename", path);
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    throw_errno("rename", path);
+  }
+
+  // Make the rename itself durable: fsync the containing directory.
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, const void* data,
+                       std::size_t bytes) {
+  std::ostringstream tmp;
+  tmp << path << ".tmp." << ::getpid();
+  const std::string tmp_path = tmp.str();
+
+  int backoff_us = kBackoffBaseUs;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      write_once(path, data, bytes, tmp_path);
+      return;
+    } catch (const TransientError& e) {
+      std::remove(tmp_path.c_str());
+      if (attempt >= kMaxWriteAttempts) {
+        throw IoError("atomic write of '" + path + "' failed after " +
+                      std::to_string(attempt) +
+                      " attempts; last transient error: " + e.what());
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      backoff_us *= 2;
+    } catch (...) {
+      std::remove(tmp_path.c_str());
+      throw;
+    }
+  }
+}
+
+std::vector<unsigned char> read_file_bytes(const std::string& path) {
+  FaultInjector::instance().on_io("read", path);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw IoError("cannot open for reading: " + path);
+  const std::streamoff size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  std::vector<unsigned char> bytes(static_cast<std::size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(bytes.data()), size)) {
+    throw IoError("short read: " + path);
+  }
+  return bytes;
+}
+
 void write_csv(const std::string& path, const std::vector<std::string>& header,
                const std::vector<std::vector<double>>& rows) {
-  std::ofstream out(path);
-  if (!out) throw IoError("cannot open for writing: " + path);
+  std::ostringstream out;
   for (std::size_t i = 0; i < header.size(); ++i) {
     if (i) out << ',';
     out << header[i];
@@ -25,7 +133,8 @@ void write_csv(const std::string& path, const std::vector<std::string>& header,
     }
     out << '\n';
   }
-  if (!out) throw IoError("write failed: " + path);
+  const std::string text = out.str();
+  atomic_write_file(path, text.data(), text.size());
 }
 
 void write_pgm(const std::string& path, const std::vector<double>& field,
@@ -37,8 +146,7 @@ void write_pgm(const std::string& path, const std::vector<double>& field,
   const double mn = *mn_it;
   const double span = (*mx_it > mn) ? (*mx_it - mn) : 1.0;
 
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw IoError("cannot open for writing: " + path);
+  std::ostringstream out;
   out << "P5\n" << cols << ' ' << rows << "\n255\n";
   std::vector<unsigned char> bytes(field.size());
   for (std::size_t i = 0; i < field.size(); ++i) {
@@ -46,7 +154,8 @@ void write_pgm(const std::string& path, const std::vector<double>& field,
   }
   out.write(reinterpret_cast<const char*>(bytes.data()),
             static_cast<std::streamsize>(bytes.size()));
-  if (!out) throw IoError("write failed: " + path);
+  const std::string blob = out.str();
+  atomic_write_file(path, blob.data(), blob.size());
 }
 
 }  // namespace exaclim::common

@@ -1,13 +1,33 @@
-// Lightweight result writers: CSV tables for benchmark series and PGM images
-// for global temperature maps (Figures 2 and 4 visual artifacts).
+// Crash-consistent file I/O plus the lightweight result writers (CSV tables
+// for benchmark series, PGM images for global temperature maps).
+//
+// All persisted artifacts go through atomic_write_file: the bytes land in a
+// temporary file that is fsync'd and atomically renamed over the destination,
+// so a crash mid-write leaves either the old artifact or the new one — never
+// a torn hybrid. Transient I/O failures (as classified by TransientError,
+// e.g. from the fault injector) are retried with bounded exponential backoff
+// before an IoError propagates.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "common/types.hpp"
 
 namespace exaclim::common {
+
+/// Atomically replaces `path` with `bytes` bytes at `data`:
+/// write-to-temp + fsync + rename, with the containing directory fsync'd so
+/// the rename itself is durable. Retries the whole sequence (fresh temp file)
+/// up to a small bounded number of times with exponential backoff when a
+/// TransientError is raised; throws IoError on hard failure or exhaustion.
+void atomic_write_file(const std::string& path, const void* data,
+                       std::size_t bytes);
+
+/// Reads an entire file into memory. Throws IoError when the file cannot be
+/// opened or the read comes up short.
+std::vector<unsigned char> read_file_bytes(const std::string& path);
 
 /// Writes a CSV file with a header row and double-valued rows.
 void write_csv(const std::string& path, const std::vector<std::string>& header,

@@ -1,6 +1,8 @@
 // Emulator configuration.
 #pragma once
 
+#include <string>
+
 #include "linalg/precision_policy.hpp"
 #include "stats/trend.hpp"
 
@@ -19,6 +21,15 @@ struct EmulatorConfig {
   unsigned threads = 0;              ///< 0 = hardware concurrency
 
   double jitter_base = 1e-10;  ///< diagonal perturbation scale (Eq. 9 repair)
+
+  /// Task-level fault tolerance for the tiled Cholesky: retry with precision
+  /// escalation and per-tile jitter instead of aborting on the first
+  /// NumericalError.
+  bool fault_tolerance = false;
+  std::string checkpoint_path;   ///< empty = no checkpointing
+  index_t checkpoint_every = 0;  ///< kernel tasks per checkpoint round; 0 =
+                                 ///< one final checkpoint only
+  std::string resume_path;       ///< empty = start fresh
 
   /// Profile grid for the trend's rho; empty = default {0, .05, ..., .95}.
   std::vector<double> rho_grid;

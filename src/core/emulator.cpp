@@ -170,7 +170,18 @@ TrainReport ClimateEmulator::train(const climate::ClimateDataset& data,
   if (config_.use_parallel_runtime) {
     runtime::RtCholeskyOptions rt_opt;
     rt_opt.threads = config_.threads;
-    runtime::cholesky_tiled_parallel(tiled, rt_opt);
+    rt_opt.ft.enabled = config_.fault_tolerance;
+    rt_opt.ft.integrity_checks = config_.fault_tolerance;
+    rt_opt.ft.jitter_base = config_.jitter_base;
+    rt_opt.ft.checkpoint_path = config_.checkpoint_path;
+    rt_opt.ft.checkpoint_every = config_.checkpoint_every;
+    rt_opt.ft.resume_path = config_.resume_path;
+    const runtime::RtCholeskyResult rt =
+        runtime::cholesky_tiled_parallel(tiled, rt_opt);
+    report.precision_escalations = rt.precision_escalations;
+    report.jitter_escalations = rt.jitter_escalations;
+    report.checkpoints_written = rt.checkpoints_written;
+    report.resumed_from_checkpoint = rt.resumed;
   } else {
     report.cholesky = linalg::cholesky_tiled(tiled);
   }

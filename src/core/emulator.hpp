@@ -42,6 +42,12 @@ struct TrainReport {
   linalg::CholeskyStats cholesky;
   double cholesky_gflops = 0.0;
   index_t innovation_samples = 0;  ///< R (T - P)
+
+  // Fault-tolerance outcomes from the tiled Cholesky (parallel runtime only).
+  index_t precision_escalations = 0;
+  index_t jitter_escalations = 0;
+  index_t checkpoints_written = 0;
+  bool resumed_from_checkpoint = false;
 };
 
 /// A trained emulator. Copyable; serializable via core/serialize.hpp.

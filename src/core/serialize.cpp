@@ -2,43 +2,40 @@
 
 #include <cmath>
 #include <cstring>
-#include <fstream>
 
 #include "common/error.hpp"
+#include "common/framing.hpp"
 #include "common/half.hpp"
 
 namespace exaclim::core {
 
 namespace {
 
-constexpr char kMagic[8] = {'E', 'X', 'A', 'C', 'M', 'D', 'L', '3'};
+// Format v4: framed container (common/framing.hpp) — 8-byte magic, u64
+// total-length header, and per-section CRC32C — written atomically. Older
+// EXACMDL3 files (raw concatenated streams, no checksums) are rejected by the
+// frame reader with a clean unsupported-version error.
+constexpr char kMagic[] = "EXACMDL4";
+constexpr const char* kWhat = "emulator model";
 
-void write_raw(std::ofstream& out, const void* data, std::size_t bytes) {
-  out.write(reinterpret_cast<const char*>(data),
-            static_cast<std::streamsize>(bytes));
-}
+constexpr std::uint32_t kSectionHeader = 1;
+constexpr std::uint32_t kSectionTrend = 2;
+constexpr std::uint32_t kSectionAr = 3;
+constexpr std::uint32_t kSectionFactor = 4;
+constexpr std::uint32_t kSectionNugget = 5;
 
-void read_raw(std::ifstream& in, void* data, std::size_t bytes) {
-  in.read(reinterpret_cast<char*>(data), static_cast<std::streamsize>(bytes));
-  if (!in) throw IoError("truncated emulator model file");
-}
+struct Header {
+  index_t band_limit = 0;
+  index_t ar_order = 0;
+  index_t harmonics = 0;
+  index_t steps_per_year = 0;
+  index_t nlat = 0;
+  index_t nlon = 0;
+  std::uint8_t factor_storage = 0;
+  std::uint8_t pad[7] = {};  // explicit padding: artifact bytes deterministic
+};
 
-void write_vec(std::ofstream& out, const std::vector<double>& v) {
-  const index_t n = static_cast<index_t>(v.size());
-  write_raw(out, &n, sizeof(n));
-  write_raw(out, v.data(), v.size() * sizeof(double));
-}
-
-std::vector<double> read_vec(std::ifstream& in) {
-  index_t n = 0;
-  read_raw(in, &n, sizeof(n));
-  EXACLIM_CHECK(n >= 0, "corrupt model file: negative vector length");
-  std::vector<double> v(static_cast<std::size_t>(n));
-  read_raw(in, v.data(), v.size() * sizeof(double));
-  return v;
-}
-
-void write_factor(std::ofstream& out, const linalg::Matrix& v,
+void write_factor(common::ByteWriter& out, const linalg::Matrix& v,
                   FactorStorage storage) {
   const index_t n = v.rows();
   switch (storage) {
@@ -46,7 +43,7 @@ void write_factor(std::ofstream& out, const linalg::Matrix& v,
       std::vector<double> row;
       for (index_t i = 0; i < n; ++i) {
         row.assign(v.row(i).begin(), v.row(i).begin() + i + 1);
-        write_raw(out, row.data(), row.size() * sizeof(double));
+        out.raw(row.data(), row.size() * sizeof(double));
       }
       break;
     }
@@ -56,7 +53,7 @@ void write_factor(std::ofstream& out, const linalg::Matrix& v,
         row.resize(static_cast<std::size_t>(i + 1));
         for (index_t j = 0; j <= i; ++j) row[static_cast<std::size_t>(j)] =
             static_cast<float>(v(i, j));
-        write_raw(out, row.data(), row.size() * sizeof(float));
+        out.raw(row.data(), row.size() * sizeof(float));
       }
       break;
     }
@@ -71,20 +68,20 @@ void write_factor(std::ofstream& out, const linalg::Matrix& v,
         }
         const float scale =
             max_abs > 0.0 ? static_cast<float>(max_abs / 32768.0) : 1.0f;
-        write_raw(out, &scale, sizeof(scale));
+        out.pod(scale);
         row.resize(static_cast<std::size_t>(i + 1));
         for (index_t j = 0; j <= i; ++j) {
           row[static_cast<std::size_t>(j)] = common::float_to_half_bits(
               static_cast<float>(v(i, j)) / scale);
         }
-        write_raw(out, row.data(), row.size() * sizeof(std::uint16_t));
+        out.raw(row.data(), row.size() * sizeof(std::uint16_t));
       }
       break;
     }
   }
 }
 
-linalg::Matrix read_factor(std::ifstream& in, index_t n,
+linalg::Matrix read_factor(common::ByteReader& in, index_t n,
                            FactorStorage storage) {
   linalg::Matrix v(n, n);
   switch (storage) {
@@ -92,7 +89,7 @@ linalg::Matrix read_factor(std::ifstream& in, index_t n,
       std::vector<double> row;
       for (index_t i = 0; i < n; ++i) {
         row.resize(static_cast<std::size_t>(i + 1));
-        read_raw(in, row.data(), row.size() * sizeof(double));
+        in.raw(row.data(), row.size() * sizeof(double));
         for (index_t j = 0; j <= i; ++j) v(i, j) = row[static_cast<std::size_t>(j)];
       }
       break;
@@ -101,7 +98,7 @@ linalg::Matrix read_factor(std::ifstream& in, index_t n,
       std::vector<float> row;
       for (index_t i = 0; i < n; ++i) {
         row.resize(static_cast<std::size_t>(i + 1));
-        read_raw(in, row.data(), row.size() * sizeof(float));
+        in.raw(row.data(), row.size() * sizeof(float));
         for (index_t j = 0; j <= i; ++j) v(i, j) = row[static_cast<std::size_t>(j)];
       }
       break;
@@ -109,10 +106,9 @@ linalg::Matrix read_factor(std::ifstream& in, index_t n,
     case FactorStorage::FP16Scaled: {
       std::vector<std::uint16_t> row;
       for (index_t i = 0; i < n; ++i) {
-        float scale = 1.0f;
-        read_raw(in, &scale, sizeof(scale));
+        const auto scale = in.pod<float>();
         row.resize(static_cast<std::size_t>(i + 1));
-        read_raw(in, row.data(), row.size() * sizeof(std::uint16_t));
+        in.raw(row.data(), row.size() * sizeof(std::uint16_t));
         for (index_t j = 0; j <= i; ++j) {
           v(i, j) = static_cast<double>(
               common::half_bits_to_float(row[static_cast<std::size_t>(j)]) *
@@ -130,79 +126,112 @@ linalg::Matrix read_factor(std::ifstream& in, index_t n,
 void save_emulator(const ClimateEmulator& emulator, const std::string& path,
                    FactorStorage factor_storage) {
   EXACLIM_CHECK(emulator.is_trained(), "cannot save an untrained emulator");
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw IoError("cannot open for writing: " + path);
-  out.write(kMagic, sizeof(kMagic));
+  common::FramedWriter writer(kMagic);
 
   const EmulatorConfig& cfg = emulator.config();
-  const index_t header[6] = {cfg.band_limit,       cfg.ar_order,
-                             cfg.harmonics,        cfg.steps_per_year,
-                             emulator.grid().nlat, emulator.grid().nlon};
-  write_raw(out, header, sizeof(header));
-  const auto storage_byte = static_cast<std::uint8_t>(factor_storage);
-  write_raw(out, &storage_byte, 1);
+  common::ByteWriter header;
+  header.pod(Header{cfg.band_limit, cfg.ar_order, cfg.harmonics,
+                    cfg.steps_per_year, emulator.grid().nlat,
+                    emulator.grid().nlon,
+                    static_cast<std::uint8_t>(factor_storage)});
+  writer.add_section(kSectionHeader, header);
 
+  common::ByteWriter trend;
   for (const auto& tm : emulator.trend_models()) {
     const double scalars[5] = {tm.beta0, tm.beta1, tm.beta2, tm.rho, tm.sigma};
-    write_raw(out, scalars, sizeof(scalars));
-    write_vec(out, tm.cos_coeff);
-    write_vec(out, tm.sin_coeff);
+    trend.raw(scalars, sizeof(scalars));
+    trend.vec64(tm.cos_coeff);
+    trend.vec64(tm.sin_coeff);
   }
+  writer.add_section(kSectionTrend, trend);
+
+  common::ByteWriter ar;
   for (const auto& am : emulator.ar_models()) {
-    write_vec(out, am.phi);
-    write_raw(out, &am.innovation_variance, sizeof(double));
+    ar.vec64(am.phi);
+    ar.pod(am.innovation_variance);
   }
-  write_factor(out, emulator.cholesky_factor(), factor_storage);
-  write_vec(out, emulator.nugget_variance());
-  if (!out) throw IoError("write failed: " + path);
+  writer.add_section(kSectionAr, ar);
+
+  common::ByteWriter factor;
+  write_factor(factor, emulator.cholesky_factor(), factor_storage);
+  writer.add_section(kSectionFactor, factor);
+
+  common::ByteWriter nugget;
+  nugget.vec64(emulator.nugget_variance());
+  writer.add_section(kSectionNugget, nugget);
+
+  writer.commit(path);
 }
 
 ClimateEmulator load_emulator(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw IoError("cannot open for reading: " + path);
-  char magic[8];
-  read_raw(in, magic, sizeof(magic));
-  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw IoError("not an ExaClim model file: " + path);
+  const common::FramedFile file(path, kMagic, kWhat);
+
+  common::ByteReader hr = file.section(kSectionHeader);
+  const auto header = hr.pod<Header>();
+  EXACLIM_CHECK(header.band_limit > 0 && header.ar_order > 0 &&
+                    header.harmonics >= 0 && header.steps_per_year > 0 &&
+                    header.nlat > 0 && header.nlon > 0,
+                "corrupt model file: implausible header dimensions");
+  if (header.factor_storage > 2) {
+    throw IoError("corrupt model file: bad factor storage tag " +
+                  std::to_string(header.factor_storage));
   }
-  index_t header[6];
-  read_raw(in, header, sizeof(header));
-  std::uint8_t storage_byte = 0;
-  read_raw(in, &storage_byte, 1);
-  EXACLIM_CHECK(storage_byte <= 2, "corrupt model file: bad factor storage");
-  const auto storage = static_cast<FactorStorage>(storage_byte);
+  const auto storage = static_cast<FactorStorage>(header.factor_storage);
 
   EmulatorConfig cfg;
-  cfg.band_limit = header[0];
-  cfg.ar_order = header[1];
-  cfg.harmonics = header[2];
-  cfg.steps_per_year = header[3];
-  const sht::GridShape grid{header[4], header[5]};
+  cfg.band_limit = header.band_limit;
+  cfg.ar_order = header.ar_order;
+  cfg.harmonics = header.harmonics;
+  cfg.steps_per_year = header.steps_per_year;
+  const sht::GridShape grid{header.nlat, header.nlon};
 
   ClimateEmulator emulator(cfg);
+
+  common::ByteReader tr = file.section(kSectionTrend);
   std::vector<stats::TrendModel> trend(
       static_cast<std::size_t>(grid.num_points()));
   for (auto& tm : trend) {
     double scalars[5];
-    read_raw(in, scalars, sizeof(scalars));
+    tr.raw(scalars, sizeof(scalars));
     tm.beta0 = scalars[0];
     tm.beta1 = scalars[1];
     tm.beta2 = scalars[2];
     tm.rho = scalars[3];
     tm.sigma = scalars[4];
-    tm.cos_coeff = read_vec(in);
-    tm.sin_coeff = read_vec(in);
+    tm.cos_coeff = tr.vec64<double>();
+    tm.sin_coeff = tr.vec64<double>();
     tm.period = cfg.steps_per_year;
   }
+  if (!tr.at_end()) {
+    throw IoError("corrupt model file: trend section has trailing bytes (at "
+                  "byte offset " +
+                  std::to_string(tr.offset()) + ")");
+  }
+
+  common::ByteReader ar_reader = file.section(kSectionAr);
   std::vector<stats::ArModel> ar(
       static_cast<std::size_t>(sh_coeff_count(cfg.band_limit)));
   for (auto& am : ar) {
-    am.phi = read_vec(in);
-    read_raw(in, &am.innovation_variance, sizeof(double));
+    am.phi = ar_reader.vec64<double>();
+    am.innovation_variance = ar_reader.pod<double>();
   }
+  if (!ar_reader.at_end()) {
+    throw IoError("corrupt model file: AR section has trailing bytes (at "
+                  "byte offset " +
+                  std::to_string(ar_reader.offset()) + ")");
+  }
+
+  common::ByteReader fr = file.section(kSectionFactor);
   linalg::Matrix factor =
-      read_factor(in, sh_coeff_count(cfg.band_limit), storage);
-  std::vector<double> nugget = read_vec(in);
+      read_factor(fr, sh_coeff_count(cfg.band_limit), storage);
+  if (!fr.at_end()) {
+    throw IoError("corrupt model file: factor section has trailing bytes (at "
+                  "byte offset " +
+                  std::to_string(fr.offset()) + ")");
+  }
+
+  common::ByteReader nr = file.section(kSectionNugget);
+  std::vector<double> nugget = nr.vec64<double>();
 
   emulator.restore(grid, std::move(trend), std::move(ar), std::move(factor),
                    std::move(nugget));

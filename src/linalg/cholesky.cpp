@@ -155,6 +155,7 @@ class Engine {
   void potrf(index_t k) {
     common::Timer timer;
     TileBuffer& t = a_.tile(k, k);
+    const ScopedTileContext ctx(k, k, t.precision());
     const index_t n = t.rows();
     if (t.precision() == Precision::FP64) {
       potrf_lower_f64(t.f64(), n);
@@ -173,6 +174,7 @@ class Engine {
   void trsm(index_t i, index_t k) {
     common::Timer timer;
     TileBuffer& b = a_.tile(i, k);
+    const ScopedTileContext ctx(i, k, b.precision());
     const index_t m = b.rows();
     const index_t n = b.cols();
     OperandScratch scratch;

@@ -36,6 +36,38 @@ std::size_t precision_bytes(Precision p) {
 
 namespace {
 
+/// Thread-local tile coordinates + precision for kernel failure messages.
+struct TileContext {
+  index_t row = -1;
+  index_t col = -1;
+  Precision prec = Precision::FP64;
+  bool active = false;
+};
+thread_local TileContext g_tile_context;
+
+}  // namespace
+
+ScopedTileContext::ScopedTileContext(index_t row, index_t col, Precision p)
+    : prev_row_(g_tile_context.row),
+      prev_col_(g_tile_context.col),
+      prev_prec_(g_tile_context.prec),
+      prev_active_(g_tile_context.active) {
+  g_tile_context = {row, col, p, true};
+}
+
+ScopedTileContext::~ScopedTileContext() {
+  g_tile_context = {prev_row_, prev_col_, prev_prec_, prev_active_};
+}
+
+std::string tile_context_suffix() {
+  if (!g_tile_context.active) return {};
+  return " on tile (" + std::to_string(g_tile_context.row) + "," +
+         std::to_string(g_tile_context.col) + ") [precision " +
+         precision_name(g_tile_context.prec) + "]";
+}
+
+namespace {
+
 /// Widens `count` contiguous halves to floats. F16C gives an 8-wide hardware
 /// conversion; the scalar tail (and the no-F16C fallback) use the bit-exact
 /// software path.
@@ -74,7 +106,8 @@ void potrf_ref_impl(T* a, index_t n) {
   for (index_t kk = 0; kk < n; ++kk) {
     T pivot = a[kk * n + kk];
     EXACLIM_NUMERIC_CHECK(pivot > T(0),
-                          "tile is not positive definite (tile POTRF)");
+                          "tile is not positive definite (tile POTRF)" +
+                              tile_context_suffix());
     const T lkk = std::sqrt(pivot);
     a[kk * n + kk] = lkk;
     const T inv = T(1) / lkk;
@@ -99,7 +132,8 @@ void trsm_ref_impl(const T* l, T* b, index_t m, index_t n) {
     for (index_t j = 0; j < n; ++j) {
       T acc = x[j];
       for (index_t p = 0; p < j; ++p) acc -= x[p] * l[j * n + p];
-      EXACLIM_NUMERIC_CHECK(l[j * n + j] != T(0), "singular TRSM pivot");
+      EXACLIM_NUMERIC_CHECK(l[j * n + j] != T(0),
+                            "singular TRSM pivot" + tile_context_suffix());
       x[j] = acc / l[j * n + j];
     }
   }
@@ -341,7 +375,8 @@ struct Blocked {
     for (index_t kk = 0; kk < nb; ++kk) {
       T pivot = a[kk * lda + kk];
       EXACLIM_NUMERIC_CHECK(pivot > T(0),
-                            "tile is not positive definite (tile POTRF)");
+                            "tile is not positive definite (tile POTRF)" +
+                                tile_context_suffix());
       const T lkk = std::sqrt(pivot);
       a[kk * lda + kk] = lkk;
       const T inv = T(1) / lkk;
@@ -366,7 +401,8 @@ struct Blocked {
         T acc = x[j];
         const T* lj = l + j * ldl;
         for (index_t p = 0; p < j; ++p) acc -= x[p] * lj[p];
-        EXACLIM_NUMERIC_CHECK(lj[j] != T(0), "singular TRSM pivot");
+        EXACLIM_NUMERIC_CHECK(lj[j] != T(0),
+                              "singular TRSM pivot" + tile_context_suffix());
         x[j] = acc / lj[j];
       }
     }

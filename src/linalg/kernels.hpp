@@ -31,6 +31,31 @@ std::string precision_name(Precision p);
 /// Bytes per element.
 std::size_t precision_bytes(Precision p);
 
+/// RAII thread-local tile context. While one is alive on the calling thread,
+/// NumericalError messages thrown from the tile kernels name the tile
+/// (row, col) and the active precision, so a failed POTRF/TRSM in a large
+/// tiled run is actionable instead of anonymous. Set by the sequential
+/// engine and by the runtime task bodies around each kernel invocation;
+/// nesting restores the outer context on destruction.
+class ScopedTileContext {
+ public:
+  ScopedTileContext(index_t row, index_t col, Precision p);
+  ~ScopedTileContext();
+
+  ScopedTileContext(const ScopedTileContext&) = delete;
+  ScopedTileContext& operator=(const ScopedTileContext&) = delete;
+
+ private:
+  index_t prev_row_;
+  index_t prev_col_;
+  Precision prev_prec_;
+  bool prev_active_;
+};
+
+/// " on tile (r,c) [precision DP]" while a ScopedTileContext is active on
+/// this thread, "" otherwise. Appended to kernel failure messages.
+std::string tile_context_suffix();
+
 // --- Factorization kernels -------------------------------------------------
 //
 // The primary entry points below run the cache-blocked engine: packed panels

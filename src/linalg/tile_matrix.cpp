@@ -125,6 +125,17 @@ void TileBuffer::from_f32(const float* src) {
   }
 }
 
+void TileBuffer::convert_to(Precision p) {
+  if (p == prec_) return;
+  std::vector<double> scratch(static_cast<std::size_t>(count()));
+  store_f64(scratch.data());
+  prec_ = p;
+  scale_ = 1.0f;
+  bytes_.assign(static_cast<std::size_t>(count()) * precision_bytes(p),
+                std::byte{0});
+  load_f64(scratch.data());
+}
+
 TiledSymmetricMatrix::TiledSymmetricMatrix(index_t n, index_t nb,
                                            PrecisionMap map)
     : n_(n), nb_(nb), nt_((n + nb - 1) / nb), map_(std::move(map)) {

@@ -77,6 +77,24 @@ class TileBuffer {
   /// fresh max-abs scale).
   void from_f32(const float* src);
 
+  /// Raw storage access, for integrity checksums and checkpoint payloads.
+  /// The bytes are the packed representation in the tile's precision (plus
+  /// scale() for FP16 tiles, persisted separately).
+  const std::byte* raw_bytes() const { return bytes_.data(); }
+  std::byte* raw_bytes() { return bytes_.data(); }
+  std::size_t raw_size() const { return bytes_.size(); }
+
+  /// Restores a persisted FP16 scale alongside raw payload bytes. Only
+  /// meaningful when the payload was captured from a tile of the same
+  /// precision; no-op semantics for FP64/FP32 tiles (their scale is 1).
+  void set_scale(float s) { scale_ = s; }
+
+  /// Converts the tile's storage precision in place, widening or rounding
+  /// the current values through double. Used by the POTRF escalation ladder
+  /// (f16 -> f32 -> f64) when a tile turns out numerically too hard for its
+  /// assigned precision.
+  void convert_to(Precision p);
+
  private:
   Precision prec_ = Precision::FP64;
   index_t rows_ = 0;

@@ -1,0 +1,121 @@
+#include "runtime/checkpoint.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/framing.hpp"
+
+namespace exaclim::runtime {
+
+namespace {
+
+constexpr char kMagic[] = "EXACKPT1";
+constexpr std::uint32_t kSectionHeader = 1;
+constexpr std::uint32_t kSectionDone = 2;
+constexpr std::uint32_t kSectionTiles = 3;
+constexpr const char* kWhat = "Cholesky checkpoint";
+
+struct Header {
+  std::uint64_t n = 0;
+  std::uint64_t nb = 0;
+  std::uint64_t nt = 0;
+  std::uint64_t num_kernel_tasks = 0;
+};
+
+}  // namespace
+
+void write_cholesky_checkpoint(const std::string& path,
+                               const linalg::TiledSymmetricMatrix& a,
+                               const std::vector<std::uint8_t>& kernel_done) {
+  common::FramedWriter writer(kMagic);
+
+  common::ByteWriter header;
+  header.pod(Header{static_cast<std::uint64_t>(a.dim()),
+                    static_cast<std::uint64_t>(a.tile_size()),
+                    static_cast<std::uint64_t>(a.num_tile_rows()),
+                    static_cast<std::uint64_t>(kernel_done.size())});
+  writer.add_section(kSectionHeader, header);
+
+  common::ByteWriter done;
+  done.vec64(kernel_done);
+  writer.add_section(kSectionDone, done);
+
+  common::ByteWriter tiles;
+  const index_t nt = a.num_tile_rows();
+  for (index_t i = 0; i < nt; ++i) {
+    for (index_t j = 0; j <= i; ++j) {
+      const linalg::TileBuffer& t = a.tile(i, j);
+      tiles.pod(static_cast<std::uint8_t>(t.precision()));
+      tiles.pod(t.scale());
+      tiles.pod(static_cast<std::uint64_t>(t.raw_size()));
+      tiles.raw(t.raw_bytes(), t.raw_size());
+    }
+  }
+  writer.add_section(kSectionTiles, tiles);
+
+  writer.commit(path);
+}
+
+std::vector<std::uint8_t> read_cholesky_checkpoint(
+    const std::string& path, linalg::TiledSymmetricMatrix& a) {
+  const common::FramedFile file(path, kMagic, kWhat);
+
+  common::ByteReader hr = file.section(kSectionHeader);
+  const auto header = hr.pod<Header>();
+  if (header.n != static_cast<std::uint64_t>(a.dim()) ||
+      header.nb != static_cast<std::uint64_t>(a.tile_size()) ||
+      header.nt != static_cast<std::uint64_t>(a.num_tile_rows())) {
+    throw IoError("checkpoint shape mismatch: file holds n=" +
+                  std::to_string(header.n) + " nb=" +
+                  std::to_string(header.nb) + " nt=" +
+                  std::to_string(header.nt) + ", matrix is n=" +
+                  std::to_string(a.dim()) + " nb=" +
+                  std::to_string(a.tile_size()) + " nt=" +
+                  std::to_string(a.num_tile_rows()));
+  }
+
+  common::ByteReader dr = file.section(kSectionDone);
+  auto kernel_done = dr.vec64<std::uint8_t>();
+  if (kernel_done.size() != header.num_kernel_tasks) {
+    throw IoError("checkpoint done-bitmap size " +
+                  std::to_string(kernel_done.size()) +
+                  " does not match its header's kernel-task count " +
+                  std::to_string(header.num_kernel_tasks));
+  }
+
+  common::ByteReader tr = file.section(kSectionTiles);
+  const index_t nt = a.num_tile_rows();
+  for (index_t i = 0; i < nt; ++i) {
+    for (index_t j = 0; j <= i; ++j) {
+      const auto prec_tag = tr.pod<std::uint8_t>();
+      if (prec_tag > 2) {
+        throw IoError("checkpoint tile (" + std::to_string(i) + "," +
+                      std::to_string(j) + ") has invalid precision tag " +
+                      std::to_string(prec_tag));
+      }
+      const auto prec = static_cast<linalg::Precision>(prec_tag);
+      const auto scale = tr.pod<float>();
+      const auto bytes = tr.pod<std::uint64_t>();
+      linalg::TileBuffer& t = a.tile(i, j);
+      if (t.precision() != prec) {
+        // The run this checkpoint came from escalated this tile's storage;
+        // rebuild the buffer at the persisted precision.
+        t = linalg::TileBuffer(prec, t.rows(), t.cols());
+      }
+      if (bytes != static_cast<std::uint64_t>(t.raw_size())) {
+        throw IoError("checkpoint tile (" + std::to_string(i) + "," +
+                      std::to_string(j) + ") payload is " +
+                      std::to_string(bytes) + " bytes, expected " +
+                      std::to_string(t.raw_size()));
+      }
+      tr.raw(t.raw_bytes(), static_cast<std::size_t>(bytes));
+      t.set_scale(scale);
+    }
+  }
+  if (!tr.at_end()) {
+    throw IoError("checkpoint tile section has trailing bytes (corrupt)");
+  }
+  return kernel_done;
+}
+
+}  // namespace exaclim::runtime

@@ -1,0 +1,37 @@
+// Crash-consistent checkpoint/restart for the tiled Cholesky.
+//
+// A checkpoint is a framed artifact (common/framing.hpp: magic, total-length
+// header, per-section CRC32C) written atomically, holding
+//   * the matrix shape (n, nb, nt) and the kernel-task count, so a resume
+//     against the wrong problem fails loudly,
+//   * the completed-task frontier as a byte bitmap over the kernel-task
+//     sequence (CholeskyGraph::kernel_task_ids order — stable across graph
+//     rebuilds because it never counts CONVERT tasks), and
+//   * every tile's payload verbatim (precision tag, FP16 scale, raw bytes),
+//     so a resumed run continues from bit-identical state.
+// Because checkpoints are only taken at scheduler quiescent points and the
+// DAG serializes all writers of a tile, the frontier and the payloads are
+// mutually consistent by construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/tile_matrix.hpp"
+
+namespace exaclim::runtime {
+
+/// Atomically writes a checkpoint of `a` with the given kernel-task
+/// completion bitmap.
+void write_cholesky_checkpoint(const std::string& path,
+                               const linalg::TiledSymmetricMatrix& a,
+                               const std::vector<std::uint8_t>& kernel_done);
+
+/// Restores tile payloads (including any escalated precisions) into `a` and
+/// returns the kernel-task completion bitmap. Throws IoError on corruption,
+/// truncation, version mismatch, or a shape that does not match `a`.
+std::vector<std::uint8_t> read_cholesky_checkpoint(
+    const std::string& path, linalg::TiledSymmetricMatrix& a);
+
+}  // namespace exaclim::runtime

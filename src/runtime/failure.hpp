@@ -1,0 +1,55 @@
+// Structured task-failure reporting.
+//
+// When the scheduler exhausts a task's recovery options, callers need more
+// than the innermost what(): which task kind died, on which tile, after how
+// many attempts, and in what state (e.g. the precision the tile had reached
+// on the escalation ladder). TaskFailure carries those fields and renders
+// them into one actionable message, so a multi-hour factorization that
+// ultimately fails tells the operator exactly what to look at.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace exaclim::runtime {
+
+class TaskFailure : public Error {
+ public:
+  /// `detail` is optional task-provided context (e.g. "precision DP"),
+  /// rendered in brackets; `cause` is the underlying exception's message.
+  TaskFailure(std::string kind, index_t row, index_t col, int attempts,
+              const std::string& detail, const std::string& cause)
+      : Error(format(kind, row, col, attempts, detail, cause)),
+        kind_(std::move(kind)),
+        row_(row),
+        col_(col),
+        attempts_(attempts) {}
+
+  const std::string& kind() const { return kind_; }
+  index_t row() const { return row_; }
+  index_t col() const { return col_; }
+  int attempts() const { return attempts_; }
+
+ private:
+  static std::string format(const std::string& kind, index_t row, index_t col,
+                            int attempts, const std::string& detail,
+                            const std::string& cause) {
+    std::ostringstream os;
+    os << "task " << kind;
+    if (row >= 0 || col >= 0) os << " at tile (" << row << "," << col << ")";
+    os << " failed after " << attempts << " attempt(s)";
+    if (!detail.empty()) os << " [" << detail << "]";
+    os << ": " << cause;
+    return os.str();
+  }
+
+  std::string kind_;
+  index_t row_;
+  index_t col_;
+  int attempts_;
+};
+
+}  // namespace exaclim::runtime

@@ -10,9 +10,11 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "common/work_steal_deque.hpp"
+#include "runtime/failure.hpp"
 
 namespace exaclim::runtime {
 
@@ -32,6 +34,8 @@ struct alignas(64) WorkerState {
   index_t parks = 0;
   index_t affinity_hits = 0;
   index_t affinity_misses = 0;
+  index_t transient_retries = 0;
+  index_t recoveries = 0;
   double busy = 0.0;
 };
 
@@ -47,10 +51,31 @@ struct ExecContext {
         participants(parts),
         n(g.num_tasks()),
         remaining_preds(static_cast<std::size_t>(g.num_tasks())),
-        mail_next(static_cast<std::size_t>(g.num_tasks())) {
+        mail_next(static_cast<std::size_t>(g.num_tasks())),
+        done(static_cast<std::size_t>(g.num_tasks())) {
     for (index_t i = 0; i < n; ++i) {
       remaining_preds[static_cast<std::size_t>(i)].store(
           g.task(i).num_predecessors, std::memory_order_relaxed);
+      done[static_cast<std::size_t>(i)].store(0, std::memory_order_relaxed);
+    }
+    // Prune tasks already satisfied by a checkpoint: mark them done and
+    // credit each successor's predecessor count, so the graph behaves as if
+    // they had just executed. Runs before the team is dispatched, so relaxed
+    // ordering suffices.
+    if (opt.already_done != nullptr && !opt.already_done->empty()) {
+      EXACLIM_CHECK(
+          static_cast<index_t>(opt.already_done->size()) == n,
+          "already_done bitmap size must match the task-graph size");
+      for (index_t i = 0; i < n; ++i) {
+        if ((*opt.already_done)[static_cast<std::size_t>(i)] == 0) continue;
+        done[static_cast<std::size_t>(i)].store(1, std::memory_order_relaxed);
+        ++pre_done;
+        for (TaskId succ : g.task(i).successors) {
+          remaining_preds[static_cast<std::size_t>(succ)].fetch_sub(
+              1, std::memory_order_relaxed);
+        }
+      }
+      completed.store(pre_done, std::memory_order_relaxed);
     }
     workers.reserve(participants);
     for (unsigned r = 0; r < participants; ++r) {
@@ -81,10 +106,17 @@ struct ExecContext {
 
   std::vector<std::atomic<index_t>> remaining_preds;
   std::vector<std::atomic<TaskId>> mail_next;  ///< intrusive mailbox links
+  std::vector<std::atomic<std::uint8_t>> done; ///< per-task completion flags
   std::vector<std::unique_ptr<WorkerState>> workers;
   std::vector<std::vector<unsigned>> victims;  ///< NUMA-near-first, per rank
 
+  index_t pre_done = 0;  ///< tasks satisfied before the run (resume pruning)
   std::atomic<index_t> completed{0};
+  /// Execution slots claimed against options.task_budget.
+  std::atomic<index_t> budget_claims{0};
+  /// Set when the task budget is exhausted: workers stop dispatching and the
+  /// run quiesces at a task boundary (checkpointable state).
+  std::atomic<bool> draining{false};
   /// Ranks that actually entered the run: when the team is busy the region
   /// degrades to the caller alone, and stats must report that, not the
   /// planned width (a serial run would otherwise read as ~6% efficiency).
@@ -199,7 +231,75 @@ struct ExecContext {
   }
 
   void worker(unsigned me);
+  bool run_with_retry(WorkerState& my, TaskId id, const Task& t);
+  void record_failure(std::exception_ptr error);
 };
+
+void ExecContext::record_failure(std::exception_ptr error) {
+  std::lock_guard<std::mutex> lock(error_mu);
+  if (!failed.exchange(true)) first_error = error;
+}
+
+/// Runs one task under the retry policy. Returns true on success; on
+/// unrecoverable failure records a structured TaskFailure and returns false
+/// (the caller then quiesces the run). Attempt numbering: attempt k is the
+/// k-th failure already absorbed, so the fault injector sees attempt 0 on
+/// the first execution.
+bool ExecContext::run_with_retry(WorkerState& my, TaskId id, const Task& t) {
+  const RetryPolicy& policy = options.retry;
+  auto& inject = common::FaultInjector::instance();
+  int attempt = 0;
+  int transient_failures = 0;
+  auto backoff = std::chrono::microseconds(policy.backoff_us);
+  for (;;) {
+    try {
+      inject.on_task(static_cast<std::uint64_t>(id), task_kind_name(t.kind),
+                     t.home_row, t.home_col, attempt);
+      if (t.fn) t.fn();
+      return true;
+    } catch (const TransientError&) {
+      ++attempt;
+      if (++transient_failures >= policy.max_transient_attempts) {
+        record_failure(std::make_exception_ptr(TaskFailure(
+            task_kind_name(t.kind), t.home_row, t.home_col, attempt,
+            t.context ? t.context() : std::string(),
+            "transient failures persisted through " +
+                std::to_string(transient_failures) + " retries")));
+        return false;
+      }
+      ++my.transient_retries;
+      std::this_thread::sleep_for(backoff);
+      backoff = std::min(backoff * 2, std::chrono::microseconds(10000));
+    } catch (const TaskFailure&) {
+      // Already structured (e.g. an integrity guard) — propagate verbatim.
+      record_failure(std::current_exception());
+      return false;
+    } catch (const std::exception& e) {
+      ++attempt;
+      bool recovered = false;
+      if (t.recover && attempt <= policy.max_recover_attempts) {
+        try {
+          recovered = t.recover(attempt, e);
+        } catch (...) {
+          // The recovery hook itself failed; report that error, which is
+          // more specific than the original.
+          record_failure(std::current_exception());
+          return false;
+        }
+      }
+      if (!recovered) {
+        record_failure(std::make_exception_ptr(TaskFailure(
+            task_kind_name(t.kind), t.home_row, t.home_col, attempt,
+            t.context ? t.context() : std::string(), e.what())));
+        return false;
+      }
+      ++my.recoveries;
+    } catch (...) {
+      record_failure(std::current_exception());
+      return false;
+    }
+  }
+}
 
 void ExecContext::worker(unsigned me) {
   joined.fetch_add(1, std::memory_order_relaxed);
@@ -212,7 +312,8 @@ void ExecContext::worker(unsigned me) {
   auto park_us = std::chrono::microseconds(50);
   for (;;) {
     if (completed.load(std::memory_order_acquire) >= n ||
-        failed.load(std::memory_order_relaxed)) {
+        failed.load(std::memory_order_relaxed) ||
+        draining.load(std::memory_order_acquire)) {
       return;
     }
     const std::uint64_t epoch_before =
@@ -231,7 +332,8 @@ void ExecContext::worker(unsigned me) {
         idle_cv.wait_for(lock, park_us, [&] {
           return wake_epoch.load(std::memory_order_acquire) != epoch_before ||
                  completed.load(std::memory_order_acquire) >= n ||
-                 failed.load(std::memory_order_relaxed);
+                 failed.load(std::memory_order_relaxed) ||
+                 draining.load(std::memory_order_acquire);
         });
       }
       sleepers.fetch_sub(1, std::memory_order_acq_rel);
@@ -244,15 +346,21 @@ void ExecContext::worker(unsigned me) {
     idle_spins = 0;
     park_us = std::chrono::microseconds(50);
 
+    // Budget gate: claim an execution slot before running. An over-budget
+    // claim re-queues the task untouched and drains the run — the caller
+    // checkpoints the done bitmap and resumes with a fresh execute().
+    if (options.task_budget > 0 &&
+        budget_claims.fetch_add(1, std::memory_order_acq_rel) >=
+            options.task_budget) {
+      my.deque.push(id);
+      draining.store(true, std::memory_order_release);
+      wake_workers();
+      return;
+    }
+
     const Task& t = graph.task(id);
     const double t0 = clock.seconds();
-    try {
-      if (t.fn) t.fn();
-    } catch (...) {
-      {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!failed.exchange(true)) first_error = std::current_exception();
-      }
+    if (!run_with_retry(my, id, t)) {
       completed.fetch_add(1, std::memory_order_release);
       wake_workers();  // parked workers must observe the failure
       return;
@@ -275,6 +383,13 @@ void ExecContext::worker(unsigned me) {
     for (TaskId succ : t.successors) {
       if (remaining_preds[static_cast<std::size_t>(succ)].fetch_sub(
               1, std::memory_order_acq_rel) == 1) {
+        // A checkpoint-pruned successor can reach zero here when its only
+        // unpruned predecessors (e.g. CONVERT producers) complete: its done
+        // flag is already set and it must not run again.
+        if (done[static_cast<std::size_t>(succ)].load(
+                std::memory_order_acquire) != 0) {
+          continue;
+        }
         if (n_ready < 16) {
           ready_buf[n_ready++] = succ;
         } else {
@@ -299,6 +414,7 @@ void ExecContext::worker(unsigned me) {
       push_ready(me, succ);
       pushed = true;
     }
+    done[static_cast<std::size_t>(id)].store(1, std::memory_order_release);
     completed.fetch_add(1, std::memory_order_release);
     // New ready work (stealable from this queue) or global completion:
     // either way parked workers need a look.
@@ -336,7 +452,14 @@ RunStats execute(const TaskGraph& graph, const SchedulerOptions& options,
   {
     std::vector<TaskId> roots;
     for (index_t i = 0; i < n; ++i) {
-      if (graph.task(i).num_predecessors == 0) roots.push_back(i);
+      // Ready = all predecessors satisfied (counting checkpoint-pruned ones)
+      // and not itself already done.
+      if (ctx.remaining_preds[static_cast<std::size_t>(i)].load(
+              std::memory_order_relaxed) == 0 &&
+          ctx.done[static_cast<std::size_t>(i)].load(
+              std::memory_order_relaxed) == 0) {
+        roots.push_back(i);
+      }
     }
     std::stable_sort(roots.begin(), roots.end(), [&](TaskId a, TaskId b) {
       return graph.task(a).priority > graph.task(b).priority;
@@ -364,7 +487,13 @@ RunStats execute(const TaskGraph& graph, const SchedulerOptions& options,
 
   stats.seconds = global.seconds();
   stats.threads = std::max(1u, ctx.joined.load());
-  stats.tasks_executed = ctx.completed.load();
+  stats.tasks_executed = ctx.completed.load() - ctx.pre_done;
+  stats.finished_all = ctx.completed.load() >= n;
+  stats.done.resize(static_cast<std::size_t>(n), 0);
+  for (index_t i = 0; i < n; ++i) {
+    stats.done[static_cast<std::size_t>(i)] =
+        ctx.done[static_cast<std::size_t>(i)].load(std::memory_order_acquire);
+  }
   stats.worker_busy_seconds.resize(participants, 0.0);
   for (unsigned w = 0; w < participants; ++w) {
     const WorkerState& ws = *ctx.workers[w];
@@ -373,6 +502,8 @@ RunStats execute(const TaskGraph& graph, const SchedulerOptions& options,
     stats.counters.parks += ws.parks;
     stats.counters.affinity_hits += ws.affinity_hits;
     stats.counters.affinity_misses += ws.affinity_misses;
+    stats.counters.transient_retries += ws.transient_retries;
+    stats.counters.recoveries += ws.recoveries;
     stats.worker_busy_seconds[w] = ws.busy;
     stats.busy_seconds += ws.busy;
   }
@@ -382,7 +513,9 @@ RunStats execute(const TaskGraph& graph, const SchedulerOptions& options,
     trace->set_counters(stats.counters);
   }
   if (ctx.failed && ctx.first_error) std::rethrow_exception(ctx.first_error);
-  EXACLIM_NUMERIC_CHECK(stats.tasks_executed == n,
+  // A budgeted run may legally quiesce early; an unbudgeted one must drain
+  // the whole graph.
+  EXACLIM_NUMERIC_CHECK(options.task_budget > 0 || stats.finished_all,
                         "scheduler finished without executing every task");
   return stats;
 }

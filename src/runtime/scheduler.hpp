@@ -14,6 +14,7 @@
 // in priority order.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "runtime/task_graph.hpp"
@@ -21,17 +22,43 @@
 
 namespace exaclim::runtime {
 
+/// How the scheduler responds to task exceptions. TransientError gets bounded
+/// in-place retry with exponential backoff; other exceptions consult the
+/// task's own `recover` hook up to `max_recover_attempts` times before a
+/// structured TaskFailure propagates.
+struct RetryPolicy {
+  int max_transient_attempts = 4;  ///< total tries for a TransientError task
+  int max_recover_attempts = 8;    ///< recover-hook invocations before giving up
+  int backoff_us = 100;            ///< first transient backoff; doubles per retry
+};
+
 struct SchedulerOptions {
   unsigned threads = 0;   ///< 0 = one participant per team slot (hw concurrency)
   bool collect_trace = false;
+  RetryPolicy retry;
+  /// Stop dispatching after this many newly-executed tasks (0 = unlimited).
+  /// The run then quiesces at a task boundary; RunStats::done records which
+  /// tasks have completed so the caller can checkpoint and call execute()
+  /// again with that bitmap as `already_done`.
+  index_t task_budget = 0;
+  /// Tasks already satisfied (e.g. restored from a checkpoint): a byte per
+  /// task in graph order, non-zero = done. The scheduler prunes them — their
+  /// dependents see them as completed and they are never dispatched.
+  const std::vector<std::uint8_t>* already_done = nullptr;
 };
 
 struct RunStats {
   double seconds = 0.0;
-  index_t tasks_executed = 0;
+  index_t tasks_executed = 0;  ///< tasks newly executed by this call
   index_t steals = 0;         ///< successful steals (== counters.steal_hits)
   double busy_seconds = 0.0;  ///< summed task durations across workers
   unsigned threads = 0;       ///< actual participants (capped by the team)
+  /// Completion bitmap over all graph tasks (pre-done + newly executed);
+  /// feed back as SchedulerOptions::already_done to continue a budgeted run.
+  std::vector<std::uint8_t> done;
+  /// True when every task in the graph has completed (a budgeted run that
+  /// exhausted its budget first reports false).
+  bool finished_all = false;
 
   /// Scheduler health counters: steal hit/miss, park/wake, affinity.
   TraceCounters counters;
@@ -46,10 +73,12 @@ struct RunStats {
   }
 };
 
-/// Executes every task in the graph, respecting dependencies. Rethrows the
-/// first task exception after quiescing the workers. If `trace` is non-null
-/// and options.collect_trace is set, per-task execution records (and park
-/// intervals + run counters) are appended.
+/// Executes every task in the graph, respecting dependencies. Task
+/// exceptions go through the RetryPolicy (transient retry, then the task's
+/// recover hook); the first unrecoverable failure is rethrown as a
+/// structured TaskFailure after quiescing the workers. If `trace` is
+/// non-null and options.collect_trace is set, per-task execution records
+/// (and park intervals + run counters) are appended.
 RunStats execute(const TaskGraph& graph, const SchedulerOptions& options = {},
                  Trace* trace = nullptr);
 

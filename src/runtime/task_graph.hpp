@@ -32,6 +32,20 @@ enum class TaskKind : std::uint8_t {
   Convert,
 };
 
+/// Stable uppercase name for a task kind, used in failure messages and by
+/// the fault injector's kind filter.
+inline const char* task_kind_name(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::Potrf: return "POTRF";
+    case TaskKind::Trsm: return "TRSM";
+    case TaskKind::Syrk: return "SYRK";
+    case TaskKind::Gemm: return "GEMM";
+    case TaskKind::Convert: return "CONVERT";
+    case TaskKind::Generic: break;
+  }
+  return "GENERIC";
+}
+
 /// A submitted task. `fn` may be empty for graphs that are only simulated.
 struct Task {
   std::function<void()> fn;
@@ -46,6 +60,15 @@ struct Task {
   /// Negative = no affinity (scheduler routes by locality of the spawner).
   index_t home_row = -1;
   index_t home_col = -1;
+  /// Optional recovery hook: called by the scheduler when `fn` throws a
+  /// non-transient exception. Gets the 1-based attempt number and the
+  /// exception; returns true if it adjusted state (escalated precision,
+  /// added jitter, restored a snapshot) such that re-running `fn` may
+  /// succeed. Returning false — or being empty — propagates a TaskFailure.
+  std::function<bool(int attempt, const std::exception& error)> recover;
+  /// Optional context hook rendered into TaskFailure messages, e.g. the
+  /// precision the tile had reached when recovery ran out.
+  std::function<std::string()> context;
   std::vector<DataAccess> accesses;
   std::vector<TaskId> successors;   // filled by TaskGraph
   index_t num_predecessors = 0;     // filled by TaskGraph

@@ -1,9 +1,15 @@
 #include "runtime/tiled_cholesky_rt.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "common/checksum.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "linalg/kernels.hpp"
+#include "runtime/checkpoint.hpp"
+#include "runtime/failure.hpp"
 
 namespace exaclim::runtime {
 
@@ -12,6 +18,14 @@ using linalg::Precision;
 using linalg::TileBuffer;
 
 namespace {
+
+/// Per-diagonal-tile recovery state shared between a POTRF body and its
+/// recover hook. `snapshot` holds the pre-factorization tile values in
+/// double (empty until first needed); `jitters` counts ladder rungs taken.
+struct PotrfFtState {
+  std::vector<double> snapshot;
+  int jitters = 0;
+};
 
 /// Resolves an operand pointer at task-execution time. `copy` non-null means
 /// a sender-side converted buffer exists; otherwise either the storage
@@ -103,6 +117,14 @@ DataHandle CholeskyGraph::ensure_convert(index_t i, index_t j, Repr repr,
       }
       break;
   }
+  if (ft_.integrity_checks) {
+    // A CONVERT's output is a private copy buffer (not checksummed), but the
+    // tile it reads must still be intact.
+    body = [this, i, j, inner = std::move(body)] {
+      verify_tile_crc(i, j, "read");
+      inner();
+    };
+  }
   Task task;
   task.fn = std::move(body);
   task.name = "CONVERT(" + std::to_string(i) + "," + std::to_string(j) + ")";
@@ -120,17 +142,91 @@ DataHandle CholeskyGraph::ensure_convert(index_t i, index_t j, Repr repr,
 }
 
 CholeskyGraph::CholeskyGraph(linalg::TiledSymmetricMatrix& a,
-                             ConversionPlacement placement)
-    : a_(a), placement_(placement) {
+                             ConversionPlacement placement,
+                             const FaultToleranceOptions& ft)
+    : a_(a), placement_(placement), ft_(ft) {
   const index_t nt = a_.num_tile_rows();
-  tile_handles_.reserve(static_cast<std::size_t>(nt * (nt + 1) / 2));
+  const auto num_tiles = static_cast<std::size_t>(nt * (nt + 1) / 2);
+  tile_handles_.reserve(num_tiles);
   for (index_t i = 0; i < nt; ++i) {
     for (index_t j = 0; j <= i; ++j) {
       tile_handles_.push_back(graph_.create_handle(
           "tile(" + std::to_string(i) + "," + std::to_string(j) + ")"));
     }
   }
+  if (ft_.integrity_checks) {
+    tile_crcs_ = std::vector<std::atomic<std::uint32_t>>(num_tiles);
+    tile_crc_valid_ = std::vector<std::atomic<std::uint8_t>>(num_tiles);
+    for (std::size_t t = 0; t < num_tiles; ++t) {
+      tile_crcs_[t].store(0, std::memory_order_relaxed);
+      tile_crc_valid_[t].store(0, std::memory_order_relaxed);
+    }
+  }
   build();
+}
+
+void CholeskyGraph::record_tile_crc(index_t i, index_t j) {
+  const auto idx = static_cast<std::size_t>(i * (i + 1) / 2 + j);
+  const TileBuffer& t = a_.tile(i, j);
+  tile_crcs_[idx].store(common::crc32c(t.raw_bytes(), t.raw_size()),
+                        std::memory_order_release);
+  tile_crc_valid_[idx].store(1, std::memory_order_release);
+}
+
+void CholeskyGraph::verify_tile_crc(index_t i, index_t j,
+                                    const char* when) const {
+  const auto idx = static_cast<std::size_t>(i * (i + 1) / 2 + j);
+  if (tile_crc_valid_[idx].load(std::memory_order_acquire) == 0) return;
+  const TileBuffer& t = a_.tile(i, j);
+  const std::uint32_t actual = common::crc32c(t.raw_bytes(), t.raw_size());
+  if (actual != tile_crcs_[idx].load(std::memory_order_acquire)) {
+    throw TaskFailure(
+        "INTEGRITY", i, j, 1, "precision " + linalg::precision_name(t.precision()),
+        std::string("tile payload checksum mismatch detected on ") + when +
+            " (bit corruption)");
+  }
+}
+
+void CholeskyGraph::seed_tile_checksums() {
+  const index_t nt = a_.num_tile_rows();
+  for (index_t i = 0; i < nt; ++i) {
+    for (index_t j = 0; j <= i; ++j) record_tile_crc(i, j);
+  }
+}
+
+void CholeskyGraph::verify_tile_checksums() const {
+  const index_t nt = a_.num_tile_rows();
+  for (index_t i = 0; i < nt; ++i) {
+    for (index_t j = 0; j <= i; ++j) verify_tile_crc(i, j, "the final sweep");
+  }
+}
+
+std::function<void()> CholeskyGraph::guard(
+    std::function<void()> body, TaskKind kind,
+    std::vector<std::pair<index_t, index_t>> reads, index_t out_i,
+    index_t out_j, std::uint64_t salt) {
+  if (!ft_.enabled && !ft_.integrity_checks) return body;
+  return [this, body = std::move(body), kind, reads = std::move(reads), out_i,
+          out_j, salt] {
+    // Context makes any NumericalError out of the kernels name the tile.
+    const linalg::ScopedTileContext ctx(out_i, out_j,
+                                        a_.tile(out_i, out_j).precision());
+    if (!ft_.integrity_checks) {
+      body();
+      return;
+    }
+    for (const auto& [ri, rj] : reads) verify_tile_crc(ri, rj, "read");
+    verify_tile_crc(out_i, out_j, "update");
+    body();
+    record_tile_crc(out_i, out_j);
+    // Post-write corruption window: the recorded CRC predates the flip, so
+    // the next reader (or the final sweep) detects it — corruption can slip
+    // through silently only if nothing ever checks, which the sweep forbids.
+    TileBuffer& out = a_.tile(out_i, out_j);
+    common::FaultInjector::instance().maybe_bitflip(
+        salt, task_kind_name(kind), out_i, out_j, out.raw_bytes(),
+        out.raw_size());
+  };
 }
 
 void CholeskyGraph::build() {
@@ -206,7 +302,7 @@ void CholeskyGraph::build() {
       const index_t n = t.rows();
       task.weight = static_cast<double>(n) * static_cast<double>(n) *
                     static_cast<double>(n) / 3.0;
-      task.fn = [&t, n] {
+      std::function<void()> body = [&t, n] {
         if (t.precision() == Precision::FP64) {
           linalg::potrf_lower_f64(t.f64(), n);
         } else {
@@ -216,8 +312,69 @@ void CholeskyGraph::build() {
           t.load_f64(scratch.data());
         }
       };
+      if (ft_.enabled) {
+        auto st = std::make_shared<PotrfFtState>();
+        // Capture the pre-factorization values before the in-place kernel
+        // can scramble them; the snapshot is what every recovery rung
+        // restores from. An empty snapshot in recover() means the body never
+        // started (fault injected pre-body), so the tile itself is pristine.
+        body = [&t, n, st, inner = std::move(body)] {
+          if (st->snapshot.empty()) {
+            st->snapshot.resize(static_cast<std::size_t>(n * n));
+            t.store_f64(st->snapshot.data());
+          }
+          inner();
+        };
+        task.recover = [this, &t, n, k, st](int /*attempt*/,
+                                            const std::exception& e) -> bool {
+          // Only numerical failures have a numerical remedy; anything else
+          // (bad_alloc, integrity failures, logic errors) must propagate.
+          if (dynamic_cast<const NumericalError*>(&e) == nullptr) return false;
+          if (st->snapshot.empty()) {
+            st->snapshot.resize(static_cast<std::size_t>(n * n));
+            t.store_f64(st->snapshot.data());
+          }
+          if (t.precision() != Precision::FP64) {
+            // Escalation ladder stage 1: widen the storage (f16 -> f32 ->
+            // f64) and restore the original values at the new precision.
+            t.convert_to(t.precision() == Precision::FP16 ? Precision::FP32
+                                                          : Precision::FP64);
+            t.load_f64(st->snapshot.data());
+            precision_escalations_.fetch_add(1, std::memory_order_relaxed);
+            if (ft_.integrity_checks) record_tile_crc(k, k);
+            return true;
+          }
+          // Stage 2: the solve.cpp jitter ladder at tile granularity —
+          // restore the snapshot and add a diagonal shift that grows x10
+          // per rung, scaled to the tile's diagonal magnitude.
+          if (st->jitters >= ft_.max_jitter_tries) return false;
+          double diag_scale = 0.0;
+          for (index_t r = 0; r < n; ++r) {
+            diag_scale = std::max(
+                diag_scale,
+                std::abs(st->snapshot[static_cast<std::size_t>(r * n + r)]));
+          }
+          if (diag_scale <= 0.0) diag_scale = 1.0;
+          const double eps = ft_.jitter_base * diag_scale *
+                             std::pow(10.0, static_cast<double>(st->jitters));
+          ++st->jitters;
+          std::vector<double> work = st->snapshot;
+          for (index_t r = 0; r < n; ++r) {
+            work[static_cast<std::size_t>(r * n + r)] += eps;
+          }
+          t.load_f64(work.data());
+          jitter_escalations_.fetch_add(1, std::memory_order_relaxed);
+          if (ft_.integrity_checks) record_tile_crc(k, k);
+          return true;
+        };
+        task.context = [&t] {
+          return "precision " + linalg::precision_name(t.precision());
+        };
+      }
+      task.fn = guard(std::move(body), TaskKind::Potrf, {}, k, k,
+                      static_cast<std::uint64_t>(kernel_ids_.size()));
       task.accesses = {{tile_handle(k, k), Access::ReadWrite}};
-      graph_.submit(std::move(task));
+      kernel_ids_.push_back(graph_.submit(std::move(task)));
     }
 
     for (index_t i = k + 1; i < nt; ++i) {
@@ -241,7 +398,8 @@ void CholeskyGraph::build() {
       const index_t n = b.cols();
       task.weight = static_cast<double>(m) * static_cast<double>(n) *
                     static_cast<double>(n);
-      task.fn = [&b, &diag, l_copy, resolve, m, n, bp, l_repr] {
+      std::function<void()> body = [&b, &diag, l_copy, resolve, m, n, bp,
+                                    l_repr] {
         std::vector<double> ds;
         std::vector<float> fs;
         std::vector<common::half> hs;
@@ -269,9 +427,11 @@ void CholeskyGraph::build() {
           }
         }
       };
+      task.fn = guard(std::move(body), TaskKind::Trsm, {{k, k}}, i, k,
+                      static_cast<std::uint64_t>(kernel_ids_.size()));
       task.accesses = {{l_handle, Access::Read},
                        {tile_handle(i, k), Access::ReadWrite}};
-      graph_.submit(std::move(task));
+      kernel_ids_.push_back(graph_.submit(std::move(task)));
     }
 
     for (index_t i = k + 1; i < nt; ++i) {
@@ -296,7 +456,8 @@ void CholeskyGraph::build() {
         task.weight =
             static_cast<double>(m) * static_cast<double>(m) * kk;
         const Precision cp = c.precision();
-        task.fn = [&c, &in, in_copy, resolve, m, kk, cp, repr] {
+        std::function<void()> body = [&c, &in, in_copy, resolve, m, kk, cp,
+                                      repr] {
           std::vector<double> ds;
           std::vector<float> fs;
           std::vector<common::half> hs;
@@ -325,9 +486,11 @@ void CholeskyGraph::build() {
             }
           }
         };
+        task.fn = guard(std::move(body), TaskKind::Syrk, {{i, k}}, i, i,
+                        static_cast<std::uint64_t>(kernel_ids_.size()));
         task.accesses = {{in_handle, Access::Read},
                          {tile_handle(i, i), Access::ReadWrite}};
-        graph_.submit(std::move(task));
+        kernel_ids_.push_back(graph_.submit(std::move(task)));
       }
 
       // GEMM(i,j,k): C(i,j) -= A(i,k) B(j,k)^T in C's precision class.
@@ -357,8 +520,8 @@ void CholeskyGraph::build() {
         task.weight = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
                       static_cast<double>(kk);
         const Precision cp = c.precision();
-        task.fn = [&c, &ain, &bin, a_copy, b_copy, resolve, m, n, kk, cp,
-                   repr] {
+        std::function<void()> body = [&c, &ain, &bin, a_copy, b_copy, resolve,
+                                      m, n, kk, cp, repr] {
           std::vector<double> dsa, dsb;
           std::vector<float> fsa, fsb;
           std::vector<common::half> hsa, hsb;
@@ -392,29 +555,122 @@ void CholeskyGraph::build() {
             }
           }
         };
+        task.fn = guard(std::move(body), TaskKind::Gemm, {{i, k}, {j, k}}, i,
+                        j, static_cast<std::uint64_t>(kernel_ids_.size()));
         task.accesses = {{a_handle, Access::Read},
                          {b_handle, Access::Read},
                          {tile_handle(i, j), Access::ReadWrite}};
-        graph_.submit(std::move(task));
+        kernel_ids_.push_back(graph_.submit(std::move(task)));
       }
     }
   }
 }
 
+namespace {
+
+/// Accumulates per-round scheduler stats across a checkpointed run.
+void merge_run_stats(RunStats& total, const RunStats& round) {
+  total.seconds += round.seconds;
+  total.tasks_executed += round.tasks_executed;
+  total.steals += round.steals;
+  total.busy_seconds += round.busy_seconds;
+  total.threads = std::max(total.threads, round.threads);
+  total.counters.steal_hits += round.counters.steal_hits;
+  total.counters.steal_misses += round.counters.steal_misses;
+  total.counters.parks += round.counters.parks;
+  total.counters.wakes += round.counters.wakes;
+  total.counters.affinity_hits += round.counters.affinity_hits;
+  total.counters.affinity_misses += round.counters.affinity_misses;
+  total.counters.transient_retries += round.counters.transient_retries;
+  total.counters.recoveries += round.counters.recoveries;
+  if (total.worker_busy_seconds.size() < round.worker_busy_seconds.size()) {
+    total.worker_busy_seconds.resize(round.worker_busy_seconds.size(), 0.0);
+  }
+  for (std::size_t w = 0; w < round.worker_busy_seconds.size(); ++w) {
+    total.worker_busy_seconds[w] += round.worker_busy_seconds[w];
+  }
+  total.done = round.done;
+  total.finished_all = round.finished_all;
+}
+
+}  // namespace
+
 RtCholeskyResult cholesky_tiled_parallel(linalg::TiledSymmetricMatrix& a,
                                          const RtCholeskyOptions& options,
                                          Trace* trace) {
-  CholeskyGraph builder(a, options.placement);
+  const FaultToleranceOptions& ft = options.ft;
+  RtCholeskyResult result;
+
+  // Restore BEFORE building the graph: a checkpoint may carry escalated
+  // diagonal precisions, and the builder captures tile precisions (and
+  // places CONVERT tasks) from the tiles as they are now.
+  std::vector<std::uint8_t> kernel_done;
+  if (!ft.resume_path.empty()) {
+    kernel_done = read_cholesky_checkpoint(ft.resume_path, a);
+    result.resumed = true;
+  }
+
+  CholeskyGraph builder(a, options.placement, ft);
   EXACLIM_CHECK(builder.graph().validate(), "Cholesky DAG failed validation");
+  const std::vector<TaskId>& kernel_ids = builder.kernel_task_ids();
+  const index_t num_tasks = builder.graph().num_tasks();
+
+  std::vector<std::uint8_t> already(static_cast<std::size_t>(num_tasks), 0);
+  bool have_already = false;
+  if (result.resumed) {
+    EXACLIM_CHECK(kernel_done.size() == kernel_ids.size(),
+                  "checkpoint kernel-task count does not match this "
+                  "factorization's graph");
+    // Prune only kernel tasks. CONVERT tasks re-run from the restored tiles:
+    // their in-memory outputs were not persisted, and re-running them is
+    // deterministic and cheap.
+    for (std::size_t s = 0; s < kernel_done.size(); ++s) {
+      if (kernel_done[s] != 0) {
+        already[static_cast<std::size_t>(kernel_ids[s])] = 1;
+      }
+    }
+    have_already = true;
+  }
+  if (ft.integrity_checks) builder.seed_tile_checksums();
+
   SchedulerOptions sched;
   sched.threads = options.threads;
   sched.collect_trace = options.collect_trace;
-  RtCholeskyResult result;
-  result.run = execute(builder.graph(), sched, trace);
-  result.total_tasks = builder.graph().num_tasks();
+  const bool periodic =
+      !ft.checkpoint_path.empty() && ft.checkpoint_every > 0;
+  sched.task_budget = periodic ? ft.checkpoint_every : 0;
+
+  auto write_ckpt = [&](const std::vector<std::uint8_t>& done) {
+    std::vector<std::uint8_t> kd(kernel_ids.size(), 0);
+    for (std::size_t s = 0; s < kd.size(); ++s) {
+      kd[s] = done[static_cast<std::size_t>(kernel_ids[s])];
+    }
+    write_cholesky_checkpoint(ft.checkpoint_path, a, kd);
+    ++result.checkpoints_written;
+  };
+
+  // Budgeted rounds: each execute() quiesces at a task boundary, which is
+  // the crash-consistent point to snapshot the frontier + tile payloads.
+  for (;;) {
+    sched.already_done = have_already ? &already : nullptr;
+    RunStats round = execute(builder.graph(), sched, trace);
+    merge_run_stats(result.run, round);
+    if (periodic) write_ckpt(round.done);
+    if (round.finished_all) break;
+    already = std::move(round.done);
+    have_already = true;
+  }
+  if (!ft.checkpoint_path.empty() && !periodic) {
+    write_ckpt(result.run.done);
+  }
+  if (ft.integrity_checks) builder.verify_tile_checksums();
+
+  result.total_tasks = num_tasks;
   result.convert_tasks = builder.convert_tasks();
   result.element_conversions = builder.element_conversions();
   result.critical_path_tasks = builder.graph().critical_path_tasks();
+  result.precision_escalations = builder.precision_escalations();
+  result.jitter_escalations = builder.jitter_escalations();
   return result;
 }
 

@@ -15,8 +15,11 @@
 // the analytic cluster model against a real DAG.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 
 #include "linalg/cholesky.hpp"
 #include "linalg/tile_matrix.hpp"
@@ -25,10 +28,35 @@
 
 namespace exaclim::runtime {
 
+/// Fault-tolerance knobs for the tiled factorization. All off by default:
+/// the library behaves exactly as before unless a caller opts in.
+struct FaultToleranceOptions {
+  /// Task-level recovery: a diagonal POTRF that throws NumericalError
+  /// retries with precision escalation (f16 -> f32 -> f64) and then a
+  /// bounded diagonal-jitter ladder (the solve.cpp policy at tile
+  /// granularity) before a structured TaskFailure propagates.
+  bool enabled = false;
+  /// CRC32C tile-payload guards: each task verifies the tiles it reads and
+  /// re-records the tile it writes, plus a whole-matrix sweep before and
+  /// after the run, so silent bit corruption becomes a structured failure.
+  bool integrity_checks = false;
+  int max_jitter_tries = 6;    ///< jitter ladder length (x10 per rung)
+  double jitter_base = 1e-10;  ///< first rung, relative to the diagonal scale
+  /// Checkpoint/restart: when `checkpoint_path` is set the run snapshots the
+  /// completed-task frontier plus tile payloads every `checkpoint_every`
+  /// newly-executed tasks (0 = once, at completion). `resume_path` restores
+  /// tiles from a prior checkpoint and prunes its completed tasks from the
+  /// rebuilt graph before executing the remainder.
+  std::string checkpoint_path;
+  index_t checkpoint_every = 0;
+  std::string resume_path;
+};
+
 struct RtCholeskyOptions {
   linalg::ConversionPlacement placement = linalg::ConversionPlacement::Sender;
   unsigned threads = 0;  ///< 0 = hardware concurrency
   bool collect_trace = false;
+  FaultToleranceOptions ft;
 };
 
 struct RtCholeskyResult {
@@ -37,6 +65,10 @@ struct RtCholeskyResult {
   index_t convert_tasks = 0;
   double element_conversions = 0.0;
   index_t critical_path_tasks = 0;
+  index_t precision_escalations = 0;  ///< POTRF tiles widened after failure
+  index_t jitter_escalations = 0;     ///< POTRF jitter-ladder rungs taken
+  index_t checkpoints_written = 0;
+  bool resumed = false;               ///< tiles restored from resume_path
 };
 
 /// Factorizes `a` in place in parallel. Throws NumericalError if a diagonal
@@ -50,12 +82,34 @@ RtCholeskyResult cholesky_tiled_parallel(linalg::TiledSymmetricMatrix& a,
 class CholeskyGraph {
  public:
   CholeskyGraph(linalg::TiledSymmetricMatrix& a,
-                linalg::ConversionPlacement placement);
+                linalg::ConversionPlacement placement,
+                const FaultToleranceOptions& ft = {});
 
   TaskGraph& graph() { return graph_; }
   const TaskGraph& graph() const { return graph_; }
   index_t convert_tasks() const { return convert_tasks_; }
   double element_conversions() const { return element_conversions_; }
+
+  /// Kernel (non-CONVERT) task ids in submission order. This sequence
+  /// depends only on the tile count, never on precision-driven CONVERT
+  /// placement, so it is the stable coordinate system checkpoints use to
+  /// record the completed-task frontier across graph rebuilds.
+  const std::vector<TaskId>& kernel_task_ids() const { return kernel_ids_; }
+
+  index_t precision_escalations() const {
+    return precision_escalations_.load(std::memory_order_relaxed);
+  }
+  index_t jitter_escalations() const {
+    return jitter_escalations_.load(std::memory_order_relaxed);
+  }
+
+  /// Records the current CRC32C of every tile (integrity mode): the trusted
+  /// baseline before a run, and after a checkpoint restore.
+  void seed_tile_checksums();
+  /// Verifies every tile against its recorded CRC32C; throws a structured
+  /// TaskFailure on the first mismatch. Catches corruption in tiles no
+  /// remaining task would otherwise read (e.g. the last diagonal).
+  void verify_tile_checksums() const;
 
  private:
   struct Copy {
@@ -88,13 +142,33 @@ class CholeskyGraph {
 
   void build();
 
+  /// Wraps a kernel-task body with integrity guards (no-op unless
+  /// ft_.integrity_checks): verify the CRCs of `reads` and of the output
+  /// tile, run the body, re-record the output tile's CRC, then give the
+  /// fault injector its post-write corruption window.
+  std::function<void()> guard(std::function<void()> body, TaskKind kind,
+                              std::vector<std::pair<index_t, index_t>> reads,
+                              index_t out_i, index_t out_j,
+                              std::uint64_t salt);
+  void record_tile_crc(index_t i, index_t j);
+  void verify_tile_crc(index_t i, index_t j, const char* when) const;
+
   linalg::TiledSymmetricMatrix& a_;
   linalg::ConversionPlacement placement_;
+  FaultToleranceOptions ft_;
   TaskGraph graph_;
   std::vector<DataHandle> tile_handles_;
   std::map<std::tuple<index_t, index_t, int>, std::unique_ptr<CopySlot>> copies_;
+  std::vector<TaskId> kernel_ids_;
   index_t convert_tasks_ = 0;
   double element_conversions_ = 0.0;
+  std::atomic<index_t> precision_escalations_{0};
+  std::atomic<index_t> jitter_escalations_{0};
+  /// Per-tile trusted CRC32C (packed lower triangle) + validity flags;
+  /// written under the DAG's tile-dependency serialization, so no two tasks
+  /// race on one tile's entry.
+  mutable std::vector<std::atomic<std::uint32_t>> tile_crcs_;
+  mutable std::vector<std::atomic<std::uint8_t>> tile_crc_valid_;
 };
 
 }  // namespace exaclim::runtime

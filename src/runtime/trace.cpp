@@ -41,7 +41,9 @@ void Trace::write_chrome_json(const std::string& path) const {
       << ",\"steal_misses\":" << counters_.steal_misses
       << ",\"parks\":" << counters_.parks << ",\"wakes\":" << counters_.wakes
       << ",\"affinity_hits\":" << counters_.affinity_hits
-      << ",\"affinity_misses\":" << counters_.affinity_misses << "}}";
+      << ",\"affinity_misses\":" << counters_.affinity_misses
+      << ",\"transient_retries\":" << counters_.transient_retries
+      << ",\"recoveries\":" << counters_.recoveries << "}}";
   out << "]}\n";
   if (!out) throw IoError("trace write failed: " + path);
 }

@@ -33,6 +33,8 @@ struct TraceCounters {
   index_t wakes = 0;
   index_t affinity_hits = 0;
   index_t affinity_misses = 0;
+  index_t transient_retries = 0;  ///< task re-runs after a TransientError
+  index_t recoveries = 0;         ///< successful task recover-hook invocations
 };
 
 class Trace {

@@ -12,6 +12,7 @@
 
 #include "common/rng.hpp"
 #include "linalg/precision_policy.hpp"
+#include "runtime/failure.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/task_graph.hpp"
 #include "runtime/tiled_cholesky_rt.hpp"
@@ -192,7 +193,15 @@ TEST(Scheduler, PropagatesTaskExceptions) {
   g.submit(make_task([] {}, {{h, Access::Read}}));
   SchedulerOptions opt;
   opt.threads = 4;
-  EXPECT_THROW(execute(g, opt), NumericalError);
+  // Unrecoverable task errors surface as a structured TaskFailure that keeps
+  // the original message as the cause.
+  try {
+    execute(g, opt);
+    FAIL() << "expected TaskFailure";
+  } catch (const TaskFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("bad pivot"), std::string::npos);
+    EXPECT_EQ(e.attempts(), 1);
+  }
 }
 
 TEST(Scheduler, EmptyGraphIsFine) {
@@ -371,7 +380,14 @@ TEST(RtCholesky, PropagatesNonPdFailure) {
       a, 32, linalg::make_band_policy(4, linalg::PrecisionVariant::DP));
   RtCholeskyOptions opt;
   opt.threads = 4;
-  EXPECT_THROW(cholesky_tiled_parallel(tiled, opt), NumericalError);
+  try {
+    cholesky_tiled_parallel(tiled, opt);
+    FAIL() << "expected TaskFailure";
+  } catch (const TaskFailure& e) {
+    EXPECT_EQ(e.kind(), "POTRF");
+    EXPECT_EQ(e.row(), 0);
+    EXPECT_EQ(e.col(), 0);
+  }
 }
 
 }  // namespace

@@ -19,6 +19,7 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "common/work_steal_deque.hpp"
+#include "runtime/failure.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/task_graph.hpp"
 
@@ -151,7 +152,7 @@ TEST(SchedulerStress, ExceptionPropagatesAcrossStolenTasks) {
   }
   runtime::SchedulerOptions opt;
   opt.threads = 8;
-  EXPECT_THROW(runtime::execute(g, opt), NumericalError);
+  EXPECT_THROW(runtime::execute(g, opt), runtime::TaskFailure);
 
   // The team must be clean for the next run.
   runtime::TaskGraph g2;
