@@ -7,7 +7,10 @@
 //                        [--variant DP|DP/SP|DP/SP/HP|DP/HP]
 //                        [--factor-storage fp64|fp32|fp16]
 //                        [--checkpoint path] [--checkpoint-every N]
+//                        [--checkpoint-sync full|data|none]
 //                        [--resume path] [--fault-tolerance 0|1]
+//                        [--validate 0|1] [--quarantine 0|1]
+//                        [--valid-range MIN,MAX] [--stall-timeout SECONDS]
 //   exaclim_cli emulate  --model model.bin --out emu.bin --steps N
 //                        [--ensembles R] [--seed S]
 //   exaclim_cli info     --file <dataset-or-model>
@@ -18,7 +21,12 @@
 // core pinning of the team's workers (default: off, or the EXACLIM_PIN env
 // var); --faults <spec> arms the deterministic fault injector (see
 // common/fault.hpp for the spec grammar; default: the EXACLIM_FAULTS env
-// var).
+// var); --mem-budget SIZE caps tracked allocations (tiles, scratch arenas,
+// checkpoint images) at SIZE bytes, accepting K/M/G suffixes (default:
+// unlimited, or the EXACLIM_MEM_BUDGET env var). Over-budget allocations
+// first trigger graceful degradation (retired deque rings dropped, scratch
+// arenas trimmed, eligible off-diagonal tiles stored at fp16) and only then
+// fail with a structured ResourceError naming the allocation site.
 //
 // Checkpointing (train): --checkpoint writes a crash-consistent snapshot of
 // the Cholesky every --checkpoint-every newly-executed kernel tasks (0 =
@@ -38,6 +46,7 @@
 #include "climate/synthetic_esm.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/memory.hpp"
 #include "common/thread_pool.hpp"
 #include "core/consistency.hpp"
 #include "core/emulator.hpp"
@@ -92,6 +101,56 @@ std::string get_or_env(const std::map<std::string, std::string>& args,
   if (it != args.end()) return it->second;
   const char* v = std::getenv(env);
   return v != nullptr ? std::string(v) : fallback;
+}
+
+double get_double(const std::map<std::string, std::string>& args,
+                  const std::string& key, double fallback) {
+  auto it = args.find(key);
+  if (it == args.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw InvalidArgument("");
+    return v;
+  } catch (const std::exception&) {
+    throw InvalidArgument("flag --" + key + " expects a number, got '" +
+                          it->second + "'");
+  }
+}
+
+/// Parses a byte size with an optional K/M/G suffix (powers of 1024, case
+/// insensitive). "0" means unlimited. Rejects negative values, unknown
+/// suffixes and trailing junk.
+std::size_t parse_mem_budget(const std::string& text) {
+  std::size_t pos = 0;
+  long long v = 0;
+  try {
+    v = std::stoll(text, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos == 0 || v < 0) {
+    throw InvalidArgument(
+        "--mem-budget expects a non-negative size with an optional K/M/G "
+        "suffix, got '" + text + "'");
+  }
+  std::size_t scale = 1;
+  if (pos < text.size()) {
+    if (pos + 1 != text.size()) {
+      throw InvalidArgument("--mem-budget has trailing characters after the "
+                            "size suffix in '" + text + "'");
+    }
+    switch (text[pos]) {
+      case 'k': case 'K': scale = 1ull << 10; break;
+      case 'm': case 'M': scale = 1ull << 20; break;
+      case 'g': case 'G': scale = 1ull << 30; break;
+      default:
+        throw InvalidArgument(
+            "--mem-budget suffix must be K, M or G, got '" +
+            std::string(1, text[pos]) + "' in '" + text + "'");
+    }
+  }
+  return static_cast<std::size_t>(v) * scale;
 }
 
 index_t get_int(const std::map<std::string, std::string>& args,
@@ -164,23 +223,33 @@ int cmd_train(const std::map<std::string, std::string>& args) {
       get_or_env(args, "checkpoint", "EXACLIM_CHECKPOINT", "");
   cfg.resume_path = get_or_env(args, "resume", "EXACLIM_RESUME", "");
   {
+    // Omitting the flag keeps the once-at-completion default (0); passing it
+    // explicitly demands a periodic interval, so "--checkpoint-every 0" is a
+    // contradiction caught here rather than silently meaning "once".
     const std::string every =
-        get_or_env(args, "checkpoint-every", "EXACLIM_CHECKPOINT_EVERY", "0");
-    try {
+        get_or_env(args, "checkpoint-every", "EXACLIM_CHECKPOINT_EVERY", "");
+    if (!every.empty()) {
+      long long v = 0;
       std::size_t pos = 0;
-      const long long v = std::stoll(every, &pos);
-      if (pos != every.size() || v < 0) throw InvalidArgument("");
+      try {
+        v = std::stoll(every, &pos);
+      } catch (const std::exception&) {
+        pos = 0;
+      }
+      if (pos != every.size() || v <= 0) {
+        throw InvalidArgument(
+            "flag --checkpoint-every expects a positive integer, got '" +
+            every + "' (omit the flag for a single checkpoint at completion)");
+      }
       cfg.checkpoint_every = static_cast<index_t>(v);
-    } catch (const std::exception&) {
-      throw InvalidArgument(
-          "flag --checkpoint-every expects a non-negative integer, got '" +
-          every + "'");
     }
   }
   if (cfg.checkpoint_every > 0 && cfg.checkpoint_path.empty()) {
     throw InvalidArgument(
         "flag --checkpoint-every requires --checkpoint <path>");
   }
+  cfg.checkpoint_sync = common::parse_sync_policy(
+      get_or_env(args, "checkpoint-sync", "EXACLIM_CHECKPOINT_SYNC", "full"));
   const index_t ft = get_int(args, "fault-tolerance",
                              common::FaultInjector::instance().armed() ? 1 : 0);
   if (ft != 0 && ft != 1) {
@@ -188,6 +257,53 @@ int cmd_train(const std::map<std::string, std::string>& args) {
                           args.at("fault-tolerance") + "'");
   }
   cfg.fault_tolerance = ft != 0;
+
+  // Input screening: on by default; --quarantine 1 masks + imputes flagged
+  // cells instead of failing; --valid-range MIN,MAX arms the physical-range
+  // screen (off by default — synthetic fields are already in range).
+  const index_t validate = get_int(args, "validate", 1);
+  if (validate != 0 && validate != 1) {
+    throw InvalidArgument("flag --validate expects 0 or 1, got '" +
+                          args.at("validate") + "'");
+  }
+  cfg.validate_input = validate != 0;
+  const index_t quarantine = get_int(args, "quarantine", 0);
+  if (quarantine != 0 && quarantine != 1) {
+    throw InvalidArgument("flag --quarantine expects 0 or 1, got '" +
+                          args.at("quarantine") + "'");
+  }
+  cfg.quarantine = quarantine != 0;
+  if (args.count("valid-range") != 0) {
+    const std::string range = args.at("valid-range");
+    const auto comma = range.find(',');
+    bool ok = comma != std::string::npos;
+    if (ok) {
+      try {
+        std::size_t pos = 0;
+        cfg.valid_min = std::stod(range.substr(0, comma), &pos);
+        ok = pos == comma;
+        const std::string hi = range.substr(comma + 1);
+        cfg.valid_max = std::stod(hi, &pos);
+        ok = ok && pos == hi.size() && cfg.valid_min < cfg.valid_max;
+      } catch (const std::exception&) {
+        ok = false;
+      }
+    }
+    if (!ok) {
+      throw InvalidArgument(
+          "flag --valid-range expects 'MIN,MAX' with MIN < MAX, got '" +
+          range + "'");
+    }
+  }
+
+  // Stall watchdog: seconds without a completed task before the scheduler
+  // dumps worker state, then (after the grace period) fails with StallError.
+  cfg.stall_timeout_seconds = get_double(args, "stall-timeout", 0.0);
+  if (cfg.stall_timeout_seconds < 0.0) {
+    throw InvalidArgument("flag --stall-timeout expects seconds >= 0, got '" +
+                          args.at("stall-timeout") + "'");
+  }
+  cfg.stall_grace_seconds = get_double(args, "stall-grace", 0.0);
 
   core::ClimateEmulator emulator(cfg);
   const auto forcing = climate::historical_forcing(data.num_years());
@@ -198,6 +314,11 @@ int cmd_train(const std::map<std::string, std::string>& args) {
               static_cast<long long>(cfg.harmonics),
               linalg::variant_name(cfg.cholesky_variant).c_str(),
               report.covariance_deficient ? ", covariance jittered" : "");
+  if (report.validation_flagged > 0) {
+    std::printf("input validation: %lld cell(s) flagged, %lld quarantined\n",
+                static_cast<long long>(report.validation_flagged),
+                static_cast<long long>(report.validation_quarantined));
+  }
   if (report.resumed_from_checkpoint || report.checkpoints_written > 0 ||
       report.precision_escalations > 0 || report.jitter_escalations > 0) {
     std::printf("fault tolerance: %s%lld checkpoint(s) written, "
@@ -301,6 +422,13 @@ void configure_runtime(const std::map<std::string, std::string>& args) {
   if (threads > 0 || pin >= 0) {
     common::WorkerTeam::configure(threads, pin);
   }
+  // Process-wide memory budget for tracked allocations: the flag wins over
+  // EXACLIM_MEM_BUDGET; absent both, the budget stays unlimited.
+  const std::string budget =
+      get_or_env(args, "mem-budget", "EXACLIM_MEM_BUDGET", "");
+  if (!budget.empty()) {
+    common::MemoryBudget::instance().set_budget(parse_mem_budget(budget));
+  }
   // Deterministic fault injection: --faults <spec> wins over EXACLIM_FAULTS.
   // FaultPlan::parse throws InvalidArgument naming the offending key.
   if (args.count("faults") != 0) {
@@ -314,9 +442,12 @@ void configure_runtime(const std::map<std::string, std::string>& args) {
 void usage() {
   std::printf(
       "usage: exaclim_cli <generate|train|emulate|info|verify> [--flags]\n"
-      "       global flags: --threads N, --pin 0|1, --faults <spec>\n"
+      "       global flags: --threads N, --pin 0|1, --faults <spec>,\n"
+      "       --mem-budget SIZE[K|M|G]\n"
       "       train also takes: --checkpoint <path>, --checkpoint-every N,\n"
-      "       --resume <path>, --fault-tolerance 0|1\n"
+      "       --checkpoint-sync full|data|none, --resume <path>,\n"
+      "       --fault-tolerance 0|1, --validate 0|1, --quarantine 0|1,\n"
+      "       --valid-range MIN,MAX, --stall-timeout SECONDS\n"
       "see the header comment of examples/exaclim_cli.cpp for details\n");
 }
 

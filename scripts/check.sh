@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Full robustness gate: the tier-1 build + test sweep, then the concurrency
+# and fault/determinism suites under the sanitizer presets.
+#
+#   scripts/check.sh            # tier-1 + asan + tsan sweeps
+#   scripts/check.sh --tier1    # tier-1 only (what CI must always pass)
+#
+# The asan preset races the fault/recovery paths for lifetime bugs; the tsan
+# preset hunts data races in the work-stealing runtime. Both also run the
+# determinism suite so bit-reproducibility is checked under instrumented
+# schedules, where thread interleavings differ most from release builds.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() { echo "+ $*" >&2; "$@"; }
+
+# --- tier 1: release build, full test suite ----------------------------------
+run cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+run cmake --build build -j
+run ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ "${1:-}" == "--tier1" ]]; then
+  echo "tier-1 sweep passed"
+  exit 0
+fi
+
+# --- sanitizer sweeps over the guarded subsystems ----------------------------
+for preset in asan tsan; do
+  run cmake --preset "$preset"
+  run cmake --build --preset "$preset" -j
+  run ctest --test-dir "build-$preset" --output-on-failure \
+      -L 'fault|determinism|runtime'
+done
+
+echo "all sweeps passed"

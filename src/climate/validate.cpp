@@ -1,0 +1,179 @@
+#include "climate/validate.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "common/parallel.hpp"
+
+namespace exaclim::climate {
+
+const char* to_string(ValidationIssueKind kind) {
+  switch (kind) {
+    case ValidationIssueKind::NonFinite:
+      return "non-finite";
+    case ValidationIssueKind::OutOfRange:
+      return "out-of-range";
+    case ValidationIssueKind::ConstantField:
+      return "constant-field";
+  }
+  return "unknown";
+}
+
+std::string ValidationIssue::describe() const {
+  std::ostringstream os;
+  os << to_string(kind) << " at (ensemble=" << ensemble << ", step=" << step;
+  if (kind != ValidationIssueKind::ConstantField) {
+    os << ", lat=" << lat << ", lon=" << lon << ") value=" << value;
+  } else {
+    os << ") value=" << value;
+  }
+  return os.str();
+}
+
+ValidationError::ValidationError(std::vector<ValidationIssue> issues,
+                                 std::size_t total)
+    : Error(format(issues, total)), issues_(std::move(issues)), total_(total) {}
+
+std::string ValidationError::format(const std::vector<ValidationIssue>& issues,
+                                    std::size_t total) {
+  std::ostringstream os;
+  os << "dataset validation failed: " << total << " issue"
+     << (total == 1 ? "" : "s") << " flagged";
+  if (!issues.empty()) {
+    os << "; first " << issues.size() << ":";
+    for (const auto& issue : issues) os << " [" << issue.describe() << "]";
+  }
+  os << " — fix the input, or pass --quarantine to mask and impute "
+        "cell-level issues";
+  return os.str();
+}
+
+namespace {
+
+// Per-field scan results, combined deterministically across fields.
+struct ScanState {
+  ValidationSummary summary;
+  std::vector<ValidationIssue> first_issues;  // capped at opts.max_reported
+};
+
+void note_issue(ScanState& s, const ValidationOptions& opts,
+                ValidationIssue issue) {
+  if (s.first_issues.size() < opts.max_reported) {
+    s.first_issues.push_back(issue);
+  }
+}
+
+// Scans (and, when quarantining, repairs) one (ensemble, step) field.
+// Mutation is confined to this field's cells, so fields can run in parallel.
+void scan_field(ClimateDataset* mutable_data, const ClimateDataset& data,
+                index_t r, index_t t, const ValidationOptions& opts,
+                ScanState& s) {
+  const auto field = data.field(r, t);
+  const index_t nlon = data.grid().nlon;
+  const index_t n = static_cast<index_t>(field.size());
+
+  double valid_sum = 0.0;
+  index_t valid_count = 0;
+  double first_valid = 0.0;
+  bool constant = true;
+  bool saw_valid = false;
+  for (index_t p = 0; p < n; ++p) {
+    const double v = field[static_cast<std::size_t>(p)];
+    const bool finite = std::isfinite(v);
+    const bool in_range = finite && v >= opts.min_value && v <= opts.max_value;
+    if (!finite) {
+      ++s.summary.non_finite;
+      note_issue(s, opts,
+                 {ValidationIssueKind::NonFinite, r, t, p / nlon, p % nlon, v});
+      continue;
+    }
+    if (!in_range) {
+      ++s.summary.out_of_range;
+      note_issue(s, opts,
+                 {ValidationIssueKind::OutOfRange, r, t, p / nlon, p % nlon, v});
+      continue;
+    }
+    if (saw_valid && v != first_valid) constant = false;
+    if (!saw_valid) {
+      first_valid = v;
+      saw_valid = true;
+    }
+    valid_sum += v;
+    ++valid_count;
+  }
+
+  // A field whose valid cells never vary has no stochastic component to fit
+  // (sigma = 0 divides the standardization); no cell-level repair exists.
+  // Equally fatal: every cell flagged — nothing to impute from.
+  if (!saw_valid || (constant && valid_count == n)) {
+    ++s.summary.constant_fields;
+    note_issue(s, opts,
+               {ValidationIssueKind::ConstantField, r, t, -1, -1, first_valid});
+    return;
+  }
+
+  if (mutable_data != nullptr && opts.quarantine &&
+      valid_count < n) {
+    const double mean = valid_sum / static_cast<double>(valid_count);
+    auto dst = mutable_data->field(r, t);
+    for (index_t p = 0; p < n; ++p) {
+      double& v = dst[static_cast<std::size_t>(p)];
+      if (!std::isfinite(v) || v < opts.min_value || v > opts.max_value) {
+        v = mean;
+        ++s.summary.quarantined;
+      }
+    }
+  }
+}
+
+ValidationSummary validate_impl(ClimateDataset* mutable_data,
+                                const ClimateDataset& data,
+                                const ValidationOptions& opts) {
+  const index_t R = data.num_ensembles();
+  const index_t T = data.num_steps();
+  if (R <= 0 || T <= 0) return {};
+
+  // Chunk-stable reduce over fields: counts and the "first issues" list come
+  // out identical at any thread count, so the error text is reproducible.
+  ScanState merged = common::parallel_reduce(
+      0, R * T, ScanState{},
+      [&](ScanState& acc, index_t rt) {
+        scan_field(mutable_data, data, rt / T, rt % T, opts, acc);
+      },
+      [&opts](ScanState& into, ScanState&& from) {
+        into.summary.non_finite += from.summary.non_finite;
+        into.summary.out_of_range += from.summary.out_of_range;
+        into.summary.constant_fields += from.summary.constant_fields;
+        into.summary.quarantined += from.summary.quarantined;
+        for (auto& issue : from.first_issues) {
+          if (into.first_issues.size() >= opts.max_reported) break;
+          into.first_issues.push_back(issue);
+        }
+      });
+
+  const bool quarantining = mutable_data != nullptr && opts.quarantine;
+  const std::size_t fatal =
+      merged.summary.constant_fields +
+      (quarantining ? 0 : merged.summary.non_finite +
+                              merged.summary.out_of_range);
+  if (fatal > 0) {
+    throw ValidationError(std::move(merged.first_issues),
+                          merged.summary.flagged());
+  }
+  return merged.summary;
+}
+
+}  // namespace
+
+ValidationSummary validate_dataset(ClimateDataset& data,
+                                   const ValidationOptions& opts) {
+  return validate_impl(&data, data, opts);
+}
+
+ValidationSummary validate_dataset(const ClimateDataset& data,
+                                   const ValidationOptions& opts) {
+  return validate_impl(nullptr, data, opts);
+}
+
+}  // namespace exaclim::climate

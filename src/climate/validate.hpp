@@ -1,0 +1,95 @@
+// Input screening for climate datasets, run before training touches the
+// statistics layer. Malformed fields (NaN/Inf, out-of-physical-range cells,
+// constant fields whose sigma would vanish) are reported as structured
+// ValidationErrors naming the exact (ensemble, step, lat, lon) cells, or —
+// in quarantine mode — masked and imputed from the surrounding field so a
+// mostly-good dataset still trains, with the counts surfaced in TrainReport.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "climate/dataset.hpp"
+#include "common/error.hpp"
+
+namespace exaclim::climate {
+
+enum class ValidationIssueKind : int {
+  NonFinite = 0,     ///< NaN or Inf cell
+  OutOfRange = 1,    ///< finite but outside [min_value, max_value]
+  ConstantField = 2  ///< every cell of a field identical (sigma would be 0)
+};
+
+const char* to_string(ValidationIssueKind kind);
+
+/// One flagged cell (or field, for ConstantField where lat/lon are -1).
+struct ValidationIssue {
+  ValidationIssueKind kind = ValidationIssueKind::NonFinite;
+  index_t ensemble = -1;
+  index_t step = -1;
+  index_t lat = -1;
+  index_t lon = -1;
+  double value = 0.0;
+
+  std::string describe() const;
+};
+
+/// Structured validation failure: carries per-cell issues (the first few, in
+/// deterministic dataset order) plus the total flagged count.
+class ValidationError : public Error {
+ public:
+  ValidationError(std::vector<ValidationIssue> issues, std::size_t total);
+
+  const std::vector<ValidationIssue>& issues() const { return issues_; }
+  std::size_t total_flagged() const { return total_; }
+
+ private:
+  static std::string format(const std::vector<ValidationIssue>& issues,
+                            std::size_t total);
+  std::vector<ValidationIssue> issues_;
+  std::size_t total_;
+};
+
+struct ValidationOptions {
+  /// Physical plausibility bounds. The defaults disable range screening
+  /// (datasets are not always Kelvin — the multivariate demo trains a
+  /// ~1000-unit variable); the CLI enables them via --valid-range.
+  double min_value = -std::numeric_limits<double>::infinity();
+  double max_value = std::numeric_limits<double>::infinity();
+  /// With quarantine on, NaN/Inf/out-of-range cells are imputed from the
+  /// mean of the field's valid cells instead of failing the run. Constant
+  /// fields are always fatal — there is no cell-level repair for a field
+  /// with no variance.
+  bool quarantine = false;
+  /// Issues retained (in deterministic order) for the error message.
+  std::size_t max_reported = 8;
+};
+
+struct ValidationSummary {
+  std::size_t non_finite = 0;
+  std::size_t out_of_range = 0;
+  std::size_t constant_fields = 0;
+  std::size_t quarantined = 0;  ///< cells imputed (quarantine mode only)
+
+  std::size_t flagged() const {
+    return non_finite + out_of_range + constant_fields;
+  }
+};
+
+/// Screens every field of `data`. Without quarantine, any flagged cell (or
+/// constant field) throws ValidationError naming the first offenders and the
+/// total count. With quarantine, flagged cells are imputed in place from the
+/// field mean of valid cells and counted; a field that is constant, or whose
+/// cells are all flagged, still throws. The scan order and the reported
+/// issue order are deterministic (chunk-stable reduction over fields).
+ValidationSummary validate_dataset(ClimateDataset& data,
+                                   const ValidationOptions& opts = {});
+
+/// Read-only screening: identical checks, but quarantine is not available —
+/// any issue throws.
+ValidationSummary validate_dataset(const ClimateDataset& data,
+                                   const ValidationOptions& opts = {});
+
+}  // namespace exaclim::climate

@@ -22,6 +22,8 @@
 #include <new>
 #include <vector>
 
+#include "common/memory.hpp"
+
 namespace exaclim::common {
 
 class ScratchArena {
@@ -50,6 +52,10 @@ class ScratchArena {
     std::size_t size = chunks_.empty() ? kMinChunk : chunks_.back().size * 2;
     if (size < bytes + align) size = bytes + align;
     Chunk c;
+    // Budget accounting: an over-budget chunk throws ResourceError naming
+    // the site before any allocation (the scheduler turns it into a
+    // structured TaskFailure instead of a bad_alloc abort).
+    c.charge = ScopedCharge("scratch-arena", size);
     c.mem.reset(new std::byte[size]);
     c.size = size;
     // First-touch every page from the owning thread: this, not the `new`,
@@ -70,6 +76,33 @@ class ScratchArena {
     return total;
   }
 
+  /// Frees every chunk and bumps the arena epoch so ArenaBuffers that cached
+  /// pointers re-acquire. OWNER ONLY, and only at a point where no borrowed
+  /// arena pointer is still live (the top of a kernel invocation, before any
+  /// ensure() of that invocation).
+  void trim() {
+    if (chunks_.empty()) return;
+    chunks_.clear();
+    ++epoch_;
+  }
+
+  /// Owner-side poll of the memory-pressure ladder (rung 2): trims when the
+  /// global pressure epoch moved since the last poll. Returns true if chunks
+  /// were freed. Same safety contract as trim().
+  bool maybe_trim_on_pressure() {
+    const std::uint64_t pe = MemoryBudget::instance().pressure_epoch();
+    if (pe == seen_pressure_) return false;
+    seen_pressure_ = pe;
+    if (chunks_.empty()) return false;
+    MemoryBudget::instance().note_reclaimed(bytes_reserved());
+    trim();
+    return true;
+  }
+
+  /// Bumped on every trim; ArenaBuffer compares it to invalidate cached
+  /// pointers.
+  std::uint64_t epoch() const { return epoch_; }
+
  private:
   static constexpr std::size_t kMinChunk = 256 * 1024;
 
@@ -77,8 +110,11 @@ class ScratchArena {
     std::unique_ptr<std::byte[]> mem;
     std::size_t size = 0;
     std::size_t used = 0;
+    ScopedCharge charge;
   };
   std::vector<Chunk> chunks_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t seen_pressure_ = 0;
 };
 
 /// Grow-only typed buffer backed by a ScratchArena: `ensure(arena, n)`
@@ -89,6 +125,13 @@ template <typename T>
 class ArenaBuffer {
  public:
   T* ensure(ScratchArena& arena, std::size_t count) {
+    if (epoch_ != arena.epoch()) {
+      // The arena was trimmed under memory pressure since we last acquired;
+      // the cached pointer is gone.
+      data_ = nullptr;
+      capacity_ = 0;
+      epoch_ = arena.epoch();
+    }
     if (count > capacity_) {
       data_ = static_cast<T*>(
           arena.allocate(count * sizeof(T), alignof(T) > 64 ? alignof(T) : 64));
@@ -103,6 +146,7 @@ class ArenaBuffer {
  private:
   T* data_ = nullptr;
   std::size_t capacity_ = 0;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace exaclim::common

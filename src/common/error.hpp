@@ -6,6 +6,7 @@
 // enabled in release builds (all checks here guard O(N^3)-scale work).
 #pragma once
 
+#include <cstddef>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -43,6 +44,44 @@ class IoError : public Error {
 class TransientError : public Error {
  public:
   explicit TransientError(const std::string& what) : Error(what) {}
+};
+
+/// A resource limit was exceeded (memory budget exhausted after every
+/// degradation step). Carries the allocation site and sizes so the failure
+/// names what asked for memory, not just that malloc failed.
+class ResourceError : public Error {
+ public:
+  ResourceError(const std::string& site, std::size_t requested_bytes,
+                std::size_t budget_bytes, std::size_t charged_bytes,
+                const std::string& detail = "")
+      : Error(format(site, requested_bytes, budget_bytes, charged_bytes,
+                     detail)),
+        site_(site),
+        requested_(requested_bytes),
+        budget_(budget_bytes),
+        charged_(charged_bytes) {}
+
+  const std::string& site() const { return site_; }
+  std::size_t requested_bytes() const { return requested_; }
+  std::size_t budget_bytes() const { return budget_; }
+  std::size_t charged_bytes() const { return charged_; }
+
+ private:
+  static std::string format(const std::string& site, std::size_t requested,
+                            std::size_t budget, std::size_t charged,
+                            const std::string& detail) {
+    std::ostringstream os;
+    os << "memory budget exceeded at site '" << site << "': requested "
+       << requested << " bytes with " << charged << " of " << budget
+       << " bytes already charged";
+    if (!detail.empty()) os << " — " << detail;
+    return os.str();
+  }
+
+  std::string site_;
+  std::size_t requested_;
+  std::size_t budget_;
+  std::size_t charged_;
 };
 
 namespace detail {

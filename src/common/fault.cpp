@@ -1,7 +1,9 @@
 #include "common/fault.hpp"
 
+#include <chrono>
 #include <cstdlib>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
@@ -78,6 +80,15 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       plan.transient_repeats = static_cast<int>(r);
     } else if (key == "bitflip") {
       plan.bitflip_p = parse_prob(key, value);
+    } else if (key == "hang") {
+      plan.hang_p = parse_prob(key, value);
+    } else if (key == "hang-ms") {
+      const long long ms = parse_ll(key, value);
+      if (ms < 1) {
+        throw InvalidArgument("fault spec key 'hang-ms' must be >= 1, got '" +
+                              value + "'");
+      }
+      plan.hang_ms = static_cast<int>(ms);
     } else if (key == "kind") {
       plan.task_kind = value;
     } else if (key == "at") {
@@ -122,6 +133,7 @@ void FaultInjector::arm(const FaultPlan& plan) {
   plan_ = plan;
   counts_ = FaultCounts{};
   io_calls_ = 0;
+  hang_abort_.store(false, std::memory_order_release);
   armed_.store(plan.any(), std::memory_order_release);
 }
 
@@ -161,24 +173,48 @@ double FaultInjector::draw(std::uint64_t key, std::uint64_t lane) const {
 void FaultInjector::on_task(std::uint64_t key, const char* kind, index_t row,
                             index_t col, int attempt) {
   if (!armed()) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!task_matches(kind, row, col)) return;
+  int hang_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!task_matches(kind, row, col)) return;
 
-  if (plan_.numerical_p > 0.0 && attempt == 0 &&
-      draw(key, 0) < plan_.numerical_p) {
-    ++counts_.numerical;
-    std::ostringstream os;
-    os << "injected numerical fault in " << kind << " at tile (" << row << ","
-       << col << ")";
-    throw NumericalError(os.str());
+    if (plan_.numerical_p > 0.0 && attempt == 0 &&
+        draw(key, 0) < plan_.numerical_p) {
+      ++counts_.numerical;
+      std::ostringstream os;
+      os << "injected numerical fault in " << kind << " at tile (" << row
+         << "," << col << ")";
+      throw NumericalError(os.str());
+    }
+    if (plan_.transient_p > 0.0 && attempt < plan_.transient_repeats &&
+        draw(key, 1) < plan_.transient_p) {
+      ++counts_.transients;
+      std::ostringstream os;
+      os << "injected transient fault in " << kind << " at tile (" << row
+         << "," << col << "), attempt " << attempt;
+      throw TransientError(os.str());
+    }
+    if (plan_.hang_p > 0.0 && attempt == 0 &&
+        !hang_abort_.load(std::memory_order_acquire)) {
+      // Independent salted stream so adding hangs never perturbs the
+      // numerical/transient/bitflip draws existing seeds rely on.
+      Rng rng(plan_.seed ^ 0x48414e47u /* "HANG" */);
+      if (rng.split(key).uniform() < plan_.hang_p) {
+        ++counts_.hangs;
+        hang_ms = plan_.hang_ms;
+      }
+    }
   }
-  if (plan_.transient_p > 0.0 && attempt < plan_.transient_repeats &&
-      draw(key, 1) < plan_.transient_p) {
-    ++counts_.transients;
-    std::ostringstream os;
-    os << "injected transient fault in " << kind << " at tile (" << row << ","
-       << col << "), attempt " << attempt;
-    throw TransientError(os.str());
+  if (hang_ms > 0) {
+    // Sleep outside the injector mutex — other workers keep drawing faults —
+    // in small slices so abort_hangs() (the stall watchdog giving up on the
+    // run) unwinds this task promptly instead of serving the full duration.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(hang_ms);
+    while (std::chrono::steady_clock::now() < deadline &&
+           !hang_abort_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
   }
 }
 

@@ -9,6 +9,9 @@
 //     only, so retry/escalation ladders get to prove they recover),
 //   * throw TransientError from tasks for a bounded number of attempts
 //     (exercising the scheduler's bounded retry-with-backoff),
+//   * hang a task cooperatively for a configured duration (exercising the
+//     scheduler's stall watchdog; the sleep polls an abort flag the watchdog
+//     sets, so a detected stall unwinds instead of wedging the worker),
 //   * flip a bit in a tile payload after the producing task completes
 //     (exercising the CRC tile guards), and
 //   * fail the Nth I/O primitive, transiently or persistently (exercising the
@@ -39,6 +42,8 @@ struct FaultPlan {
   double transient_p = 0.0;  ///< P(task hit by transient failures)
   int transient_repeats = 2; ///< failed attempts before a transient hit clears
   double bitflip_p = 0.0;    ///< P(flip one payload bit after a task completes)
+  double hang_p = 0.0;       ///< P(task hangs on its first attempt)
+  int hang_ms = 60000;       ///< cooperative hang duration (abortable)
 
   std::string task_kind;     ///< restrict task faults to this kind ("" = any)
   index_t row = -1;          ///< restrict to this home row (-1 = any)
@@ -49,12 +54,12 @@ struct FaultPlan {
 
   bool any() const {
     return numerical_p > 0.0 || transient_p > 0.0 || bitflip_p > 0.0 ||
-           io_fail_nth > 0;
+           hang_p > 0.0 || io_fail_nth > 0;
   }
 
   /// Parses a spec like
   ///   "seed=7;numerical=1;kind=POTRF;at=2,2;bitflip=0.05;transient=0.2;
-  ///    repeats=3;io=4;io-mode=hard"
+  ///    repeats=3;hang=1;hang-ms=500;io=4;io-mode=hard"
   /// Unknown keys, malformed numbers, or malformed pairs throw
   /// InvalidArgument naming the offending key.
   static FaultPlan parse(const std::string& spec);
@@ -65,6 +70,7 @@ struct FaultCounts {
   index_t numerical = 0;
   index_t transients = 0;
   index_t bitflips = 0;
+  index_t hangs = 0;
   index_t io = 0;
 };
 
@@ -84,8 +90,16 @@ class FaultInjector {
   /// Task hook, called by the scheduler before each execution attempt.
   /// `key` must be stable for the task across runs (the TaskId works).
   /// Throws NumericalError (attempt 0 only) or TransientError per plan.
+  /// A hang hit sleeps cooperatively (in slices, polling abort_hangs) for
+  /// hang_ms before returning normally.
   void on_task(std::uint64_t key, const char* kind, index_t row, index_t col,
                int attempt);
+
+  /// Wakes every task currently sleeping in an injected hang (and makes
+  /// future hang hits no-ops). Called by the stall watchdog once it has
+  /// decided to fail the run, so the hung worker unwinds and the scheduler
+  /// can quiesce instead of blocking forever in team join.
+  void abort_hangs() { hang_abort_.store(true, std::memory_order_release); }
 
   /// Payload-corruption hook, called after a task finishes writing `bytes`
   /// bytes at `data`. Flips one deterministic bit and returns true when the
@@ -104,6 +118,7 @@ class FaultInjector {
   double draw(std::uint64_t key, std::uint64_t lane) const;
 
   std::atomic<bool> armed_{false};
+  std::atomic<bool> hang_abort_{false};
   mutable std::mutex mu_;
   FaultPlan plan_;
   FaultCounts counts_;

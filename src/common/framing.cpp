@@ -61,7 +61,7 @@ void FramedWriter::add_section(std::uint32_t tag, const ByteWriter& payload) {
   sections_.push_back({tag, payload.bytes()});
 }
 
-void FramedWriter::commit(const std::string& path) const {
+void FramedWriter::commit(const std::string& path, SyncPolicy sync) const {
   ByteWriter image;
   image.raw(magic_.data(), kMagicLen);
   std::uint64_t total = 0;
@@ -76,7 +76,7 @@ void FramedWriter::commit(const std::string& path) const {
     image.pod(crc32c(s.payload.data(), s.payload.size()));
     image.raw(s.payload.data(), s.payload.size());
   }
-  atomic_write_file(path, image.bytes().data(), image.bytes().size());
+  atomic_write_file(path, image.bytes().data(), image.bytes().size(), sync);
 }
 
 FramedFile::FramedFile(const std::string& path, const std::string& magic,

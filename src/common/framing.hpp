@@ -23,6 +23,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/io.hpp"
+
 namespace exaclim::common {
 
 /// Append-only byte buffer with POD helpers; the unit of a section payload.
@@ -104,8 +106,9 @@ class FramedWriter {
 
   void add_section(std::uint32_t tag, const ByteWriter& payload);
 
-  /// Finalizes the total-length header and atomically writes the artifact.
-  void commit(const std::string& path) const;
+  /// Finalizes the total-length header and atomically writes the artifact
+  /// with the given durability policy (see common/io.hpp).
+  void commit(const std::string& path, SyncPolicy sync = SyncPolicy::Full) const;
 
  private:
   std::string magic_;

@@ -27,10 +27,11 @@ constexpr int kBackoffBaseUs = 100;
                 "': " + std::strerror(errno));
 }
 
-/// One full write-temp + fsync + rename sequence. Throws TransientError (via
-/// the injector) or IoError; on success `path` durably holds the new bytes.
+/// One full write-temp + sync + rename sequence. Throws TransientError (via
+/// the injector) or IoError; on success `path` holds the new bytes, durable
+/// to the degree the sync policy promises.
 void write_once(const std::string& path, const void* data, std::size_t bytes,
-                const std::string& tmp_path) {
+                const std::string& tmp_path, SyncPolicy sync) {
   auto& inject = FaultInjector::instance();
 
   inject.on_io("open", tmp_path);
@@ -50,8 +51,16 @@ void write_once(const std::string& path, const void* data, std::size_t bytes,
       p += n;
       left -= static_cast<std::size_t>(n);
     }
-    inject.on_io("fsync", tmp_path);
-    if (::fsync(fd) != 0) throw_errno("fsync", tmp_path);
+    if (sync != SyncPolicy::None) {
+      // The injector hook keeps its historical "fsync" ordinal under both
+      // syncing policies so existing --faults io=N specs stay stable.
+      inject.on_io("fsync", tmp_path);
+      if (sync == SyncPolicy::Full) {
+        if (::fsync(fd) != 0) throw_errno("fsync", tmp_path);
+      } else {
+        if (::fdatasync(fd) != 0) throw_errno("fdatasync", tmp_path);
+      }
+    }
   } catch (...) {
     ::close(fd);
     throw;
@@ -64,19 +73,39 @@ void write_once(const std::string& path, const void* data, std::size_t bytes,
   }
 
   // Make the rename itself durable: fsync the containing directory.
-  const auto slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dfd >= 0) {
-    ::fsync(dfd);
-    ::close(dfd);
+  if (sync == SyncPolicy::Full) {
+    const auto slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+      ::fsync(dfd);
+      ::close(dfd);
+    }
   }
 }
 
 }  // namespace
 
+SyncPolicy parse_sync_policy(const std::string& name) {
+  if (name == "full") return SyncPolicy::Full;
+  if (name == "data") return SyncPolicy::Data;
+  if (name == "none") return SyncPolicy::None;
+  throw InvalidArgument("sync policy must be 'full', 'data' or 'none', got '" +
+                        name + "'");
+}
+
+const char* sync_policy_name(SyncPolicy sync) {
+  switch (sync) {
+    case SyncPolicy::Full: return "full";
+    case SyncPolicy::Data: return "data";
+    case SyncPolicy::None: return "none";
+  }
+  return "?";
+}
+
 void atomic_write_file(const std::string& path, const void* data,
-                       std::size_t bytes) {
+                       std::size_t bytes, SyncPolicy sync) {
   std::ostringstream tmp;
   tmp << path << ".tmp." << ::getpid();
   const std::string tmp_path = tmp.str();
@@ -84,7 +113,7 @@ void atomic_write_file(const std::string& path, const void* data,
   int backoff_us = kBackoffBaseUs;
   for (int attempt = 1;; ++attempt) {
     try {
-      write_once(path, data, bytes, tmp_path);
+      write_once(path, data, bytes, tmp_path, sync);
       return;
     } catch (const TransientError& e) {
       std::remove(tmp_path.c_str());

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -17,13 +18,29 @@
 
 namespace exaclim::common {
 
+/// How hard atomic_write_file pushes bytes toward the platter before the
+/// rename. Atomicity (old-or-new, never torn) holds for every policy; what
+/// varies is durability against power loss — the classic checkpoint
+/// throughput knob (--checkpoint-sync on the CLI).
+enum class SyncPolicy : std::uint8_t {
+  Full = 0,  ///< fsync the file and the containing directory (default)
+  Data = 1,  ///< fdatasync the file only; the rename may not survive power loss
+  None = 2,  ///< no sync; fastest, durable only against process crash
+};
+
+/// Parses "full" | "data" | "none"; throws InvalidArgument otherwise.
+SyncPolicy parse_sync_policy(const std::string& name);
+const char* sync_policy_name(SyncPolicy sync);
+
 /// Atomically replaces `path` with `bytes` bytes at `data`:
-/// write-to-temp + fsync + rename, with the containing directory fsync'd so
-/// the rename itself is durable. Retries the whole sequence (fresh temp file)
-/// up to a small bounded number of times with exponential backoff when a
-/// TransientError is raised; throws IoError on hard failure or exhaustion.
+/// write-to-temp + sync-per-policy + rename (with the containing directory
+/// fsync'd under SyncPolicy::Full so the rename itself is durable). Retries
+/// the whole sequence (fresh temp file) up to a small bounded number of
+/// times with exponential backoff when a TransientError is raised; throws
+/// IoError on hard failure or exhaustion.
 void atomic_write_file(const std::string& path, const void* data,
-                       std::size_t bytes);
+                       std::size_t bytes,
+                       SyncPolicy sync = SyncPolicy::Full);
 
 /// Reads an entire file into memory. Throws IoError when the file cannot be
 /// opened or the read comes up short.

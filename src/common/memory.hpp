@@ -1,0 +1,187 @@
+// Process-wide memory budget with graceful degradation.
+//
+// Large, long-lived allocations (tile-matrix buffers, scratch-arena chunks,
+// checkpoint images) charge themselves against a single process budget set
+// via --mem-budget / EXACLIM_MEM_BUDGET (0 = unlimited, the default). When a
+// charge would cross the budget, the degradation ladder engages in order:
+//
+//   1. the scheduler drops retained work-stealing deque rings at its next
+//      quiescent point (WorkStealDeque::release_retired);
+//   2. per-worker scratch arenas trim their chunks at the owner's next safe
+//      point (ScratchArena::maybe_trim_on_pressure — arenas are grow-only
+//      with stable pointers, so only the owning thread may free them);
+//   3. TiledSymmetricMatrix narrows eligible off-diagonal tiles to scaled
+//      FP16 at construction time (a tile that does not fit at its mapped
+//      precision is retried one notch narrower).
+//
+// Rungs 1-2 are deferred signals: charge() bumps a pressure epoch that cache
+// owners poll at points where freeing is provably safe. Rung 3 is
+// synchronous at the allocation site. If a charge still does not fit, the
+// caller gets a structured ResourceError naming the allocation site and the
+// sizes involved — never a bad_alloc abort mid-DAG.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace exaclim::common {
+
+class MemoryBudget {
+ public:
+  static MemoryBudget& instance() {
+    static MemoryBudget budget;
+    return budget;
+  }
+
+  /// 0 = unlimited (the default). Setting a budget never evicts anything
+  /// already charged; it only constrains future charges.
+  void set_budget(std::size_t bytes) {
+    budget_.store(bytes, std::memory_order_relaxed);
+  }
+  std::size_t budget() const {
+    return budget_.load(std::memory_order_relaxed);
+  }
+  std::size_t charged() const {
+    return charged_.load(std::memory_order_relaxed);
+  }
+  std::size_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+  /// Attempts to charge `bytes`. On pressure, bumps the pressure epoch (so
+  /// deferred rungs trim at their next safe point) and re-checks once to
+  /// absorb concurrent releases. Returns false when the charge does not fit.
+  bool try_charge(std::size_t bytes) {
+    if (try_charge_once(bytes)) return true;
+    signal_pressure();
+    return try_charge_once(bytes);
+  }
+
+  /// Like try_charge, but throws ResourceError naming `site` on failure.
+  void charge(const char* site, std::size_t bytes) {
+    if (!try_charge(bytes)) {
+      throw ResourceError(site, bytes, budget(), charged());
+    }
+  }
+
+  void release(std::size_t bytes) noexcept {
+    charged_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  /// Monotonic counter bumped on every budget miss. Cache owners sample it
+  /// at safe points and trim when it moved since their last sample.
+  std::uint64_t pressure_epoch() const {
+    return pressure_epoch_.load(std::memory_order_acquire);
+  }
+  void signal_pressure() {
+    pressure_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  /// Bytes voluntarily freed by degradation rungs (reporting only).
+  void note_reclaimed(std::size_t bytes) {
+    reclaimed_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  std::size_t reclaimed() const {
+    return reclaimed_.load(std::memory_order_relaxed);
+  }
+
+  /// Test hook: forget all accounting state (not thread-safe vs live charges).
+  void reset_for_test() {
+    budget_.store(0, std::memory_order_relaxed);
+    charged_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+    reclaimed_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  bool try_charge_once(std::size_t bytes) {
+    std::size_t cur = charged_.load(std::memory_order_relaxed);
+    for (;;) {
+      const std::size_t cap = budget_.load(std::memory_order_relaxed);
+      if (cap != 0 && bytes > cap - (cur > cap ? cap : cur)) return false;
+      if (charged_.compare_exchange_weak(cur, cur + bytes,
+                                         std::memory_order_relaxed)) {
+        std::size_t p = peak_.load(std::memory_order_relaxed);
+        while (cur + bytes > p &&
+               !peak_.compare_exchange_weak(p, cur + bytes,
+                                            std::memory_order_relaxed)) {
+        }
+        return true;
+      }
+    }
+  }
+
+  std::atomic<std::size_t> budget_{0};
+  std::atomic<std::size_t> charged_{0};
+  std::atomic<std::size_t> peak_{0};
+  std::atomic<std::uint64_t> pressure_epoch_{0};
+  std::atomic<std::size_t> reclaimed_{0};
+};
+
+/// RAII budget charge. Copying charges the same amount again (the copy owns
+/// its own bytes); moving transfers the charge. A default-constructed
+/// ScopedCharge holds nothing.
+class ScopedCharge {
+ public:
+  ScopedCharge() = default;
+  ScopedCharge(const char* site, std::size_t bytes) : site_(site) {
+    if (bytes > 0) MemoryBudget::instance().charge(site, bytes);
+    bytes_ = bytes;
+  }
+  ScopedCharge(const ScopedCharge& other) : site_(other.site_) {
+    if (other.bytes_ > 0) {
+      MemoryBudget::instance().charge(site_, other.bytes_);
+    }
+    bytes_ = other.bytes_;
+  }
+  ScopedCharge(ScopedCharge&& other) noexcept
+      : site_(other.site_), bytes_(other.bytes_) {
+    other.bytes_ = 0;
+  }
+  ScopedCharge& operator=(const ScopedCharge& other) {
+    if (this != &other) {
+      // Charge the new amount before releasing the old: an over-budget copy
+      // must fail without dropping what we already hold.
+      if (other.bytes_ > 0) {
+        MemoryBudget::instance().charge(other.site_, other.bytes_);
+      }
+      reset();
+      site_ = other.site_;
+      bytes_ = other.bytes_;
+    }
+    return *this;
+  }
+  ScopedCharge& operator=(ScopedCharge&& other) noexcept {
+    if (this != &other) {
+      reset();
+      site_ = other.site_;
+      bytes_ = other.bytes_;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  ~ScopedCharge() { reset(); }
+
+  /// Replaces the held charge: charges `bytes` first (throwing on budget
+  /// exhaustion with the old charge still held), then releases the old.
+  void rebind(const char* site, std::size_t bytes) {
+    if (bytes > 0) MemoryBudget::instance().charge(site, bytes);
+    reset();
+    site_ = site;
+    bytes_ = bytes;
+  }
+
+  void reset() noexcept {
+    if (bytes_ > 0) MemoryBudget::instance().release(bytes_);
+    bytes_ = 0;
+  }
+
+  std::size_t bytes() const { return bytes_; }
+
+ private:
+  const char* site_ = "";
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace exaclim::common

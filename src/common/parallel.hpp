@@ -16,6 +16,8 @@
 #include <mutex>
 #include <thread>
 #include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "common/thread_pool.hpp"
 #include "common/types.hpp"
@@ -86,6 +88,58 @@ void parallel_for(index_t begin, index_t end, F&& body,
 
   WorkerTeam::instance().run(workers, work, &ctx);
   if (ctx.failed.load() && ctx.error) std::rethrow_exception(ctx.error);
+}
+
+/// Chunk count used by parallel_reduce. A function of the range size only —
+/// never of the thread count — so the floating-point combine tree is fixed
+/// for a given problem size no matter how many workers execute it.
+inline index_t reduce_chunk_count(index_t n) {
+  constexpr index_t kMaxChunks = 256;
+  return std::min<index_t>(n, kMaxChunks);
+}
+
+/// Deterministic parallel reduction over [begin, end).
+///
+/// The range is split into reduce_chunk_count(n) contiguous chunks whose
+/// boundaries depend only on (begin, end). Each chunk accumulates into its
+/// own partial via body(acc, i) in ascending index order, and the partials
+/// are merged on the calling thread with an ordered pairwise tree of
+/// combine(into, from) calls. Both the decomposition and the combine order
+/// are independent of `threads`, so the result is bit-identical at any
+/// thread count — including the inline-serial path taken for threads <= 1 or
+/// nested regions, which runs the very same chunk/combine structure.
+///
+/// T must be copy-constructible (each chunk's partial starts as a copy of
+/// `identity`). combine receives its right operand by rvalue reference so
+/// vector-valued accumulators can be absorbed without copying.
+template <typename T, typename Body, typename Combine>
+T parallel_reduce(index_t begin, index_t end, const T& identity, Body&& body,
+                  Combine&& combine, unsigned threads = default_thread_count()) {
+  const index_t n = end - begin;
+  if (n <= 0) return identity;
+  const index_t nchunks = reduce_chunk_count(n);
+  const index_t q = n / nchunks;
+  const index_t r = n % nchunks;
+  std::vector<T> partials(static_cast<std::size_t>(nchunks), identity);
+  parallel_for(
+      0, nchunks,
+      [&](index_t c) {
+        // Chunk c covers q iterations, plus one extra for the first r chunks.
+        const index_t lo = begin + c * q + std::min(c, r);
+        const index_t hi = lo + q + (c < r ? 1 : 0);
+        T& acc = partials[static_cast<std::size_t>(c)];
+        for (index_t i = lo; i < hi; ++i) body(acc, i);
+      },
+      threads);
+  // Ordered pairwise tree: partials[i] absorbs partials[i + stride]. The
+  // iteration order is a pure function of nchunks, hence of n alone.
+  for (index_t stride = 1; stride < nchunks; stride *= 2) {
+    for (index_t i = 0; i + stride < nchunks; i += 2 * stride) {
+      combine(partials[static_cast<std::size_t>(i)],
+              std::move(partials[static_cast<std::size_t>(i + stride)]));
+    }
+  }
+  return std::move(partials[0]);
 }
 
 }  // namespace exaclim::common

@@ -90,6 +90,39 @@ class WorkStealDeque {
            top_.load(std::memory_order_relaxed);
   }
 
+  /// Bytes held by rings retired from past growth (monitoring only).
+  std::size_t retired_bytes() const {
+    const Ring* live = ring_.load(std::memory_order_relaxed);
+    std::size_t total = 0;
+    for (const auto& r : retired_) {
+      if (r.get() != live) {
+        total += static_cast<std::size_t>(r->capacity) * sizeof(std::atomic<T>);
+      }
+    }
+    return total;
+  }
+
+  /// Frees every retired ring except the live one, returning the bytes
+  /// released. QUIESCENT ONLY: rings are retained precisely so a thief that
+  /// loaded a stale ring pointer can still read it, so this may only run
+  /// when no concurrent steal can be in flight (the scheduler calls it at
+  /// round boundaries, after all workers have joined). Memory-pressure
+  /// ladder rung 1.
+  std::size_t release_retired() {
+    const Ring* live = ring_.load(std::memory_order_relaxed);
+    std::size_t freed = 0;
+    std::vector<std::unique_ptr<Ring>> keep;
+    for (auto& r : retired_) {
+      if (r.get() == live) {
+        keep.push_back(std::move(r));
+      } else {
+        freed += static_cast<std::size_t>(r->capacity) * sizeof(std::atomic<T>);
+      }
+    }
+    retired_ = std::move(keep);
+    return freed;
+  }
+
  private:
   struct Ring {
     explicit Ring(std::int64_t cap)

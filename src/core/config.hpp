@@ -1,8 +1,10 @@
 // Emulator configuration.
 #pragma once
 
+#include <limits>
 #include <string>
 
+#include "common/io.hpp"
 #include "linalg/precision_policy.hpp"
 #include "stats/trend.hpp"
 
@@ -22,6 +24,15 @@ struct EmulatorConfig {
 
   double jitter_base = 1e-10;  ///< diagonal perturbation scale (Eq. 9 repair)
 
+  /// Input screening (climate::validate_dataset) before training. NaN/Inf
+  /// and constant-field checks are always part of it; the range screen only
+  /// engages when valid_min/valid_max are set to finite bounds.
+  bool validate_input = true;
+  /// Impute flagged cells (field-mean of valid cells) instead of failing.
+  bool quarantine = false;
+  double valid_min = -std::numeric_limits<double>::infinity();
+  double valid_max = std::numeric_limits<double>::infinity();
+
   /// Task-level fault tolerance for the tiled Cholesky: retry with precision
   /// escalation and per-tile jitter instead of aborting on the first
   /// NumericalError.
@@ -30,6 +41,15 @@ struct EmulatorConfig {
   index_t checkpoint_every = 0;  ///< kernel tasks per checkpoint round; 0 =
                                  ///< one final checkpoint only
   std::string resume_path;       ///< empty = start fresh
+  /// Checkpoint durability (--checkpoint-sync full|data|none).
+  common::SyncPolicy checkpoint_sync = common::SyncPolicy::Full;
+
+  /// Scheduler stall watchdog (--stall-timeout): > 0 dumps per-worker state
+  /// after this many seconds without a completed task and fails the run with
+  /// a structured StallError once the grace period (default: same value)
+  /// also lapses. 0 disables.
+  double stall_timeout_seconds = 0.0;
+  double stall_grace_seconds = 0.0;
 
   /// Profile grid for the trend's rho; empty = default {0, .05, ..., .95}.
   std::vector<double> rho_grid;

@@ -1,7 +1,10 @@
 #include "core/emulator.hpp"
 
 #include <cmath>
+#include <optional>
+#include <utility>
 
+#include "climate/validate.hpp"
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
@@ -20,23 +23,47 @@ ClimateEmulator::ClimateEmulator(EmulatorConfig config)
   EXACLIM_CHECK(config_.steps_per_year >= 1, "steps_per_year must be >= 1");
 }
 
-TrainReport ClimateEmulator::train(const climate::ClimateDataset& data,
+TrainReport ClimateEmulator::train(const climate::ClimateDataset& input,
                                    std::span<const double> annual_forcing) {
   const index_t L = config_.band_limit;
-  const sht::GridShape grid = data.grid();
+  const sht::GridShape grid = input.grid();
   const index_t num_points = grid.num_points();
-  const index_t T = data.num_steps();
-  const index_t R = data.num_ensembles();
+  const index_t T = input.num_steps();
+  const index_t R = input.num_ensembles();
   const index_t P = config_.ar_order;
-  EXACLIM_CHECK(data.steps_per_year() == config_.steps_per_year,
+  EXACLIM_CHECK(input.steps_per_year() == config_.steps_per_year,
                 "dataset temporal resolution must match config");
   EXACLIM_CHECK(T > 2 * P, "too few time steps for the AR order");
   EXACLIM_CHECK(static_cast<index_t>(annual_forcing.size()) >=
-                    data.num_years(),
+                    input.num_years(),
                 "forcing trajectory shorter than the dataset");
 
   TrainReport report;
   common::Timer total;
+
+  // Input screening before any statistics touch the data: malformed cells
+  // fail here as structured ValidationErrors naming exact coordinates, or —
+  // under quarantine — are imputed into a private copy (never mutating the
+  // caller's dataset).
+  std::optional<climate::ClimateDataset> repaired;
+  const climate::ClimateDataset* source = &input;
+  if (config_.validate_input) {
+    climate::ValidationOptions vopts;
+    vopts.min_value = config_.valid_min;
+    vopts.max_value = config_.valid_max;
+    vopts.quarantine = config_.quarantine;
+    climate::ValidationSummary vsum;
+    if (config_.quarantine) {
+      repaired.emplace(input);
+      vsum = climate::validate_dataset(*repaired, vopts);
+      source = &*repaired;
+    } else {
+      vsum = climate::validate_dataset(std::as_const(input), vopts);
+    }
+    report.validation_flagged = static_cast<index_t>(vsum.flagged());
+    report.validation_quarantined = static_cast<index_t>(vsum.quarantined);
+  }
+  const climate::ClimateDataset& data = *source;
   plan_ = std::make_shared<const sht::SHTPlan>(L, grid);
   grid_ = grid;
 
@@ -76,11 +103,14 @@ TrainReport ClimateEmulator::train(const climate::ClimateDataset& data,
   // f[r][t] stored as one big row-major (R*T) x L^2 matrix.
   linalg::Matrix f(R * T, n_coeff);
   nugget_var_.assign(static_cast<std::size_t>(num_points), 0.0);
-  std::vector<double> nugget_acc(static_cast<std::size_t>(num_points), 0.0);
-  std::mutex nugget_mu;
-  common::parallel_for(
-      0, R * T,
-      [&](index_t rt) {
+  // Deterministic reduction: the old mutex-guarded accumulation summed the
+  // per-(r,t) residuals in completion order, so two identical runs drifted at
+  // the last ulp. parallel_reduce fixes the chunking and combine order as a
+  // function of R*T alone, making the nugget section bit-stable at any
+  // --threads (ROADMAP "bit-reproducible training" item).
+  const std::vector<double> nugget_acc = common::parallel_reduce(
+      0, R * T, std::vector<double>(static_cast<std::size_t>(num_points), 0.0),
+      [&](std::vector<double>& acc, index_t rt) {
         const index_t r = rt / T;
         const index_t t = rt % T;
         const auto obs = data.field(r, t);
@@ -100,16 +130,15 @@ TrainReport ClimateEmulator::train(const climate::ClimateDataset& data,
                                  static_cast<std::size_t>(n_coeff));
         // Truncation residual -> nugget variance accumulation.
         const std::vector<double> back = plan_->synthesize(coeffs);
-        std::vector<double> local(static_cast<std::size_t>(num_points));
         for (index_t p = 0; p < num_points; ++p) {
           const double e =
               z[static_cast<std::size_t>(p)] - back[static_cast<std::size_t>(p)];
-          local[static_cast<std::size_t>(p)] = e * e;
+          acc[static_cast<std::size_t>(p)] += e * e;
         }
-        std::lock_guard<std::mutex> lock(nugget_mu);
+      },
+      [num_points](std::vector<double>& into, std::vector<double>&& from) {
         for (index_t p = 0; p < num_points; ++p) {
-          nugget_acc[static_cast<std::size_t>(p)] +=
-              local[static_cast<std::size_t>(p)];
+          into[static_cast<std::size_t>(p)] += from[static_cast<std::size_t>(p)];
         }
       },
       config_.threads == 0 ? common::default_thread_count() : config_.threads);
@@ -176,6 +205,9 @@ TrainReport ClimateEmulator::train(const climate::ClimateDataset& data,
     rt_opt.ft.checkpoint_path = config_.checkpoint_path;
     rt_opt.ft.checkpoint_every = config_.checkpoint_every;
     rt_opt.ft.resume_path = config_.resume_path;
+    rt_opt.ft.checkpoint_sync = config_.checkpoint_sync;
+    rt_opt.stall_timeout_seconds = config_.stall_timeout_seconds;
+    rt_opt.stall_grace_seconds = config_.stall_grace_seconds;
     const runtime::RtCholeskyResult rt =
         runtime::cholesky_tiled_parallel(tiled, rt_opt);
     report.precision_escalations = rt.precision_escalations;

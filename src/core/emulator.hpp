@@ -48,6 +48,13 @@ struct TrainReport {
   index_t jitter_escalations = 0;
   index_t checkpoints_written = 0;
   bool resumed_from_checkpoint = false;
+
+  // Input-screening outcomes (climate::validate_dataset).
+  index_t validation_flagged = 0;      ///< cells/fields flagged by screening
+  index_t validation_quarantined = 0;  ///< cells imputed (--quarantine)
+
+  // Memory-budget outcomes.
+  index_t tiles_degraded_for_memory = 0;  ///< tiles narrowed to f16 by budget
 };
 
 /// A trained emulator. Copyable; serializable via core/serialize.hpp.

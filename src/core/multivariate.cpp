@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "climate/validate.hpp"
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
@@ -48,6 +49,35 @@ MultiVarTrainReport MultiVariateEmulator::train(
   num_variables_ = num_vars;
   plan_ = std::make_shared<const sht::SHTPlan>(L, grid_);
 
+  // Input screening per variable (see emulator.cpp). Quarantine imputes into
+  // private copies; the caller's datasets are never mutated.
+  std::vector<climate::ClimateDataset> repaired;
+  std::vector<const climate::ClimateDataset*> sources = variables;
+  if (config_.validate_input) {
+    climate::ValidationOptions vopts;
+    vopts.min_value = config_.valid_min;
+    vopts.max_value = config_.valid_max;
+    vopts.quarantine = config_.quarantine;
+    if (config_.quarantine) {
+      repaired.reserve(variables.size());
+      for (std::size_t v = 0; v < variables.size(); ++v) {
+        repaired.push_back(*variables[v]);
+      }
+      for (std::size_t v = 0; v < repaired.size(); ++v) {
+        const auto vsum = climate::validate_dataset(repaired[v], vopts);
+        report.validation_flagged += static_cast<index_t>(vsum.flagged());
+        report.validation_quarantined +=
+            static_cast<index_t>(vsum.quarantined);
+        sources[v] = &repaired[v];
+      }
+    } else {
+      for (const auto* v : variables) {
+        const auto vsum = climate::validate_dataset(*v, vopts);
+        report.validation_flagged += static_cast<index_t>(vsum.flagged());
+      }
+    }
+  }
+
   // Per-variable trend/scale and standardized-coefficient extraction,
   // written into the joint (R*T) x (V*L^2) matrix.
   trend_.assign(static_cast<std::size_t>(num_vars), {});
@@ -58,7 +88,7 @@ MultiVarTrainReport MultiVariateEmulator::train(
       config_.threads == 0 ? common::default_thread_count() : config_.threads;
 
   for (index_t v = 0; v < num_vars; ++v) {
-    const climate::ClimateDataset& data = *variables[static_cast<std::size_t>(v)];
+    const climate::ClimateDataset& data = *sources[static_cast<std::size_t>(v)];
     auto& var_trend = trend_[static_cast<std::size_t>(v)];
     var_trend.assign(static_cast<std::size_t>(num_points), stats::TrendModel{});
     common::parallel_for(
@@ -84,11 +114,12 @@ MultiVarTrainReport MultiVariateEmulator::train(
     });
 
     auto& nug = nugget_var_[static_cast<std::size_t>(v)];
-    nug.assign(static_cast<std::size_t>(num_points), 0.0);
-    std::mutex nug_mu;
-    common::parallel_for(
+    // Deterministic reduction (see emulator.cpp): fixed chunking and ordered
+    // combine keep the nugget section bit-identical across --threads.
+    nug = common::parallel_reduce(
         0, R * T,
-        [&](index_t rt) {
+        std::vector<double>(static_cast<std::size_t>(num_points), 0.0),
+        [&](std::vector<double>& acc, index_t rt) {
           const index_t r = rt / T;
           const index_t t = rt % T;
           const auto obs = data.field(r, t);
@@ -107,11 +138,16 @@ MultiVarTrainReport MultiVariateEmulator::train(
                                    static_cast<std::size_t>(joint_dim) +
                         static_cast<std::size_t>(v * n_coeff));
           const auto back = plan_->synthesize(coeffs);
-          std::lock_guard<std::mutex> lock(nug_mu);
           for (index_t p = 0; p < num_points; ++p) {
             const double e = z[static_cast<std::size_t>(p)] -
                              back[static_cast<std::size_t>(p)];
-            nug[static_cast<std::size_t>(p)] += e * e;
+            acc[static_cast<std::size_t>(p)] += e * e;
+          }
+        },
+        [num_points](std::vector<double>& into, std::vector<double>&& from) {
+          for (index_t p = 0; p < num_points; ++p) {
+            into[static_cast<std::size_t>(p)] +=
+                from[static_cast<std::size_t>(p)];
           }
         },
         threads);
@@ -171,6 +207,8 @@ MultiVarTrainReport MultiVariateEmulator::train(
       prepared.u, nb, linalg::make_band_policy(nt, config_.cholesky_variant));
   runtime::RtCholeskyOptions rt_opt;
   rt_opt.threads = config_.threads;
+  rt_opt.stall_timeout_seconds = config_.stall_timeout_seconds;
+  rt_opt.stall_grace_seconds = config_.stall_grace_seconds;
   runtime::cholesky_tiled_parallel(tiled, rt_opt);
   factor_ = tiled.to_dense(/*lower_only=*/true);
 

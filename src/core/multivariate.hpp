@@ -33,6 +33,10 @@ struct MultiVarTrainReport {
   bool covariance_deficient = false;
   index_t joint_dimension = 0;  ///< V * L^2
   index_t innovation_samples = 0;
+
+  // Input-screening outcomes, summed over variables.
+  index_t validation_flagged = 0;
+  index_t validation_quarantined = 0;
 };
 
 /// Jointly trained emulator over several co-located variables.

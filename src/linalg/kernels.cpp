@@ -437,6 +437,16 @@ struct Blocked {
 
 }  // namespace
 
+void trim_thread_scratch_on_pressure() {
+  // Memory-pressure ladder rung 2, polled by the scheduler between tasks —
+  // the only point where the calling worker provably holds no live arena
+  // pointers (syrk keeps its diag scratch alive across nested gemm calls, so
+  // trimming inside a kernel would dangle). Two relaxed atomic loads when no
+  // pressure was signalled.
+  Blocked<float>::scratch().arena.maybe_trim_on_pressure();
+  Blocked<double>::scratch().arena.maybe_trim_on_pressure();
+}
+
 // --- Blocked entry points ----------------------------------------------------
 
 void potrf_lower_f64(double* a, index_t n) { Blocked<double>::potrf(a, n); }

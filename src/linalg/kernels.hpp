@@ -56,6 +56,12 @@ class ScopedTileContext {
 /// this thread, "" otherwise. Appended to kernel failure messages.
 std::string tile_context_suffix();
 
+/// Memory-pressure ladder rung 2: trims the calling thread's blocked-kernel
+/// scratch arenas if the MemoryBudget pressure epoch moved since the last
+/// call. Must only be called when no kernel is running on this thread (the
+/// scheduler calls it between tasks). Near-free when there is no pressure.
+void trim_thread_scratch_on_pressure();
+
 // --- Factorization kernels -------------------------------------------------
 //
 // The primary entry points below run the cache-blocked engine: packed panels

@@ -32,8 +32,10 @@ double PrecisionMap::storage_bytes(index_t n, index_t nb) const {
 TileBuffer::TileBuffer(Precision p, index_t rows, index_t cols)
     : prec_(p), rows_(rows), cols_(cols) {
   EXACLIM_CHECK(rows >= 0 && cols >= 0, "tile dimensions must be >= 0");
-  bytes_.assign(static_cast<std::size_t>(rows * cols) * precision_bytes(p),
-                std::byte{0});
+  const std::size_t bytes =
+      static_cast<std::size_t>(rows * cols) * precision_bytes(p);
+  charge_ = common::ScopedCharge("tile-matrix", bytes);
+  bytes_.assign(bytes, std::byte{0});
 }
 
 double* TileBuffer::f64() {
@@ -129,6 +131,10 @@ void TileBuffer::convert_to(Precision p) {
   if (p == prec_) return;
   std::vector<double> scratch(static_cast<std::size_t>(count()));
   store_f64(scratch.data());
+  // Re-charge at the new width before touching the payload: an escalation
+  // that would blow the budget fails as ResourceError with the tile intact.
+  charge_.rebind("tile-matrix",
+                 static_cast<std::size_t>(count()) * precision_bytes(p));
   prec_ = p;
   scale_ = 1.0f;
   bytes_.assign(static_cast<std::size_t>(count()) * precision_bytes(p),
@@ -144,7 +150,20 @@ TiledSymmetricMatrix::TiledSymmetricMatrix(index_t n, index_t nb,
   tiles_.reserve(static_cast<std::size_t>(nt_ * (nt_ + 1) / 2));
   for (index_t i = 0; i < nt_; ++i) {
     for (index_t j = 0; j <= i; ++j) {
-      tiles_.emplace_back(map_.at(i, j), tile_rows(i), tile_rows(j));
+      try {
+        tiles_.emplace_back(map_.at(i, j), tile_rows(i), tile_rows(j));
+      } catch (const ResourceError&) {
+        // Budget ladder rung 3: retry this tile one notch narrower. Only
+        // off-diagonal tiles are eligible — diagonal tiles feed POTRF, whose
+        // conditioning must not silently degrade. Scaled FP16 keeps entries
+        // of any magnitude finite (PR-3 scaling), so narrowing is lossy but
+        // never saturating. If even FP16 does not fit, the ResourceError
+        // propagates with the site name.
+        if (i == j || map_.at(i, j) == Precision::FP16) throw;
+        map_.at(i, j) = Precision::FP16;
+        tiles_.emplace_back(Precision::FP16, tile_rows(i), tile_rows(j));
+        ++degraded_for_memory_;
+      }
     }
   }
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/half.hpp"
+#include "common/memory.hpp"
 #include "common/types.hpp"
 #include "linalg/kernels.hpp"
 #include "linalg/matrix.hpp"
@@ -100,6 +101,10 @@ class TileBuffer {
   index_t rows_ = 0;
   index_t cols_ = 0;
   float scale_ = 1.0f;
+  /// Budget accounting for bytes_ (charged before allocation; copies charge
+  /// again, moves transfer). Exhaustion throws ResourceError at the
+  /// construction/conversion site instead of bad_alloc mid-DAG.
+  common::ScopedCharge charge_;
   std::vector<std::byte> bytes_;
 };
 
@@ -135,12 +140,17 @@ class TiledSymmetricMatrix {
   /// Total bytes held by tile buffers.
   double storage_bytes() const;
 
+  /// Off-diagonal tiles narrowed to scaled FP16 at construction because
+  /// their mapped precision did not fit the memory budget (ladder rung 3).
+  index_t tiles_degraded_for_memory() const { return degraded_for_memory_; }
+
  private:
   index_t n_ = 0;
   index_t nb_ = 0;
   index_t nt_ = 0;
   PrecisionMap map_;
   std::vector<TileBuffer> tiles_;  // packed lower triangle
+  index_t degraded_for_memory_ = 0;
 };
 
 }  // namespace exaclim::linalg

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/framing.hpp"
+#include "common/memory.hpp"
 
 namespace exaclim::runtime {
 
@@ -26,7 +27,21 @@ struct Header {
 
 void write_cholesky_checkpoint(const std::string& path,
                                const linalg::TiledSymmetricMatrix& a,
-                               const std::vector<std::uint8_t>& kernel_done) {
+                               const std::vector<std::uint8_t>& kernel_done,
+                               common::SyncPolicy sync) {
+  // Charge the serialized image up front: tile payloads dominate, plus the
+  // done bitmap and per-tile/section framing overhead. The committed image
+  // (section buffers + final assembly) briefly holds ~2x the payload; charge
+  // that so the budget reflects the real high-water mark.
+  std::size_t payload = kernel_done.size() + sizeof(Header) + 4096;
+  const index_t ntr = a.num_tile_rows();
+  for (index_t i = 0; i < ntr; ++i) {
+    for (index_t j = 0; j <= i; ++j) {
+      payload += a.tile(i, j).raw_size() + 16;
+    }
+  }
+  common::ScopedCharge image_charge("checkpoint-image", 2 * payload);
+
   common::FramedWriter writer(kMagic);
 
   common::ByteWriter header;
@@ -53,7 +68,7 @@ void write_cholesky_checkpoint(const std::string& path,
   }
   writer.add_section(kSectionTiles, tiles);
 
-  writer.commit(path);
+  writer.commit(path, sync);
 }
 
 std::vector<std::uint8_t> read_cholesky_checkpoint(

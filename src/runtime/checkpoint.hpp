@@ -18,15 +18,21 @@
 #include <string>
 #include <vector>
 
+#include "common/io.hpp"
 #include "linalg/tile_matrix.hpp"
 
 namespace exaclim::runtime {
 
 /// Atomically writes a checkpoint of `a` with the given kernel-task
-/// completion bitmap.
+/// completion bitmap. `sync` is the durability policy (--checkpoint-sync):
+/// Full survives power loss, Data/None trade that for write throughput.
+/// The in-memory image is charged against the MemoryBudget (site
+/// "checkpoint-image") before it is built, so an over-budget checkpoint
+/// fails with a structured ResourceError instead of a bad_alloc abort.
 void write_cholesky_checkpoint(const std::string& path,
                                const linalg::TiledSymmetricMatrix& a,
-                               const std::vector<std::uint8_t>& kernel_done);
+                               const std::vector<std::uint8_t>& kernel_done,
+                               common::SyncPolicy sync = common::SyncPolicy::Full);
 
 /// Restores tile payloads (including any escalated precisions) into `a` and
 /// returns the kernel-task completion bitmap. Throws IoError on corruption,

@@ -52,4 +52,36 @@ class TaskFailure : public Error {
   int attempts_;
 };
 
+/// Thrown when the stall watchdog observes no task completion for the
+/// configured timeout plus grace period. The per-worker state dump (current
+/// task, deque depth, park status) has already gone to stderr — and to the
+/// Perfetto trace when one is being collected — by the time this propagates;
+/// the message carries the run-level numbers an operator triages first.
+class StallError : public Error {
+ public:
+  StallError(double stalled_seconds, index_t completed, index_t total)
+      : Error(format(stalled_seconds, completed, total)),
+        stalled_seconds_(stalled_seconds),
+        completed_(completed),
+        total_(total) {}
+
+  double stalled_seconds() const { return stalled_seconds_; }
+  index_t completed() const { return completed_; }
+  index_t total() const { return total_; }
+
+ private:
+  static std::string format(double stalled_seconds, index_t completed,
+                            index_t total) {
+    std::ostringstream os;
+    os << "scheduler stalled: no task completed for " << stalled_seconds
+       << " s with " << completed << " of " << total
+       << " tasks done; per-worker state was dumped to stderr";
+    return os.str();
+  }
+
+  double stalled_seconds_;
+  index_t completed_;
+  index_t total_;
+};
+
 }  // namespace exaclim::runtime

@@ -5,15 +5,19 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/memory.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "common/work_steal_deque.hpp"
+#include "linalg/kernels.hpp"
 #include "runtime/failure.hpp"
 
 namespace exaclim::runtime {
@@ -27,6 +31,12 @@ constexpr TaskId kNil = -1;
 struct alignas(64) WorkerState {
   common::WorkStealDeque<TaskId> deque;
   std::atomic<TaskId> mail_head{kNil};
+
+  // Watchdog-visible state: what this worker is doing right now. Written by
+  // the owner around each task / park, read by the watchdog thread when it
+  // dumps a stall report.
+  std::atomic<TaskId> current{kNil};
+  std::atomic<bool> parked{false};
 
   // Private counters, merged into RunStats after the run.
   index_t steal_hits = 0;
@@ -112,11 +122,15 @@ struct ExecContext {
 
   index_t pre_done = 0;  ///< tasks satisfied before the run (resume pruning)
   std::atomic<index_t> completed{0};
+  /// Stall-watchdog dump count (merged into RunStats::stall_dumps).
+  std::atomic<index_t> stall_dumps{0};
   /// Execution slots claimed against options.task_budget.
   std::atomic<index_t> budget_claims{0};
   /// Set when the task budget is exhausted: workers stop dispatching and the
   /// run quiesces at a task boundary (checkpointable state).
   std::atomic<bool> draining{false};
+  /// Tells the watchdog thread the run barrier has been crossed.
+  std::atomic<bool> watchdog_stop{false};
   /// Ranks that actually entered the run: when the team is busy the region
   /// degrades to the caller alone, and stats must report that, not the
   /// planned width (a serial run would otherwise read as ~6% efficiency).
@@ -233,11 +247,91 @@ struct ExecContext {
   void worker(unsigned me);
   bool run_with_retry(WorkerState& my, TaskId id, const Task& t);
   void record_failure(std::exception_ptr error);
+  void dump_stall(double stalled_seconds);
+  void watchdog();
 };
 
 void ExecContext::record_failure(std::exception_ptr error) {
   std::lock_guard<std::mutex> lock(error_mu);
   if (!failed.exchange(true)) first_error = error;
+}
+
+/// Renders every participant's instantaneous state — the triage view for a
+/// wedged run — to stderr, and into the trace as zero-length events when one
+/// is being collected. Reads are racy-by-design (relaxed snapshot of live
+/// atomics); the dump describes a moment, not a barrier.
+void ExecContext::dump_stall(double stalled_seconds) {
+  const double now = clock.seconds();
+  std::ostringstream os;
+  os << "[exaclim stall watchdog] no task completed in " << stalled_seconds
+     << " s (" << completed.load(std::memory_order_acquire) << " of " << n
+     << " tasks done); per-worker state:\n";
+  for (unsigned w = 0; w < participants; ++w) {
+    WorkerState& ws = *workers[w];
+    const TaskId cur = ws.current.load(std::memory_order_acquire);
+    std::ostringstream line;
+    line << "worker " << w << ": ";
+    if (cur != kNil) {
+      const Task& t = graph.task(cur);
+      line << "running " << task_kind_name(t.kind);
+      if (t.home_row >= 0 || t.home_col >= 0) {
+        line << " tile (" << t.home_row << "," << t.home_col << ")";
+      }
+    } else {
+      line << "idle";
+    }
+    line << " | deque~" << ws.deque.size_estimate() << " | "
+         << (ws.parked.load(std::memory_order_acquire) ? "parked" : "awake");
+    os << "  " << line.str() << "\n";
+    if (trace != nullptr && options.collect_trace) {
+      trace->record({"(stall) " + line.str(), w, now, now});
+    }
+  }
+  std::fputs(os.str().c_str(), stderr);
+  std::fflush(stderr);
+  stall_dumps.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Watchdog thread body. Progress = the completed counter moving; a window
+/// of stall_timeout_seconds without movement triggers one state dump, and a
+/// stall persisting through the grace period fails the run: injected hangs
+/// are aborted (so the hung worker unwinds and the team barrier releases)
+/// and a structured StallError is recorded as the run's failure. A task
+/// that is genuinely wedged in non-cooperative code cannot be interrupted —
+/// the dump still fires, which is what tells the operator where it is.
+void ExecContext::watchdog() {
+  const double timeout = options.stall_timeout_seconds;
+  const double grace =
+      options.stall_grace_seconds > 0.0 ? options.stall_grace_seconds : timeout;
+  index_t last_completed = completed.load(std::memory_order_acquire);
+  double last_progress = clock.seconds();
+  bool dumped = false;
+  while (!watchdog_stop.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    if (failed.load(std::memory_order_relaxed) ||
+        draining.load(std::memory_order_acquire)) {
+      continue;  // run is already unwinding; nothing to police
+    }
+    const index_t now_completed = completed.load(std::memory_order_acquire);
+    const double now = clock.seconds();
+    if (now_completed != last_completed || now_completed >= n) {
+      last_completed = now_completed;
+      last_progress = now;
+      dumped = false;
+      continue;
+    }
+    const double stalled = now - last_progress;
+    if (!dumped && stalled >= timeout) {
+      dump_stall(stalled);
+      dumped = true;
+    }
+    if (dumped && stalled >= timeout + grace) {
+      record_failure(std::make_exception_ptr(
+          StallError(stalled, now_completed, n)));
+      common::FaultInjector::instance().abort_hangs();
+      wake_workers();  // parked workers must observe the failure and exit
+    }
+  }
 }
 
 /// Runs one task under the retry policy. Returns true on success; on
@@ -327,6 +421,7 @@ void ExecContext::worker(unsigned me) {
       ++my.parks;
       const double park_t0 = clock.seconds();
       sleepers.fetch_add(1, std::memory_order_acq_rel);
+      my.parked.store(true, std::memory_order_release);
       {
         std::unique_lock<std::mutex> lock(idle_mu);
         idle_cv.wait_for(lock, park_us, [&] {
@@ -336,6 +431,7 @@ void ExecContext::worker(unsigned me) {
                  draining.load(std::memory_order_acquire);
         });
       }
+      my.parked.store(false, std::memory_order_release);
       sleepers.fetch_sub(1, std::memory_order_acq_rel);
       if (trace != nullptr && options.collect_trace) {
         trace->record_park({"", me, park_t0, clock.seconds()});
@@ -360,7 +456,14 @@ void ExecContext::worker(unsigned me) {
 
     const Task& t = graph.task(id);
     const double t0 = clock.seconds();
-    if (!run_with_retry(my, id, t)) {
+    my.current.store(id, std::memory_order_release);
+    const bool ok = run_with_retry(my, id, t);
+    my.current.store(kNil, std::memory_order_release);
+    // Memory-pressure ladder rung 2: between tasks is the one point where no
+    // kernel on this thread holds scratch-arena pointers, so trimming the
+    // thread's packing arenas here is safe. Near-free without pressure.
+    linalg::trim_thread_scratch_on_pressure();
+    if (!ok) {
       completed.fetch_add(1, std::memory_order_release);
       wake_workers();  // parked workers must observe the failure
       return;
@@ -479,11 +582,32 @@ RunStats execute(const TaskGraph& graph, const SchedulerOptions& options,
     }
   }
 
+  const std::uint64_t pressure_before =
+      common::MemoryBudget::instance().pressure_epoch();
+
   common::Timer global;
+  std::thread watchdog;
+  if (options.stall_timeout_seconds > 0.0) {
+    watchdog = std::thread([&ctx] { ctx.watchdog(); });
+  }
   team.run(
       participants,
       [](void* p, unsigned rank) { static_cast<ExecContext*>(p)->worker(rank); },
       &ctx);
+  if (watchdog.joinable()) {
+    ctx.watchdog_stop.store(true, std::memory_order_release);
+    watchdog.join();
+  }
+
+  // Memory-pressure ladder rung 1: all workers have joined the barrier, so
+  // no steal can be in flight and retired deque rings are safe to free. Only
+  // bother when pressure actually fired during the run.
+  if (common::MemoryBudget::instance().pressure_epoch() != pressure_before) {
+    std::size_t freed = 0;
+    for (auto& w : ctx.workers) freed += w->deque.release_retired();
+    if (freed > 0) common::MemoryBudget::instance().note_reclaimed(freed);
+    stats.retired_ring_bytes_freed = freed;
+  }
 
   stats.seconds = global.seconds();
   stats.threads = std::max(1u, ctx.joined.load());
@@ -508,6 +632,7 @@ RunStats execute(const TaskGraph& graph, const SchedulerOptions& options,
     stats.busy_seconds += ws.busy;
   }
   stats.counters.wakes = ctx.wakes.load();
+  stats.stall_dumps = ctx.stall_dumps.load();
   stats.steals = stats.counters.steal_hits;
   if (trace != nullptr && options.collect_trace) {
     trace->set_counters(stats.counters);

@@ -14,6 +14,7 @@
 // in priority order.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -45,6 +46,16 @@ struct SchedulerOptions {
   /// task in graph order, non-zero = done. The scheduler prunes them — their
   /// dependents see them as completed and they are never dispatched.
   const std::vector<std::uint8_t>* already_done = nullptr;
+  /// Stall watchdog: when > 0, a monitor thread watches the run and, if no
+  /// task completes for this many seconds, dumps per-worker state (current
+  /// task kind/tile, deque depth, park status) to stderr and the trace. If
+  /// the stall then persists through the grace period the run is failed with
+  /// a structured StallError: injected hangs are aborted so workers unwind,
+  /// and the error propagates once the run quiesces. 0 disables the watchdog.
+  double stall_timeout_seconds = 0.0;
+  /// Extra time after the first stall dump before the run is failed.
+  /// <= 0 means "same as stall_timeout_seconds".
+  double stall_grace_seconds = 0.0;
 };
 
 struct RunStats {
@@ -59,6 +70,14 @@ struct RunStats {
   /// True when every task in the graph has completed (a budgeted run that
   /// exhausted its budget first reports false).
   bool finished_all = false;
+
+  /// Times the stall watchdog saw a no-progress window and dumped worker
+  /// state (a run can recover after a dump; > 0 with success still signals
+  /// the run needs a look).
+  index_t stall_dumps = 0;
+  /// Bytes reclaimed by the memory-pressure ladder at the end-of-run
+  /// barrier (retired work-stealing rings, rung 1).
+  std::size_t retired_ring_bytes_freed = 0;
 
   /// Scheduler health counters: steal hit/miss, park/wake, affinity.
   TraceCounters counters;

@@ -583,6 +583,8 @@ void merge_run_stats(RunStats& total, const RunStats& round) {
   total.counters.affinity_misses += round.counters.affinity_misses;
   total.counters.transient_retries += round.counters.transient_retries;
   total.counters.recoveries += round.counters.recoveries;
+  total.stall_dumps += round.stall_dumps;
+  total.retired_ring_bytes_freed += round.retired_ring_bytes_freed;
   if (total.worker_busy_seconds.size() < round.worker_busy_seconds.size()) {
     total.worker_busy_seconds.resize(round.worker_busy_seconds.size(), 0.0);
   }
@@ -636,6 +638,8 @@ RtCholeskyResult cholesky_tiled_parallel(linalg::TiledSymmetricMatrix& a,
   SchedulerOptions sched;
   sched.threads = options.threads;
   sched.collect_trace = options.collect_trace;
+  sched.stall_timeout_seconds = options.stall_timeout_seconds;
+  sched.stall_grace_seconds = options.stall_grace_seconds;
   const bool periodic =
       !ft.checkpoint_path.empty() && ft.checkpoint_every > 0;
   sched.task_budget = periodic ? ft.checkpoint_every : 0;
@@ -645,7 +649,7 @@ RtCholeskyResult cholesky_tiled_parallel(linalg::TiledSymmetricMatrix& a,
     for (std::size_t s = 0; s < kd.size(); ++s) {
       kd[s] = done[static_cast<std::size_t>(kernel_ids[s])];
     }
-    write_cholesky_checkpoint(ft.checkpoint_path, a, kd);
+    write_cholesky_checkpoint(ft.checkpoint_path, a, kd, ft.checkpoint_sync);
     ++result.checkpoints_written;
   };
 

@@ -21,6 +21,7 @@
 #include <memory>
 #include <string>
 
+#include "common/io.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/tile_matrix.hpp"
 #include "runtime/scheduler.hpp"
@@ -50,12 +51,21 @@ struct FaultToleranceOptions {
   std::string checkpoint_path;
   index_t checkpoint_every = 0;
   std::string resume_path;
+  /// Durability policy for checkpoint writes (--checkpoint-sync): Full
+  /// fsyncs file + directory, Data fdatasyncs the file only, None skips
+  /// syncing entirely. Atomic-rename crash consistency holds for all three.
+  common::SyncPolicy checkpoint_sync = common::SyncPolicy::Full;
 };
 
 struct RtCholeskyOptions {
   linalg::ConversionPlacement placement = linalg::ConversionPlacement::Sender;
   unsigned threads = 0;  ///< 0 = hardware concurrency
   bool collect_trace = false;
+  /// Stall watchdog (see SchedulerOptions): > 0 arms a monitor that dumps
+  /// per-worker state after this many seconds without a task completing and
+  /// fails the run with StallError once the grace period also lapses.
+  double stall_timeout_seconds = 0.0;
+  double stall_grace_seconds = 0.0;  ///< <= 0: same as the timeout
   FaultToleranceOptions ft;
 };
 

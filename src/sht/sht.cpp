@@ -282,38 +282,60 @@ std::vector<cplx> analyze_reference(index_t band_limit, GridShape grid,
 
   // Build the synthesis design matrix B (n_pts x n_coeff) over the packed
   // real representation, then solve the normal equations B^T B c = B^T y.
-  std::vector<double> bt_b(static_cast<std::size_t>(n_coeff * n_coeff), 0.0);
-  std::vector<double> bt_y(static_cast<std::size_t>(n_coeff), 0.0);
-  std::vector<double> leg;
-  std::vector<double> row(static_cast<std::size_t>(n_coeff));
+  // The accumulation is a chunk-deterministic parallel_reduce over rings:
+  // identical chunk boundaries and combine order at any thread count, so the
+  // oracle stays bit-stable (it backs bit-identity tests elsewhere).
+  struct NormalEq {
+    std::vector<double> btb;
+    std::vector<double> bty;
+  };
+  NormalEq init;
+  init.btb.assign(static_cast<std::size_t>(n_coeff * n_coeff), 0.0);
+  init.bty.assign(static_cast<std::size_t>(n_coeff), 0.0);
   const double sqrt2 = std::sqrt(2.0);
 
-  for (index_t i = 0; i < grid.nlat; ++i) {
-    legendre_all(band_limit, std::cos(grid.colatitude(i)), leg);
-    for (index_t j = 0; j < grid.nlon; ++j) {
-      const double phi = grid.longitude(j);
-      for (index_t l = 0; l < band_limit; ++l) {
-        index_t out = l * l;
-        row[static_cast<std::size_t>(out++)] =
-            leg[static_cast<std::size_t>(tri_index(l, 0))];
-        for (index_t m = 1; m <= l; ++m) {
-          const double p = leg[static_cast<std::size_t>(tri_index(l, m))];
-          row[static_cast<std::size_t>(out++)] =
-              sqrt2 * p * std::cos(m * phi);
-          row[static_cast<std::size_t>(out++)] =
-              -sqrt2 * p * std::sin(m * phi);
+  NormalEq normal = common::parallel_reduce(
+      0, grid.nlat, init,
+      [&](NormalEq& acc, index_t i) {
+        std::vector<double> leg;
+        std::vector<double> row(static_cast<std::size_t>(n_coeff));
+        legendre_all(band_limit, std::cos(grid.colatitude(i)), leg);
+        for (index_t j = 0; j < grid.nlon; ++j) {
+          const double phi = grid.longitude(j);
+          for (index_t l = 0; l < band_limit; ++l) {
+            index_t out = l * l;
+            row[static_cast<std::size_t>(out++)] =
+                leg[static_cast<std::size_t>(tri_index(l, 0))];
+            for (index_t m = 1; m <= l; ++m) {
+              const double p = leg[static_cast<std::size_t>(tri_index(l, m))];
+              row[static_cast<std::size_t>(out++)] =
+                  sqrt2 * p * std::cos(m * phi);
+              row[static_cast<std::size_t>(out++)] =
+                  -sqrt2 * p * std::sin(m * phi);
+            }
+          }
+          const double y = field[static_cast<std::size_t>(i * grid.nlon + j)];
+          for (index_t a = 0; a < n_coeff; ++a) {
+            acc.bty[static_cast<std::size_t>(a)] +=
+                row[static_cast<std::size_t>(a)] * y;
+            for (index_t b = a; b < n_coeff; ++b) {
+              acc.btb[static_cast<std::size_t>(a * n_coeff + b)] +=
+                  row[static_cast<std::size_t>(a)] *
+                  row[static_cast<std::size_t>(b)];
+            }
+          }
         }
-      }
-      const double y = field[static_cast<std::size_t>(i * grid.nlon + j)];
-      for (index_t a = 0; a < n_coeff; ++a) {
-        bt_y[static_cast<std::size_t>(a)] += row[static_cast<std::size_t>(a)] * y;
-        for (index_t b = a; b < n_coeff; ++b) {
-          bt_b[static_cast<std::size_t>(a * n_coeff + b)] +=
-              row[static_cast<std::size_t>(a)] * row[static_cast<std::size_t>(b)];
+      },
+      [](NormalEq& into, NormalEq&& from) {
+        for (std::size_t k = 0; k < into.btb.size(); ++k) {
+          into.btb[k] += from.btb[k];
         }
-      }
-    }
-  }
+        for (std::size_t k = 0; k < into.bty.size(); ++k) {
+          into.bty[k] += from.bty[k];
+        }
+      });
+  std::vector<double> bt_b = std::move(normal.btb);
+  std::vector<double> bt_y = std::move(normal.bty);
   // Symmetrize and solve with plain Gaussian elimination w/ partial pivoting
   // (self-contained so the SHT oracle does not depend on linalg/).
   for (index_t a = 0; a < n_coeff; ++a) {

@@ -1,10 +1,46 @@
 #include "stats/covariance.hpp"
 
+#include <cmath>
+#include <limits>
+#include <sstream>
+
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "linalg/solve.hpp"
 
 namespace exaclim::stats {
+
+namespace {
+
+// Location of the first (row-major) non-finite entry, or row = -1 if clean.
+struct BadEntry {
+  index_t row = -1;
+  index_t col = -1;
+  double value = 0.0;
+};
+
+// Deterministic scan of the full matrix for NaN/Inf: chunk-stable reduce
+// over rows, keeping the lexicographically first offender so the error
+// message is identical at any thread count.
+BadEntry first_non_finite(const linalg::Matrix& m, unsigned threads) {
+  return common::parallel_reduce(
+      0, m.rows(), BadEntry{},
+      [&](BadEntry& acc, index_t i) {
+        if (acc.row >= 0) return;
+        for (index_t j = 0; j < m.cols(); ++j) {
+          if (!std::isfinite(m(i, j))) {
+            acc = BadEntry{i, j, m(i, j)};
+            return;
+          }
+        }
+      },
+      [](BadEntry& into, BadEntry&& from) {
+        if (into.row < 0) into = from;
+      },
+      threads);
+}
+
+}  // namespace
 
 linalg::Matrix empirical_covariance(const linalg::Matrix& samples) {
   return empirical_covariance_parallel(samples, 1);
@@ -38,6 +74,53 @@ PreparedCovariance prepare_covariance(const linalg::Matrix& samples,
   PreparedCovariance out;
   out.u = empirical_covariance_parallel(samples);
   out.was_deficient = samples.rows() < samples.cols();
+
+  // SPD pre-checks before any tile is built: fail here with coordinates, not
+  // three levels down in a POTRF task.
+  const BadEntry bad = first_non_finite(out.u, 0);
+  if (bad.row >= 0) {
+    std::ostringstream os;
+    os << "empirical covariance has non-finite entry " << bad.value << " at ("
+       << bad.row << ", " << bad.col
+       << ") — input contains NaN/Inf or overflowed; validate the dataset";
+    throw NumericalError(os.str());
+  }
+  struct DiagStats {
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    index_t min_at = -1;
+  };
+  const DiagStats diag = common::parallel_reduce(
+      0, out.u.rows(), DiagStats{},
+      [&](DiagStats& acc, index_t i) {
+        const double v = out.u(i, i);
+        if (v < acc.min) {
+          acc.min = v;
+          acc.min_at = i;
+        }
+        if (v > acc.max) acc.max = v;
+      },
+      [](DiagStats& into, DiagStats&& from) {
+        if (from.min < into.min) {
+          into.min = from.min;
+          into.min_at = from.min_at;
+        }
+        if (from.max > into.max) into.max = from.max;
+      },
+      0);
+  if (out.u.rows() > 0 && diag.min <= 0.0) {
+    std::ostringstream os;
+    os << "empirical covariance diagonal is non-positive: u(" << diag.min_at
+       << ", " << diag.min_at << ") = " << diag.min
+       << " — a variance cannot be <= 0; check for constant or quarantined-"
+          "to-death input fields";
+    throw NumericalError(os.str());
+  }
+  out.diag_condition =
+      out.u.rows() > 0 && diag.min > 0.0
+          ? diag.max / diag.min
+          : std::numeric_limits<double>::infinity();
+
   // Scale the jitter to the average diagonal so it is "minor" in the paper's
   // sense regardless of the data's units.
   double mean_diag = 0.0;

@@ -22,11 +22,19 @@ struct PreparedCovariance {
   linalg::Matrix u;        ///< (possibly jittered) covariance
   double jitter = 0.0;     ///< diagonal perturbation applied
   bool was_deficient = false;  ///< true iff N < d (paper's R(T-P) < L^2 case)
+  /// max(diag) / min(diag) of the raw empirical covariance — a cheap
+  /// condition proxy recorded before any jitter; +inf when min(diag) <= 0.
+  double diag_condition = 0.0;
 };
 
 /// Builds U-hat and, when the sample count is below the dimension (or the
 /// matrix is otherwise numerically indefinite), applies the paper's "minor
 /// perturbation along the diagonal".
+///
+/// Pre-checks run before any tile is built from the result: a non-finite
+/// entry or a non-positive diagonal in the raw empirical covariance throws
+/// NumericalError naming the offending (row, col) — malformed input fails
+/// here, structurally, instead of deep inside the factorization DAG.
 PreparedCovariance prepare_covariance(const linalg::Matrix& samples,
                                       double jitter_base = 1e-10);
 
