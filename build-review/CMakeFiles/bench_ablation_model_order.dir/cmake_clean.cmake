@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_model_order.dir/bench/bench_ablation_model_order.cpp.o"
+  "CMakeFiles/bench_ablation_model_order.dir/bench/bench_ablation_model_order.cpp.o.d"
+  "bench_ablation_model_order"
+  "bench_ablation_model_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_model_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

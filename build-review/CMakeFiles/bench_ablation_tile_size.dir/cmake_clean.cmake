@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tile_size.dir/bench/bench_ablation_tile_size.cpp.o"
+  "CMakeFiles/bench_ablation_tile_size.dir/bench/bench_ablation_tile_size.cpp.o.d"
+  "bench_ablation_tile_size"
+  "bench_ablation_tile_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tile_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

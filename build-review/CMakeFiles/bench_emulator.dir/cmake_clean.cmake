@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_emulator.dir/bench/bench_emulator.cpp.o"
+  "CMakeFiles/bench_emulator.dir/bench/bench_emulator.cpp.o.d"
+  "bench_emulator"
+  "bench_emulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_emulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_energy_sustainability.dir/bench/bench_energy_sustainability.cpp.o"
+  "CMakeFiles/bench_energy_sustainability.dir/bench/bench_energy_sustainability.cpp.o.d"
+  "bench_energy_sustainability"
+  "bench_energy_sustainability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_energy_sustainability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

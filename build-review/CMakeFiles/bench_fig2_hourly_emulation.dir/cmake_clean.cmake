@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_hourly_emulation.dir/bench/bench_fig2_hourly_emulation.cpp.o"
+  "CMakeFiles/bench_fig2_hourly_emulation.dir/bench/bench_fig2_hourly_emulation.cpp.o.d"
+  "bench_fig2_hourly_emulation"
+  "bench_fig2_hourly_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_hourly_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

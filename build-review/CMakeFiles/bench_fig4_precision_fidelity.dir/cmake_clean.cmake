@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_precision_fidelity.dir/bench/bench_fig4_precision_fidelity.cpp.o"
+  "CMakeFiles/bench_fig4_precision_fidelity.dir/bench/bench_fig4_precision_fidelity.cpp.o.d"
+  "bench_fig4_precision_fidelity"
+  "bench_fig4_precision_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_precision_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

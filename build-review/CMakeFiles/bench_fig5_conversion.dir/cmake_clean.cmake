@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_conversion.dir/bench/bench_fig5_conversion.cpp.o"
+  "CMakeFiles/bench_fig5_conversion.dir/bench/bench_fig5_conversion.cpp.o.d"
+  "bench_fig5_conversion"
+  "bench_fig5_conversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

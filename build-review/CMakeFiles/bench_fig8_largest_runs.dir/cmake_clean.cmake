@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_largest_runs.dir/bench/bench_fig8_largest_runs.cpp.o"
+  "CMakeFiles/bench_fig8_largest_runs.dir/bench/bench_fig8_largest_runs.cpp.o.d"
+  "bench_fig8_largest_runs"
+  "bench_fig8_largest_runs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_largest_runs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

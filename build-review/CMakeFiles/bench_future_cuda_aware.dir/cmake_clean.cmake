@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_future_cuda_aware.dir/bench/bench_future_cuda_aware.cpp.o"
+  "CMakeFiles/bench_future_cuda_aware.dir/bench/bench_future_cuda_aware.cpp.o.d"
+  "bench_future_cuda_aware"
+  "bench_future_cuda_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_future_cuda_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sht.dir/bench/bench_sht.cpp.o"
+  "CMakeFiles/bench_sht.dir/bench/bench_sht.cpp.o.d"
+  "bench_sht"
+  "bench_sht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_storage_savings.dir/bench/bench_storage_savings.cpp.o"
+  "CMakeFiles/bench_storage_savings.dir/bench/bench_storage_savings.cpp.o.d"
+  "bench_storage_savings"
+  "bench_storage_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_storage_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

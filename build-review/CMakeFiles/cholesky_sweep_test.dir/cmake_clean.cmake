@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cholesky_sweep_test.dir/tests/cholesky_sweep_test.cpp.o"
+  "CMakeFiles/cholesky_sweep_test.dir/tests/cholesky_sweep_test.cpp.o.d"
+  "cholesky_sweep_test"
+  "cholesky_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cholesky_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_test.dir/tests/climate_test.cpp.o"
+  "CMakeFiles/climate_test.dir/tests/climate_test.cpp.o.d"
+  "climate_test"
+  "climate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_test.dir/tests/energy_test.cpp.o"
+  "CMakeFiles/energy_test.dir/tests/energy_test.cpp.o.d"
+  "energy_test"
+  "energy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

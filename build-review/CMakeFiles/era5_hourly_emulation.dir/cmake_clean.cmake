@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/era5_hourly_emulation.dir/examples/era5_hourly_emulation.cpp.o"
+  "CMakeFiles/era5_hourly_emulation.dir/examples/era5_hourly_emulation.cpp.o.d"
+  "era5_hourly_emulation"
+  "era5_hourly_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/era5_hourly_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/climate/dataset.cpp" "CMakeFiles/exaclim.dir/src/climate/dataset.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/climate/dataset.cpp.o.d"
+  "/root/repo/src/climate/forcing.cpp" "CMakeFiles/exaclim.dir/src/climate/forcing.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/climate/forcing.cpp.o.d"
+  "/root/repo/src/climate/grid.cpp" "CMakeFiles/exaclim.dir/src/climate/grid.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/climate/grid.cpp.o.d"
+  "/root/repo/src/climate/storage_model.cpp" "CMakeFiles/exaclim.dir/src/climate/storage_model.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/climate/storage_model.cpp.o.d"
+  "/root/repo/src/climate/synthetic_esm.cpp" "CMakeFiles/exaclim.dir/src/climate/synthetic_esm.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/climate/synthetic_esm.cpp.o.d"
+  "/root/repo/src/climate/validate.cpp" "CMakeFiles/exaclim.dir/src/climate/validate.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/climate/validate.cpp.o.d"
+  "/root/repo/src/common/checksum.cpp" "CMakeFiles/exaclim.dir/src/common/checksum.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/common/checksum.cpp.o.d"
+  "/root/repo/src/common/fault.cpp" "CMakeFiles/exaclim.dir/src/common/fault.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/common/fault.cpp.o.d"
+  "/root/repo/src/common/framing.cpp" "CMakeFiles/exaclim.dir/src/common/framing.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/common/framing.cpp.o.d"
+  "/root/repo/src/common/half.cpp" "CMakeFiles/exaclim.dir/src/common/half.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/common/half.cpp.o.d"
+  "/root/repo/src/common/io.cpp" "CMakeFiles/exaclim.dir/src/common/io.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/common/io.cpp.o.d"
+  "/root/repo/src/common/math.cpp" "CMakeFiles/exaclim.dir/src/common/math.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/common/math.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "CMakeFiles/exaclim.dir/src/common/rng.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/common/rng.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "CMakeFiles/exaclim.dir/src/common/thread_pool.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/common/thread_pool.cpp.o.d"
+  "/root/repo/src/common/topology.cpp" "CMakeFiles/exaclim.dir/src/common/topology.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/common/topology.cpp.o.d"
+  "/root/repo/src/core/complexity.cpp" "CMakeFiles/exaclim.dir/src/core/complexity.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/core/complexity.cpp.o.d"
+  "/root/repo/src/core/consistency.cpp" "CMakeFiles/exaclim.dir/src/core/consistency.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/core/consistency.cpp.o.d"
+  "/root/repo/src/core/emulator.cpp" "CMakeFiles/exaclim.dir/src/core/emulator.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/core/emulator.cpp.o.d"
+  "/root/repo/src/core/multivariate.cpp" "CMakeFiles/exaclim.dir/src/core/multivariate.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/core/multivariate.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "CMakeFiles/exaclim.dir/src/core/serialize.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/core/serialize.cpp.o.d"
+  "/root/repo/src/fft/fft.cpp" "CMakeFiles/exaclim.dir/src/fft/fft.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/fft/fft.cpp.o.d"
+  "/root/repo/src/linalg/cholesky.cpp" "CMakeFiles/exaclim.dir/src/linalg/cholesky.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/linalg/cholesky.cpp.o.d"
+  "/root/repo/src/linalg/kernels.cpp" "CMakeFiles/exaclim.dir/src/linalg/kernels.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/linalg/kernels.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "CMakeFiles/exaclim.dir/src/linalg/matrix.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/linalg/matrix.cpp.o.d"
+  "/root/repo/src/linalg/precision_policy.cpp" "CMakeFiles/exaclim.dir/src/linalg/precision_policy.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/linalg/precision_policy.cpp.o.d"
+  "/root/repo/src/linalg/solve.cpp" "CMakeFiles/exaclim.dir/src/linalg/solve.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/linalg/solve.cpp.o.d"
+  "/root/repo/src/linalg/tile_matrix.cpp" "CMakeFiles/exaclim.dir/src/linalg/tile_matrix.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/linalg/tile_matrix.cpp.o.d"
+  "/root/repo/src/perfmodel/calibration.cpp" "CMakeFiles/exaclim.dir/src/perfmodel/calibration.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/perfmodel/calibration.cpp.o.d"
+  "/root/repo/src/perfmodel/cholesky_sim.cpp" "CMakeFiles/exaclim.dir/src/perfmodel/cholesky_sim.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/perfmodel/cholesky_sim.cpp.o.d"
+  "/root/repo/src/perfmodel/distribution.cpp" "CMakeFiles/exaclim.dir/src/perfmodel/distribution.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/perfmodel/distribution.cpp.o.d"
+  "/root/repo/src/perfmodel/energy.cpp" "CMakeFiles/exaclim.dir/src/perfmodel/energy.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/perfmodel/energy.cpp.o.d"
+  "/root/repo/src/perfmodel/event_sim.cpp" "CMakeFiles/exaclim.dir/src/perfmodel/event_sim.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/perfmodel/event_sim.cpp.o.d"
+  "/root/repo/src/perfmodel/machine.cpp" "CMakeFiles/exaclim.dir/src/perfmodel/machine.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/perfmodel/machine.cpp.o.d"
+  "/root/repo/src/runtime/checkpoint.cpp" "CMakeFiles/exaclim.dir/src/runtime/checkpoint.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/runtime/checkpoint.cpp.o.d"
+  "/root/repo/src/runtime/data_handle.cpp" "CMakeFiles/exaclim.dir/src/runtime/data_handle.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/runtime/data_handle.cpp.o.d"
+  "/root/repo/src/runtime/scheduler.cpp" "CMakeFiles/exaclim.dir/src/runtime/scheduler.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/runtime/scheduler.cpp.o.d"
+  "/root/repo/src/runtime/task_graph.cpp" "CMakeFiles/exaclim.dir/src/runtime/task_graph.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/runtime/task_graph.cpp.o.d"
+  "/root/repo/src/runtime/tiled_cholesky_rt.cpp" "CMakeFiles/exaclim.dir/src/runtime/tiled_cholesky_rt.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/runtime/tiled_cholesky_rt.cpp.o.d"
+  "/root/repo/src/runtime/trace.cpp" "CMakeFiles/exaclim.dir/src/runtime/trace.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/runtime/trace.cpp.o.d"
+  "/root/repo/src/sht/legendre.cpp" "CMakeFiles/exaclim.dir/src/sht/legendre.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/sht/legendre.cpp.o.d"
+  "/root/repo/src/sht/packing.cpp" "CMakeFiles/exaclim.dir/src/sht/packing.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/sht/packing.cpp.o.d"
+  "/root/repo/src/sht/resample.cpp" "CMakeFiles/exaclim.dir/src/sht/resample.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/sht/resample.cpp.o.d"
+  "/root/repo/src/sht/sht.cpp" "CMakeFiles/exaclim.dir/src/sht/sht.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/sht/sht.cpp.o.d"
+  "/root/repo/src/sht/wigner.cpp" "CMakeFiles/exaclim.dir/src/sht/wigner.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/sht/wigner.cpp.o.d"
+  "/root/repo/src/stats/ar.cpp" "CMakeFiles/exaclim.dir/src/stats/ar.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/stats/ar.cpp.o.d"
+  "/root/repo/src/stats/covariance.cpp" "CMakeFiles/exaclim.dir/src/stats/covariance.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/stats/covariance.cpp.o.d"
+  "/root/repo/src/stats/diagnostics.cpp" "CMakeFiles/exaclim.dir/src/stats/diagnostics.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/stats/diagnostics.cpp.o.d"
+  "/root/repo/src/stats/ljung_box.cpp" "CMakeFiles/exaclim.dir/src/stats/ljung_box.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/stats/ljung_box.cpp.o.d"
+  "/root/repo/src/stats/ols.cpp" "CMakeFiles/exaclim.dir/src/stats/ols.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/stats/ols.cpp.o.d"
+  "/root/repo/src/stats/trend.cpp" "CMakeFiles/exaclim.dir/src/stats/trend.cpp.o" "gcc" "CMakeFiles/exaclim.dir/src/stats/trend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

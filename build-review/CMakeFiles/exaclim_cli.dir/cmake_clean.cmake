@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exaclim_cli.dir/examples/exaclim_cli.cpp.o"
+  "CMakeFiles/exaclim_cli.dir/examples/exaclim_cli.cpp.o.d"
+  "exaclim_cli"
+  "exaclim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exaclim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

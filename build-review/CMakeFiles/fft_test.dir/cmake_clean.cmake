@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_test.dir/tests/fft_test.cpp.o"
+  "CMakeFiles/fft_test.dir/tests/fft_test.cpp.o.d"
+  "fft_test"
+  "fft_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp16_scaled_test.dir/tests/fp16_scaled_test.cpp.o"
+  "CMakeFiles/fp16_scaled_test.dir/tests/fp16_scaled_test.cpp.o.d"
+  "fp16_scaled_test"
+  "fp16_scaled_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp16_scaled_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legendre_test.dir/tests/legendre_test.cpp.o"
+  "CMakeFiles/legendre_test.dir/tests/legendre_test.cpp.o.d"
+  "legendre_test"
+  "legendre_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legendre_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

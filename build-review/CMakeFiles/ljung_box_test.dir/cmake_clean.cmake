@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ljung_box_test.dir/tests/ljung_box_test.cpp.o"
+  "CMakeFiles/ljung_box_test.dir/tests/ljung_box_test.cpp.o.d"
+  "ljung_box_test"
+  "ljung_box_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ljung_box_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

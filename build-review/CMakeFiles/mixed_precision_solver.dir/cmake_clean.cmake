@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_precision_solver.dir/examples/mixed_precision_solver.cpp.o"
+  "CMakeFiles/mixed_precision_solver.dir/examples/mixed_precision_solver.cpp.o.d"
+  "mixed_precision_solver"
+  "mixed_precision_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_precision_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

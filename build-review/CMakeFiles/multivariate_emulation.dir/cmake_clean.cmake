@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multivariate_emulation.dir/examples/multivariate_emulation.cpp.o"
+  "CMakeFiles/multivariate_emulation.dir/examples/multivariate_emulation.cpp.o.d"
+  "multivariate_emulation"
+  "multivariate_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multivariate_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

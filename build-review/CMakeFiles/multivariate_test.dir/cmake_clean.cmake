@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multivariate_test.dir/tests/multivariate_test.cpp.o"
+  "CMakeFiles/multivariate_test.dir/tests/multivariate_test.cpp.o.d"
+  "multivariate_test"
+  "multivariate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multivariate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

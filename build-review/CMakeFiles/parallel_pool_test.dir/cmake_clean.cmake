@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_pool_test.dir/tests/parallel_pool_test.cpp.o"
+  "CMakeFiles/parallel_pool_test.dir/tests/parallel_pool_test.cpp.o.d"
+  "parallel_pool_test"
+  "parallel_pool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

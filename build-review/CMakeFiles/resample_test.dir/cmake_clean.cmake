@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resample_test.dir/tests/resample_test.cpp.o"
+  "CMakeFiles/resample_test.dir/tests/resample_test.cpp.o.d"
+  "resample_test"
+  "resample_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resample_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

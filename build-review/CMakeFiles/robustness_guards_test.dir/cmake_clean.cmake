@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_guards_test.dir/tests/robustness_guards_test.cpp.o"
+  "CMakeFiles/robustness_guards_test.dir/tests/robustness_guards_test.cpp.o.d"
+  "robustness_guards_test"
+  "robustness_guards_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_guards_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

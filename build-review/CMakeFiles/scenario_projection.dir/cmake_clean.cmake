@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_projection.dir/examples/scenario_projection.cpp.o"
+  "CMakeFiles/scenario_projection.dir/examples/scenario_projection.cpp.o.d"
+  "scenario_projection"
+  "scenario_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

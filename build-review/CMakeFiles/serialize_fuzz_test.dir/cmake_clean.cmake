@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serialize_fuzz_test.dir/tests/serialize_fuzz_test.cpp.o"
+  "CMakeFiles/serialize_fuzz_test.dir/tests/serialize_fuzz_test.cpp.o.d"
+  "serialize_fuzz_test"
+  "serialize_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serialize_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serialize_precision_test.dir/tests/serialize_precision_test.cpp.o"
+  "CMakeFiles/serialize_precision_test.dir/tests/serialize_precision_test.cpp.o.d"
+  "serialize_precision_test"
+  "serialize_precision_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serialize_precision_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

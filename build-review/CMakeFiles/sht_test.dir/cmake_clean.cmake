@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sht_test.dir/tests/sht_test.cpp.o"
+  "CMakeFiles/sht_test.dir/tests/sht_test.cpp.o.d"
+  "sht_test"
+  "sht_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sht_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

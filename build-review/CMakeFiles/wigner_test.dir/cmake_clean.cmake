@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wigner_test.dir/tests/wigner_test.cpp.o"
+  "CMakeFiles/wigner_test.dir/tests/wigner_test.cpp.o.d"
+  "wigner_test"
+  "wigner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wigner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
