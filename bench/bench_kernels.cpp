@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -202,16 +203,25 @@ BENCHMARK(BM_CholeskyRuntimeThreads)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->Arg(24)
 
 // --- BENCH_kernels.json quick bench -----------------------------------------
 
+/// One kernel row. `gemm_gf` is the measured blocked-GEMM rate at the same
+/// precision and size, so every row carries `efficiency_vs_gemm` — the
+/// fraction of the engine's own ceiling this kernel reaches (the number the
+/// TRSM/POTRF critical-path work is judged by). Pass 0 for the GEMM row
+/// itself (reported as 1.0).
 std::string json_row(const char* kernel, const char* precision, index_t n,
-                     double flops, double blocked_s, double ref_s) {
+                     double flops, double blocked_s, double ref_s,
+                     double gemm_gf) {
+  const double gf = flops / blocked_s / 1e9;
   char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "{\"kernel\": \"%s\", \"precision\": \"%s\", \"n\": %lld, "
                 "\"gflops\": %.3f, \"ref_gflops\": %.3f, \"speedup\": %.3f, "
+                "\"efficiency_vs_gemm\": %.3f, "
                 "\"ms\": %.4f, \"ref_ms\": %.4f}",
-                kernel, precision, static_cast<long long>(n),
-                flops / blocked_s / 1e9, flops / ref_s / 1e9,
-                ref_s / blocked_s, blocked_s * 1e3, ref_s * 1e3);
+                kernel, precision, static_cast<long long>(n), gf,
+                flops / ref_s / 1e9, ref_s / blocked_s,
+                gemm_gf > 0.0 ? gf / gemm_gf : 1.0, blocked_s * 1e3,
+                ref_s * 1e3);
   return buf;
 }
 
@@ -231,7 +241,8 @@ void bench_type(const char* precision, exaclim::bench::JsonBench& out) {
       tb = time_op([&] { gemm_nt_minus_f32(a.data(), b.data(), c.data(), nb, nb, nb); });
       tr = time_op([&] { gemm_nt_minus_ref_f32(a.data(), b.data(), c.data(), nb, nb, nb); });
     }
-    out.add(json_row("gemm_nt", precision, nb, gemm_flops, tb, tr));
+    const double gemm_gf = gemm_flops / tb / 1e9;
+    out.add(json_row("gemm_nt", precision, nb, gemm_flops, tb, tr, 0.0));
 
     const double syrk_flops = static_cast<double>(nb) * nb * nb;  // lower half
     if constexpr (sizeof(T) == 8) {
@@ -241,7 +252,7 @@ void bench_type(const char* precision, exaclim::bench::JsonBench& out) {
       tb = time_op([&] { syrk_ln_minus_f32(a.data(), c.data(), nb, nb); });
       tr = time_op([&] { syrk_ln_minus_ref_f32(a.data(), c.data(), nb, nb); });
     }
-    out.add(json_row("syrk_ln", precision, nb, syrk_flops, tb, tr));
+    out.add(json_row("syrk_ln", precision, nb, syrk_flops, tb, tr, gemm_gf));
 
     // TRSM against the Cholesky factor of an SPD tile.
     std::vector<T> l(static_cast<std::size_t>(nb * nb));
@@ -265,7 +276,7 @@ void bench_type(const char* precision, exaclim::bench::JsonBench& out) {
       tb = time_op([&] { auto x = rhs; trsm_rlt_f32(lfac.data(), x.data(), nb, nb); });
       tr = time_op([&] { auto x = rhs; trsm_rlt_ref_f32(lfac.data(), x.data(), nb, nb); });
     }
-    out.add(json_row("trsm_rlt", precision, nb, trsm_flops, tb, tr));
+    out.add(json_row("trsm_rlt", precision, nb, trsm_flops, tb, tr, gemm_gf));
 
     const double potrf_flops = static_cast<double>(nb) * nb * nb / 3.0;
     if constexpr (sizeof(T) == 8) {
@@ -275,7 +286,7 @@ void bench_type(const char* precision, exaclim::bench::JsonBench& out) {
       tb = time_op([&] { auto x = l; potrf_lower_f32(x.data(), nb); });
       tr = time_op([&] { auto x = l; potrf_lower_ref_f32(x.data(), nb); });
     }
-    out.add(json_row("potrf", precision, nb, potrf_flops, tb, tr));
+    out.add(json_row("potrf", precision, nb, potrf_flops, tb, tr, gemm_gf));
   }
 }
 
@@ -311,7 +322,8 @@ void bench_f16(exaclim::bench::JsonBench& out) {
       gemm_nt_minus_f32(aw.data(), bw.data(), cw.data(), nb, nb, nb);
       convert_f32_to_f16(cw.data(), c16.data(), nb * nb);
     });
-    out.add(json_row("gemm_nt", "f16", nb, gemm_flops, tb, tr));
+    const double gemm_gf = gemm_flops / tb / 1e9;
+    out.add(json_row("gemm_nt", "f16", nb, gemm_flops, tb, tr, 0.0));
 
     const double syrk_flops = static_cast<double>(nb) * nb * nb;
     tb = time_op([&] {
@@ -325,7 +337,36 @@ void bench_f16(exaclim::bench::JsonBench& out) {
       syrk_ln_minus_f32(aw.data(), cw.data(), nb, nb);
       convert_f32_to_f16(cw.data(), c16.data(), nb * nb);
     });
-    out.add(json_row("syrk_ln", "f16", nb, syrk_flops, tb, tr));
+    out.add(json_row("syrk_ln", "f16", nb, syrk_flops, tb, tr, gemm_gf));
+
+    // HP TRSM task body, new vs old. New: packed-half solve straight off the
+    // stored halves + scale, then repack. Old: widen the scaled tile to a
+    // full f32 copy, run the f32 blocked TRSM, repack.
+    std::vector<float> lfac(static_cast<std::size_t>(nb * nb));
+    {
+      const Matrix dense = spd(nb);
+      for (index_t i = 0; i < nb; ++i) {
+        for (index_t j = 0; j < nb; ++j) {
+          lfac[static_cast<std::size_t>(i * nb + j)] =
+              static_cast<float>(dense(i, j));
+        }
+      }
+    }
+    potrf_lower_ref_f32(lfac.data(), nb);
+    std::vector<common::half> rhs16(static_cast<std::size_t>(nb * nb));
+    float sr = convert_f32_to_f16_scaled(random_tile<float>(nb, 5).data(),
+                                         rhs16.data(), nb * nb);
+    const double trsm_flops = static_cast<double>(nb) * nb * nb;
+    tb = time_op([&] {
+      trsm_rlt_f16(lfac.data(), rhs16.data(), sr, cw.data(), nb, nb);
+      sr = convert_f32_to_f16_scaled(cw.data(), rhs16.data(), nb * nb);
+    });
+    tr = time_op([&] {
+      convert_f16_scaled_to_f32(rhs16.data(), sr, cw.data(), nb * nb);
+      trsm_rlt_f32(lfac.data(), cw.data(), nb, nb);
+      sr = convert_f32_to_f16_scaled(cw.data(), rhs16.data(), nb * nb);
+    });
+    out.add(json_row("trsm_rlt", "f16", nb, trsm_flops, tb, tr, gemm_gf));
   }
 }
 
@@ -432,14 +473,40 @@ void write_kernels_json() {
 #endif
   const auto& team = exaclim::common::WorkerTeam::instance();
   const auto& topo = exaclim::common::Topology::instance();
-  char meta[256];
-  std::snprintf(meta, sizeof(meta),
-                "{\"bench\": \"kernels\", \"hardware_concurrency\": %u, "
-                "\"avx512\": %d, \"f16c\": %d, \"threads\": %u, "
-                "\"pinned\": %d, \"numa_nodes\": %u}",
-                std::thread::hardware_concurrency(), avx512, f16c,
-                team.max_participants(), team.pinned() ? 1 : 0,
-                topo.num_nodes());
+  const unsigned hc = std::thread::hardware_concurrency();
+  const bool degraded = hc <= 1;
+  if (degraded) {
+    std::fprintf(
+        stderr,
+        "*** WARNING: hardware_concurrency == %u — this looks like a "
+        "1-core container.\n"
+        "*** Kernel rates measured here are NOT comparable to multi-core "
+        "runs; the\n"
+        "*** emitted meta carries \"degraded_env\": true so trajectory "
+        "tooling can skip it.\n",
+        hc);
+  }
+  const KernelTuning tuning = active_tuning();
+  char meta[640];
+  std::snprintf(
+      meta, sizeof(meta),
+      "{\"bench\": \"kernels\", \"hardware_concurrency\": %u, "
+      "\"degraded_env\": %s, \"avx512\": %d, \"f16c\": %d, \"threads\": %u, "
+      "\"pinned\": %d, \"numa_nodes\": %u, "
+      "\"l1d_bytes\": %zu, \"l2_bytes\": %zu, \"l3_bytes\": %zu, "
+      "\"tune_mode\": \"%s\", \"tune_probed\": %s, "
+      "\"f64_kc\": %lld, \"f64_mc\": %lld, \"f64_nc\": %lld, "
+      "\"f32_kc\": %lld, \"f32_mc\": %lld, \"f32_nc\": %lld}",
+      hc, degraded ? "true" : "false", avx512, f16c, team.max_participants(),
+      team.pinned() ? 1 : 0, topo.num_nodes(), tuning.l1d_bytes,
+      tuning.l2_bytes, tuning.l3_bytes, tune_mode_name(tuning.mode).c_str(),
+      tuning.probed ? "true" : "false",
+      static_cast<long long>(tuning.f64.kc),
+      static_cast<long long>(tuning.f64.mc),
+      static_cast<long long>(tuning.f64.nc),
+      static_cast<long long>(tuning.f32.kc),
+      static_cast<long long>(tuning.f32.mc),
+      static_cast<long long>(tuning.f32.nc));
   if (out.write("BENCH_kernels.json", meta)) {
     std::printf("wrote BENCH_kernels.json\n");
   }
@@ -449,8 +516,15 @@ void write_kernels_json() {
 
 int main(int argc, char** argv) {
   bool gbench = false;
+  const char* tune_env = std::getenv("EXACLIM_TUNE");
+  std::string tune = tune_env != nullptr ? tune_env : "";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--gbench") == 0) gbench = true;
+    if (std::strcmp(argv[i], "--tune") == 0 && i + 1 < argc) tune = argv[i + 1];
+    if (std::strncmp(argv[i], "--tune=", 7) == 0) tune = argv[i] + 7;
+  }
+  if (!tune.empty()) {
+    exaclim::linalg::set_tune_mode(exaclim::linalg::parse_tune_mode(tune));
   }
   write_kernels_json();
   if (gbench) {

@@ -17,6 +17,7 @@
 #include "common/thread_pool.hpp"
 #include "common/topology.hpp"
 #include "fft/fft.hpp"
+#include "linalg/kernels.hpp"
 #include "sht/packing.hpp"
 #include "sht/sht.hpp"
 
@@ -155,12 +156,35 @@ void write_sht_json() {
   }
   const auto& team = exaclim::common::WorkerTeam::instance();
   const auto& topo = exaclim::common::Topology::instance();
-  char meta[224];
-  std::snprintf(meta, sizeof(meta),
-                "{\"bench\": \"sht\", \"hardware_concurrency\": %u, "
-                "\"threads\": %u, \"pinned\": %d, \"numa_nodes\": %u}",
-                std::thread::hardware_concurrency(), team.max_participants(),
-                team.pinned() ? 1 : 0, topo.num_nodes());
+  const unsigned hc = std::thread::hardware_concurrency();
+  const bool degraded = hc <= 1;
+  if (degraded) {
+    std::fprintf(stderr,
+                 "*** WARNING: hardware_concurrency == %u (1-core "
+                 "container?) — rates below are not comparable to "
+                 "multi-core runs; meta carries \"degraded_env\": true.\n",
+                 hc);
+  }
+  const linalg::KernelTuning tuning = linalg::active_tuning();
+  char meta[512];
+  std::snprintf(
+      meta, sizeof(meta),
+      "{\"bench\": \"sht\", \"hardware_concurrency\": %u, "
+      "\"degraded_env\": %s, \"threads\": %u, \"pinned\": %d, "
+      "\"numa_nodes\": %u, \"l1d_bytes\": %zu, \"l2_bytes\": %zu, "
+      "\"l3_bytes\": %zu, \"tune_mode\": \"%s\", "
+      "\"f64_kc\": %lld, \"f64_mc\": %lld, \"f64_nc\": %lld, "
+      "\"f32_kc\": %lld, \"f32_mc\": %lld, \"f32_nc\": %lld}",
+      hc, degraded ? "true" : "false", team.max_participants(),
+      team.pinned() ? 1 : 0, topo.num_nodes(), tuning.l1d_bytes,
+      tuning.l2_bytes, tuning.l3_bytes,
+      linalg::tune_mode_name(tuning.mode).c_str(),
+      static_cast<long long>(tuning.f64.kc),
+      static_cast<long long>(tuning.f64.mc),
+      static_cast<long long>(tuning.f64.nc),
+      static_cast<long long>(tuning.f32.kc),
+      static_cast<long long>(tuning.f32.mc),
+      static_cast<long long>(tuning.f32.nc));
   if (out.write("BENCH_sht.json", meta)) {
     std::printf("wrote BENCH_sht.json\n");
   }

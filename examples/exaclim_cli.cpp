@@ -27,6 +27,11 @@
 // first trigger graceful degradation (retired deque rings dropped, scratch
 // arenas trimmed, eligible off-diagonal tiles stored at fp16) and only then
 // fail with a structured ResourceError naming the allocation site.
+// --tune fixed|auto selects the blocked-kernel cache tuning (default: fixed,
+// or the EXACLIM_TUNE env var): `fixed` keeps the committed 256/96/4096
+// block sizes so artifacts stay byte-identical across machines, `auto`
+// derives machine-specific KC/MC/NC from the detected L1d/L2/L3 sizes with
+// a one-shot micro-probe tie-break (run-to-run stable per machine).
 //
 // Checkpointing (train): --checkpoint writes a crash-consistent snapshot of
 // the Cholesky every --checkpoint-every newly-executed kernel tasks (0 =
@@ -51,6 +56,7 @@
 #include "core/consistency.hpp"
 #include "core/emulator.hpp"
 #include "core/serialize.hpp"
+#include "linalg/kernels.hpp"
 
 using namespace exaclim;
 using exaclim::InvalidArgument;
@@ -437,13 +443,22 @@ void configure_runtime(const std::map<std::string, std::string>& args) {
   } else {
     common::FaultInjector::instance().arm_from_env();
   }
+  // Kernel tuning: --tune fixed|auto wins over EXACLIM_TUNE. Applied here,
+  // before the worker team runs any kernel, because re-tuning under running
+  // kernels is not supported. The default `fixed` keeps artifacts
+  // byte-identical across machines; `auto` derives block sizes from the
+  // detected cache hierarchy (see linalg::derive_auto_tuning).
+  const std::string tune = get_or_env(args, "tune", "EXACLIM_TUNE", "");
+  if (!tune.empty()) {
+    linalg::set_tune_mode(linalg::parse_tune_mode(tune));
+  }
 }
 
 void usage() {
   std::printf(
       "usage: exaclim_cli <generate|train|emulate|info|verify> [--flags]\n"
       "       global flags: --threads N, --pin 0|1, --faults <spec>,\n"
-      "       --mem-budget SIZE[K|M|G]\n"
+      "       --mem-budget SIZE[K|M|G], --tune fixed|auto\n"
       "       train also takes: --checkpoint <path>, --checkpoint-every N,\n"
       "       --checkpoint-sync full|data|none, --resume <path>,\n"
       "       --fault-tolerance 0|1, --validate 0|1, --quarantine 0|1,\n"

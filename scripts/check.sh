@@ -2,13 +2,17 @@
 # Full robustness gate: the tier-1 build + test sweep, then the concurrency
 # and fault/determinism suites under the sanitizer presets.
 #
-#   scripts/check.sh            # tier-1 + asan + tsan sweeps
+#   scripts/check.sh            # tier-1 + kernels + asan + tsan sweeps
 #   scripts/check.sh --tier1    # tier-1 only (what CI must always pass)
 #
-# The asan preset races the fault/recovery paths for lifetime bugs; the tsan
-# preset hunts data races in the work-stealing runtime. Both also run the
-# determinism suite so bit-reproducibility is checked under instrumented
-# schedules, where thread interleavings differ most from release builds.
+# The kernels stage re-runs the blocked-vs-reference parity suites under the
+# relassert preset (-O2 with assertions), a different optimization level than
+# tier 1 — explicit-vector kernels are the code most likely to diverge when
+# the compiler changes its mind. The asan preset races the fault/recovery
+# paths for lifetime bugs; the tsan preset hunts data races in the
+# work-stealing runtime. The sanitizers also run the determinism suite so
+# bit-reproducibility is checked under instrumented schedules, where thread
+# interleavings differ most from release builds.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,12 +28,17 @@ if [[ "${1:-}" == "--tier1" ]]; then
   exit 0
 fi
 
+# --- kernel parity at a second optimization level ----------------------------
+run cmake --preset relassert
+run cmake --build --preset relassert -j
+run ctest --test-dir build-relassert --output-on-failure -L kernels
+
 # --- sanitizer sweeps over the guarded subsystems ----------------------------
 for preset in asan tsan; do
   run cmake --preset "$preset"
   run cmake --build --preset "$preset" -j
   run ctest --test-dir "build-$preset" --output-on-failure \
-      -L 'fault|determinism|runtime'
+      -L 'fault|determinism|runtime|kernels'
 done
 
 echo "all sweeps passed"

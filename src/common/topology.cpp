@@ -55,6 +55,32 @@ std::vector<int> allowed_cpus() {
 
 }  // namespace
 
+std::size_t parse_cache_size(const std::string& text) {
+  std::size_t pos = 0;
+  long long v = 0;
+  try {
+    v = std::stoll(text, &pos);
+  } catch (...) {
+    return 0;
+  }
+  if (pos == 0 || v < 0) return 0;
+  std::size_t scale = 1;
+  if (pos < text.size()) {
+    switch (text[pos]) {
+      case 'K': case 'k': scale = 1ull << 10; ++pos; break;
+      case 'M': case 'm': scale = 1ull << 20; ++pos; break;
+      case 'G': case 'g': scale = 1ull << 30; ++pos; break;
+      default: break;
+    }
+    // Tolerate only trailing whitespace after the size (getline already
+    // stripped the newline); anything else is malformed.
+    for (; pos < text.size(); ++pos) {
+      if (!std::isspace(static_cast<unsigned char>(text[pos]))) return 0;
+    }
+  }
+  return static_cast<std::size_t>(v) * scale;
+}
+
 std::vector<int> parse_cpu_list(const std::string& list) {
   std::vector<int> cpus;
   std::size_t i = 0;
@@ -182,6 +208,38 @@ Topology::Topology() {
   node_ids.erase(std::unique(node_ids.begin(), node_ids.end()),
                  node_ids.end());
   num_nodes_ = std::max<unsigned>(1, static_cast<unsigned>(node_ids.size()));
+
+  // Cache hierarchy of the first allowed CPU: level + type + size from
+  // /sys/devices/system/cpu/cpu<N>/cache/index*/. The kernel autotuner
+  // derives KC/MC/NC from these; a level left at 0 makes it fall back to the
+  // fixed defaults, so an unreadable /sys is degraded, never wrong.
+  const int probe_cpu = slots_.empty() ? 0 : slots_.front().cpu;
+  const std::string cache_base = "/sys/devices/system/cpu/cpu" +
+                                 std::to_string(probe_cpu) + "/cache/index";
+  for (int idx = 0; idx < 10; ++idx) {
+    bool exists = false;
+    const std::string level_s =
+        read_sys_file(cache_base + std::to_string(idx) + "/level", &exists);
+    if (!exists) break;
+    const std::string type =
+        read_sys_file(cache_base + std::to_string(idx) + "/type");
+    const std::size_t size =
+        parse_cache_size(read_sys_file(cache_base + std::to_string(idx) + "/size"));
+    int level = 0;
+    try {
+      level = std::stoi(level_s);
+    } catch (...) {
+      continue;
+    }
+    if (size == 0 || type == "Instruction") continue;
+    if (level == 1 && type == "Data") {
+      cache_.l1d = size;
+    } else if (level == 2) {
+      cache_.l2 = size;
+    } else if (level == 3) {
+      cache_.l3 = size;
+    }
+  }
 }
 
 bool Topology::pin_current_thread(int cpu) {

@@ -10,6 +10,7 @@
 // pinning becomes a no-op.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,16 @@ struct CpuSlot {
   int smt_rank = 0;  ///< 0 = first hyperthread of its core, 1 = second, ...
 };
 
+/// Per-core data-cache capacities in bytes, read from
+/// /sys/devices/system/cpu/cpu<N>/cache/index*/ (level + type + size) on
+/// Linux. A level that is missing or unparsable stays 0 = unknown; consumers
+/// (the kernel autotuner) must fall back to fixed defaults then.
+struct CacheSizes {
+  std::size_t l1d = 0;  ///< level-1 data cache
+  std::size_t l2 = 0;   ///< level-2 (unified) cache
+  std::size_t l3 = 0;   ///< level-3 (unified, often shared) cache
+};
+
 class Topology {
  public:
   /// Process-wide topology, parsed on first use.
@@ -38,6 +49,10 @@ class Topology {
   unsigned num_cpus() const { return static_cast<unsigned>(slots_.size()); }
   unsigned num_nodes() const { return num_nodes_; }
   bool from_sysfs() const { return from_sysfs_; }
+
+  /// Cache hierarchy of the first allowed CPU (cores are assumed homogeneous
+  /// for sizing purposes). Sizes are 0 when /sys is unreadable.
+  const CacheSizes& cache() const { return cache_; }
 
   /// NUMA node of pin-order slot i (wraps when i >= num_cpus).
   int node_of_slot(unsigned i) const {
@@ -58,10 +73,15 @@ class Topology {
   std::vector<CpuSlot> slots_;
   unsigned num_nodes_ = 1;
   bool from_sysfs_ = false;
+  CacheSizes cache_;
 };
 
 /// Parses a /sys cpulist string ("0-3,8,10-11") into CPU ids; returns an
 /// empty vector on malformed input. Exposed for unit testing.
 std::vector<int> parse_cpu_list(const std::string& list);
+
+/// Parses a /sys cache size string ("48K", "2048K", "36M", plain bytes) into
+/// bytes; returns 0 on malformed input. Exposed for unit testing.
+std::size_t parse_cache_size(const std::string& text);
 
 }  // namespace exaclim::common

@@ -190,11 +190,11 @@ class Engine {
         break;
       }
       case Precision::FP16: {
-        // Solve on the true values; the repack picks a fresh tile scale.
+        // Packed-half solve: consumes the stored halves + scale directly;
+        // the repack picks a fresh tile scale.
         const Operand l = fetch(k, k, Repr::F32, scratch);
         std::vector<float> x(static_cast<std::size_t>(m * n));
-        b.to_f32(x.data());
-        trsm_rlt_f32(l.f, x.data(), m, n);
+        trsm_rlt_f16(l.f, b.f16(), b.scale(), x.data(), m, n);
         b.from_f32(x.data());
         break;
       }

@@ -1,9 +1,11 @@
 #include "linalg/kernels.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cfloat>
 #include <cmath>
 #include <cstring>
+#include <mutex>
 #include <type_traits>
 #include <vector>
 
@@ -13,6 +15,8 @@
 
 #include "common/arena.hpp"
 #include "common/error.hpp"
+#include "common/timer.hpp"
+#include "common/topology.hpp"
 
 namespace exaclim::linalg {
 
@@ -204,7 +208,26 @@ void syrk_ref_impl(const T* a, T* c, index_t m, index_t k) {
 // width. Ragged edges are zero-padded in the pack buffers; only valid
 // elements are written back. All kernels below are leading-dimension aware so
 // the blocked POTRF/TRSM can call straight into sub-panels of a tile.
+//
+// KC/MC/NC are runtime values (see KernelTuning in the header): defaults are
+// the committed 256/96/4096 set, `--tune=auto` replaces them with
+// cache-derived values. They are read once per kernel entry from relaxed
+// atomics — tuning is applied before parallel work starts, the atomics only
+// make late application a benign race instead of UB.
 // ===========================================================================
+
+/// Runtime cache-blocking parameters, [0] = 8-byte, [1] = 4-byte elements.
+struct AtomicBlockSizes {
+  std::atomic<index_t> kc;
+  std::atomic<index_t> mc;
+  std::atomic<index_t> nc;
+};
+AtomicBlockSizes g_block[2] = {{256, 96, 4096}, {256, 96, 4096}};
+
+/// The rest of the active tuning (provenance + cache sizes), for reporting.
+std::mutex g_tuning_mu;
+KernelTuning g_tuning;  // block sizes mirrored from g_block
+bool g_tuning_init = false;
 
 template <typename T>
 struct Blocked {
@@ -219,13 +242,22 @@ struct Blocked {
   static constexpr index_t MR = sizeof(T) == 4 ? 8 : 4;
   static constexpr index_t NR = 8;
 #endif
-  // Cache panels: KC * (MR + NR) elements of packed slivers stay L1-resident
-  // per micro-kernel pass; an MC x KC packed A block targets L2.
-  static constexpr index_t KC = 256;
-  static constexpr index_t MC = 96;
-  static constexpr index_t NC = 4096;
+  // Cache panels (runtime-tuned): KC * (MR + NR) elements of packed slivers
+  // stay L1-resident per micro-kernel pass; an MC x KC packed A block
+  // targets L2; a KC x NC packed B panel targets L3.
+  static const AtomicBlockSizes& block_sizes() {
+    return g_block[sizeof(T) == 8 ? 0 : 1];
+  }
   // Panel width for the blocked POTRF/TRSM factorizations.
   static constexpr index_t NB = 64;
+  // Lane width of the packed TRSM panel solve: PW rows of B are solved
+  // simultaneously (rows are independent systems), so the substitution's
+  // multiply-accumulates vectorize across a full register of lanes.
+#ifdef __AVX512F__
+  static constexpr index_t PW = sizeof(T) == 4 ? 16 : 8;
+#else
+  static constexpr index_t PW = sizeof(T) == 4 ? 8 : 4;
+#endif
 
   // Per-worker scratch: pack buffers and SYRK diagonal scratch live in a
   // grow-only thread-local arena (common/arena.hpp). The owning worker
@@ -315,6 +347,10 @@ struct Blocked {
   static void gemm(const SA* a, index_t lda, const SB* b, index_t ldb, T alpha,
                    T* c, index_t ldc, index_t m, index_t n, index_t k) {
     if (m <= 0 || n <= 0 || k <= 0) return;
+    const AtomicBlockSizes& bs = block_sizes();
+    const index_t KC = bs.kc.load(std::memory_order_relaxed);
+    const index_t MC = bs.mc.load(std::memory_order_relaxed);
+    const index_t NC = bs.nc.load(std::memory_order_relaxed);
     Scratch& s = scratch();
     for (index_t pc = 0; pc < k; pc += KC) {
       const index_t kc = std::min(KC, k - pc);
@@ -351,6 +387,7 @@ struct Blocked {
   static void syrk(const SA* a, index_t lda, T alpha, T* c, index_t ldc,
                    index_t m, index_t k) {
     if (m <= 0 || k <= 0) return;
+    const index_t MC = block_sizes().mc.load(std::memory_order_relaxed);
     for (index_t i0 = 0; i0 < m; i0 += MC) {
       const index_t mb = std::min(MC, m - i0);
       // Strictly-below-diagonal rectangle.
@@ -370,8 +407,13 @@ struct Blocked {
     }
   }
 
-  /// Unblocked ld-aware Cholesky of an nb x nb diagonal panel.
+  /// Unblocked ld-aware Cholesky of an nb x nb diagonal panel (nb <= NB).
+  /// The scaled multiplier column is staged contiguously so the rank-1
+  /// update can run row-wise with unit-stride inner loops the vectorizer
+  /// takes; each element still receives exactly the one product the
+  /// column-wise reference order computes, so the results are identical.
   static void potrf_panel(T* a, index_t lda, index_t nb) {
+    T col[NB];
     for (index_t kk = 0; kk < nb; ++kk) {
       T pivot = a[kk * lda + kk];
       EXACLIM_NUMERIC_CHECK(pivot > T(0),
@@ -380,37 +422,162 @@ struct Blocked {
       const T lkk = std::sqrt(pivot);
       a[kk * lda + kk] = lkk;
       const T inv = T(1) / lkk;
-      for (index_t i = kk + 1; i < nb; ++i) a[i * lda + kk] *= inv;
-      for (index_t j = kk + 1; j < nb; ++j) {
-        const T ljk = a[j * lda + kk];
-        if (ljk == T(0)) continue;
-        for (index_t i = j; i < nb; ++i) {
-          a[i * lda + j] -= a[i * lda + kk] * ljk;
+      for (index_t i = kk + 1; i < nb; ++i) {
+        const T v = a[i * lda + kk] * inv;
+        a[i * lda + kk] = v;
+        col[i] = v;
+      }
+      for (index_t i = kk + 1; i < nb; ++i) {
+        const T ci = col[i];
+        T* ai = a + i * lda;
+        for (index_t j = kk + 1; j <= i; ++j) ai[j] -= ci * col[j];
+      }
+    }
+  }
+
+  // Column-group width of the sliver solve: CB accumulator registers stay
+  // live while every column left of the group streams through one packed
+  // load + CB broadcast-FMAs, so the substitution's dominant flops run at
+  // micro-kernel intensity instead of one column at a time.
+  static constexpr index_t CB = 8;
+  // One packed sliver column as a GNU vector: explicit vector arithmetic in
+  // the solve below, because the auto-vectorizer reliably picks the wrong
+  // axis for this kernel (it interleaves across columns and spills the
+  // accumulator block through permute chains). Scalarizes cleanly on
+  // targets without the matching ISA.
+  typedef T vpack __attribute__((vector_size(PW * sizeof(T)), may_alias));
+
+  /// Forward substitution on one packed sliver of PW independent row lanes:
+  /// xp holds nb columns of PW lanes each (xp[j * PW + lane]), so every
+  /// multiply-accumulate below runs across a full vector register of rows.
+  /// Columns are solved CB at a time: a dense register-blocked update pulls
+  /// in all columns left of the group, then the CB x CB triangular corner
+  /// substitutes within it. dinv holds the caller-validated pivot
+  /// reciprocals, computed once per panel and shared by every sliver.
+  static void trsm_sliver(const T* l, index_t ldl, const T* dinv,
+                          T* xp, index_t nb) {
+    static_assert(CB == 8, "the group solve below is unrolled for CB == 8");
+    // xp is alignas(64) in trsm_panel, so column j is the aligned vector
+    // x[j].
+    vpack* x = reinterpret_cast<vpack*>(xp);
+    for (index_t c0 = 0; c0 < nb; c0 += CB) {
+      const index_t cb = std::min(CB, nb - c0);
+      if (cb == CB) {
+        // Dense update from all columns left of the group: one column load
+        // feeds eight broadcast-FMAs, CB accumulators stay in registers.
+        vpack a0{}, a1{}, a2{}, a3{}, a4{}, a5{}, a6{}, a7{};
+        const T* lc = l + c0 * ldl;
+        for (index_t p = 0; p < c0; ++p) {
+          const vpack xv = x[p];
+          a0 += xv * lc[p];
+          a1 += xv * lc[ldl + p];
+          a2 += xv * lc[2 * ldl + p];
+          a3 += xv * lc[3 * ldl + p];
+          a4 += xv * lc[4 * ldl + p];
+          a5 += xv * lc[5 * ldl + p];
+          a6 += xv * lc[6 * ldl + p];
+          a7 += xv * lc[7 * ldl + p];
+        }
+        // Triangular corner of the group, substitution fully unrolled.
+        // Row pointers are offset to column c0 of rows c0+1 .. c0+7.
+        const T* r1 = l + (c0 + 1) * ldl + c0;
+        const T* r2 = l + (c0 + 2) * ldl + c0;
+        const T* r3 = l + (c0 + 3) * ldl + c0;
+        const T* r4 = l + (c0 + 4) * ldl + c0;
+        const T* r5 = l + (c0 + 5) * ldl + c0;
+        const T* r6 = l + (c0 + 6) * ldl + c0;
+        const T* r7 = l + (c0 + 7) * ldl + c0;
+        const vpack x0 = (x[c0] - a0) * dinv[c0];
+        const vpack x1 = (x[c0 + 1] - a1 - x0 * r1[0]) * dinv[c0 + 1];
+        const vpack x2 =
+            (x[c0 + 2] - a2 - x0 * r2[0] - x1 * r2[1]) * dinv[c0 + 2];
+        const vpack x3 = (x[c0 + 3] - a3 - x0 * r3[0] - x1 * r3[1] -
+                          x2 * r3[2]) * dinv[c0 + 3];
+        const vpack x4 = (x[c0 + 4] - a4 - x0 * r4[0] - x1 * r4[1] -
+                          x2 * r4[2] - x3 * r4[3]) * dinv[c0 + 4];
+        const vpack x5 = (x[c0 + 5] - a5 - x0 * r5[0] - x1 * r5[1] -
+                          x2 * r5[2] - x3 * r5[3] - x4 * r5[4]) *
+                         dinv[c0 + 5];
+        const vpack x6 = (x[c0 + 6] - a6 - x0 * r6[0] - x1 * r6[1] -
+                          x2 * r6[2] - x3 * r6[3] - x4 * r6[4] -
+                          x5 * r6[5]) * dinv[c0 + 6];
+        const vpack x7 = (x[c0 + 7] - a7 - x0 * r7[0] - x1 * r7[1] -
+                          x2 * r7[2] - x3 * r7[3] - x4 * r7[4] -
+                          x5 * r7[5] - x6 * r7[6]) * dinv[c0 + 7];
+        x[c0] = x0;
+        x[c0 + 1] = x1;
+        x[c0 + 2] = x2;
+        x[c0 + 3] = x3;
+        x[c0 + 4] = x4;
+        x[c0 + 5] = x5;
+        x[c0 + 6] = x6;
+        x[c0 + 7] = x7;
+      } else {
+        // Ragged last group of a short panel; never on the hot path.
+        T acc[CB][PW] = {};
+        for (index_t p = 0; p < c0; ++p) {
+          const T* xc = xp + p * PW;
+          for (index_t jj = 0; jj < cb; ++jj) {
+            const T ljp = l[(c0 + jj) * ldl + p];
+            for (index_t v = 0; v < PW; ++v) acc[jj][v] += xc[v] * ljp;
+          }
+        }
+        for (index_t jj = 0; jj < cb; ++jj) {
+          const index_t j = c0 + jj;
+          const T* lj = l + j * ldl;
+          T* xj = xp + j * PW;
+          for (index_t v = 0; v < PW; ++v) xj[v] -= acc[jj][v];
+          for (index_t p = c0; p < j; ++p) {
+            const T lp = lj[p];
+            const T* xc = xp + p * PW;
+            for (index_t v = 0; v < PW; ++v) xj[v] -= xc[v] * lp;
+          }
+          const T dj = dinv[j];
+          for (index_t v = 0; v < PW; ++v) xj[v] *= dj;
         }
       }
     }
   }
 
-  /// Row-wise forward substitution X * L^T = B against an nb x nb lower
-  /// triangular diagonal block; ld-aware scalar core for the blocked TRSM.
+  /// Forward substitution X * L^T = B against an nb x nb (nb <= NB) lower
+  /// triangular diagonal block. Rows of B are independent systems, so PW of
+  /// them at a time are packed column-major into a stack sliver and solved
+  /// simultaneously; a ragged last sliver pads with zero lanes (solved
+  /// harmlessly, never written back).
   static void trsm_panel(const T* l, index_t ldl, T* b, index_t ldb, index_t m,
                          index_t nb) {
-    for (index_t r = 0; r < m; ++r) {
-      T* x = b + r * ldb;
-      for (index_t j = 0; j < nb; ++j) {
-        T acc = x[j];
-        const T* lj = l + j * ldl;
-        for (index_t p = 0; p < j; ++p) acc -= x[p] * lj[p];
-        EXACLIM_NUMERIC_CHECK(lj[j] != T(0),
-                              "singular TRSM pivot" + tile_context_suffix());
-        x[j] = acc / lj[j];
+    // Validate every pivot up front and take its reciprocal once: the
+    // slivers then scale by a multiply instead of serializing on a vector
+    // divide per column, and the nb divisions amortize across all m rows.
+    T dinv[NB];
+    for (index_t j = 0; j < nb; ++j) {
+      EXACLIM_NUMERIC_CHECK(l[j * ldl + j] != T(0),
+                            "singular TRSM pivot" + tile_context_suffix());
+      dinv[j] = T(1) / l[j * ldl + j];
+    }
+    alignas(64) T xp[PW * NB];
+    for (index_t r0 = 0; r0 < m; r0 += PW) {
+      const index_t w = std::min(PW, m - r0);
+      for (index_t lane = 0; lane < w; ++lane) {
+        const T* br = b + (r0 + lane) * ldb;
+        for (index_t j = 0; j < nb; ++j) xp[j * PW + lane] = br[j];
+      }
+      if (w < PW) {
+        for (index_t j = 0; j < nb; ++j) {
+          for (index_t lane = w; lane < PW; ++lane) xp[j * PW + lane] = T(0);
+        }
+      }
+      trsm_sliver(l, ldl, dinv, xp, nb);
+      for (index_t lane = 0; lane < w; ++lane) {
+        T* br = b + (r0 + lane) * ldb;
+        for (index_t j = 0; j < nb; ++j) br[j] = xp[j * PW + lane];
       }
     }
   }
 
   /// Blocked X * L^T = B (B is m x n, ldb; L is n x n, ldl): march NB-wide
-  /// column panels, clearing each panel's left contribution with one GEMM
-  /// before the small triangular solve.
+  /// column panels, clearing each panel's left contribution with one packed
+  /// GEMM before the vectorized triangular solve on the panel itself.
   static void trsm(const T* l, index_t ldl, T* b, index_t ldb, index_t m,
                    index_t n) {
     for (index_t j0 = 0; j0 < n; j0 += NB) {
@@ -420,18 +587,24 @@ struct Blocked {
     }
   }
 
-  /// Blocked right-looking Cholesky: unblocked panel factorization, blocked
-  /// TRSM below the panel, blocked SYRK on the trailing matrix.
-  static void potrf(T* a, index_t n) {
-    for (index_t j0 = 0; j0 < n; j0 += NB) {
-      const index_t jb = std::min(NB, n - j0);
-      potrf_panel(a + j0 * n + j0, n, jb);
-      const index_t rest = n - j0 - jb;
-      if (rest <= 0) continue;
-      T* below = a + (j0 + jb) * n + j0;
-      trsm(a + j0 * n + j0, n, below, n, rest, jb);
-      syrk(below, n, T(1), a + (j0 + jb) * n + (j0 + jb), n, rest, jb);
+  /// Recursive blocked Cholesky: split A = [[A11, .], [A21, A22]] at a
+  /// panel-aligned midpoint, factor A11, clear A21 with one large blocked
+  /// TRSM, update A22 with one large blocked SYRK, recurse into A22. The
+  /// near-halving keeps the TRSM/SYRK operands big enough to run at packed-
+  /// engine speed (a fixed NB-panel loop feeds them slivers instead);
+  /// recursion bottoms out in the vectorized unblocked panel.
+  static void potrf(T* a, index_t lda, index_t n) {
+    if (n <= NB) {
+      potrf_panel(a, lda, n);
+      return;
     }
+    const index_t n1 = ((n / 2 + NB - 1) / NB) * NB;  // < n whenever n > NB
+    const index_t n2 = n - n1;
+    potrf(a, lda, n1);
+    T* a21 = a + n1 * lda;
+    trsm(a, lda, a21, lda, n2, n1);
+    syrk(a21, lda, T(1), a21 + n1, lda, n2, n1);
+    potrf(a21 + n1, lda, n2);
   }
 };
 
@@ -449,8 +622,8 @@ void trim_thread_scratch_on_pressure() {
 
 // --- Blocked entry points ----------------------------------------------------
 
-void potrf_lower_f64(double* a, index_t n) { Blocked<double>::potrf(a, n); }
-void potrf_lower_f32(float* a, index_t n) { Blocked<float>::potrf(a, n); }
+void potrf_lower_f64(double* a, index_t n) { Blocked<double>::potrf(a, n, n); }
+void potrf_lower_f32(float* a, index_t n) { Blocked<float>::potrf(a, n, n); }
 
 void trsm_rlt_f64(const double* l, double* b, index_t m, index_t n) {
   Blocked<double>::trsm(l, n, b, n, m, n);
@@ -498,6 +671,190 @@ void gemm_nt_minus_f16(const common::half* a, float a_scale,
 void syrk_ln_minus_f16(const common::half* a, float a_scale, float* c,
                        index_t m, index_t k) {
   Blocked<float>::syrk(a, k, fold_scales(a_scale, a_scale), c, m, m, k);
+}
+
+void trsm_rlt_f16(const float* l, const common::half* b, float b_scale,
+                  float* x, index_t m, index_t n) {
+  // Widen the packed halves unscaled into the output buffer and solve there.
+  // The solve is linear in B and b_scale is a power of two, so applying the
+  // scale once at write-back is exact and equal to solving the scaled RHS —
+  // without ever materializing a scaled f32 copy of the tile.
+  widen_f16_block(b, x, m * n);
+  Blocked<float>::trsm(l, n, x, n, m, n);
+  if (b_scale != 1.0f) {
+    const index_t count = m * n;
+    for (index_t i = 0; i < count; ++i) x[i] *= b_scale;
+  }
+}
+
+// --- Kernel tuning -----------------------------------------------------------
+
+namespace {
+
+/// Rounds v down to a multiple of `mult`, then clamps to [lo, hi] (both
+/// multiples of mult themselves).
+index_t round_block(index_t v, index_t mult, index_t lo, index_t hi) {
+  return std::clamp((v / mult) * mult, lo, hi);
+}
+
+/// Analytic KC/MC/NC for one element type from detected cache sizes. A cache
+/// level of 0 (unknown) keeps that parameter at its fixed default.
+template <typename T>
+BlockSizes analytic_sizes(const common::CacheSizes& cache) {
+  BlockSizes bs;  // member initializers are the fixed defaults
+  constexpr index_t MR = Blocked<T>::MR;
+  constexpr index_t NR = Blocked<T>::NR;
+  constexpr index_t es = static_cast<index_t>(sizeof(T));
+  if (cache.l1d > 0) {
+    // One MR-sliver plus one NR-sliver of depth KC should fill ~3/4 of L1d,
+    // leaving room for the accumulator tile and stack traffic.
+    const index_t kc =
+        (3 * static_cast<index_t>(cache.l1d) / 4) / ((MR + NR) * es);
+    bs.kc = round_block(kc, 32, 64, 1024);
+  }
+  if (cache.l2 > 0) {
+    // The MC x KC packed A block targets half of L2.
+    const index_t mc = (static_cast<index_t>(cache.l2) / 2) / (bs.kc * es);
+    bs.mc = round_block(mc, MR, MR, 4096);
+  }
+  if (cache.l3 > 0) {
+    // The KC x NC packed B panel targets half of L3.
+    const index_t nc = (static_cast<index_t>(cache.l3) / 2) / (bs.kc * es);
+    bs.nc = round_block(nc, NR, NR, index_t{1} << 16);
+  }
+  return bs;
+}
+
+/// Writes one element type's block sizes into the engine's atomics.
+template <typename T>
+void store_blocks(const BlockSizes& bs) {
+  AtomicBlockSizes& g = g_block[sizeof(T) == 8 ? 0 : 1];
+  g.kc.store(bs.kc, std::memory_order_relaxed);
+  g.mc.store(bs.mc, std::memory_order_relaxed);
+  g.nc.store(bs.nc, std::memory_order_relaxed);
+}
+
+template <typename T>
+BlockSizes load_blocks() {
+  const AtomicBlockSizes& g = g_block[sizeof(T) == 8 ? 0 : 1];
+  BlockSizes bs;
+  bs.kc = g.kc.load(std::memory_order_relaxed);
+  bs.mc = g.mc.load(std::memory_order_relaxed);
+  bs.nc = g.nc.load(std::memory_order_relaxed);
+  return bs;
+}
+
+/// Best-of-5 seconds for one n=256 GEMM under the candidate blocking. The
+/// caller snapshots and restores the engine blocking around probe calls.
+template <typename T>
+double probe_seconds(const BlockSizes& bs) {
+  constexpr index_t n = 256;
+  store_blocks<T>(bs);
+  std::vector<T> a(n * n), b(n * n), c(n * n, T(0));
+  for (index_t i = 0; i < n * n; ++i) {
+    a[i] = T(0.001) * static_cast<T>((i % 37) - 18);
+    b[i] = T(0.001) * static_cast<T>((i % 29) - 14);
+  }
+  double best = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    common::Timer t;
+    Blocked<T>::gemm(a.data(), n, b.data(), n, T(1), c.data(), n, n, n, n);
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+KernelTuning fixed_tuning() {
+  KernelTuning t;  // BlockSizes defaults are the compiled-in fixed set
+  const common::CacheSizes& cache = common::Topology::instance().cache();
+  t.l1d_bytes = cache.l1d;
+  t.l2_bytes = cache.l2;
+  t.l3_bytes = cache.l3;
+  return t;
+}
+
+KernelTuning derive_auto_tuning() {
+  // Memoized per process: the analytic derivation is deterministic given
+  // /sys, and running the timing probe once pins the analytic-vs-fixed
+  // choice for the process lifetime, so repeated derivations (and therefore
+  // repeated factorizations under --tune=auto) agree.
+  static std::once_flag once;
+  static KernelTuning memo;
+  std::call_once(once, [] {
+    KernelTuning t = fixed_tuning();
+    t.mode = TuneMode::Auto;
+    const common::CacheSizes cache{t.l1d_bytes, t.l2_bytes, t.l3_bytes};
+    if (cache.l1d == 0 && cache.l2 == 0 && cache.l3 == 0) {
+      memo = t;  // /sys unreadable: degrade to the fixed blocking
+      return;
+    }
+    const BlockSizes cand64 = analytic_sizes<double>(cache);
+    const BlockSizes cand32 = analytic_sizes<float>(cache);
+    // Micro-probe tie-break: the analytic candidate must beat the fixed
+    // defaults by >5% (best-of-5 each) to displace them, so noise cannot
+    // flip near-equal configurations between runs.
+    const BlockSizes saved64 = load_blocks<double>();
+    const BlockSizes saved32 = load_blocks<float>();
+    const BlockSizes fixed{};
+    if (probe_seconds<double>(cand64) < 0.95 * probe_seconds<double>(fixed)) {
+      t.f64 = cand64;
+    }
+    if (probe_seconds<float>(cand32) < 0.95 * probe_seconds<float>(fixed)) {
+      t.f32 = cand32;
+    }
+    store_blocks<double>(saved64);
+    store_blocks<float>(saved32);
+    t.probed = true;
+    memo = t;
+  });
+  return memo;
+}
+
+KernelTuning active_tuning() {
+  std::lock_guard<std::mutex> lock(g_tuning_mu);
+  if (!g_tuning_init) {
+    // Lazily fill in the detected cache sizes for reporting; the block
+    // sizes are the defaults the atomics were initialized with.
+    const common::CacheSizes& cache = common::Topology::instance().cache();
+    g_tuning.l1d_bytes = cache.l1d;
+    g_tuning.l2_bytes = cache.l2;
+    g_tuning.l3_bytes = cache.l3;
+    g_tuning_init = true;
+  }
+  return g_tuning;
+}
+
+void apply_tuning(const KernelTuning& tuning) {
+  for (const BlockSizes* bs : {&tuning.f64, &tuning.f32}) {
+    if (bs->kc <= 0 || bs->mc <= 0 || bs->nc <= 0) {
+      throw exaclim::InvalidArgument(
+          "kernel tuning: block sizes must be positive (kc=" +
+          std::to_string(bs->kc) + " mc=" + std::to_string(bs->mc) +
+          " nc=" + std::to_string(bs->nc) + ")");
+    }
+  }
+  store_blocks<double>(tuning.f64);
+  store_blocks<float>(tuning.f32);
+  std::lock_guard<std::mutex> lock(g_tuning_mu);
+  g_tuning = tuning;
+  g_tuning_init = true;
+}
+
+void set_tune_mode(TuneMode mode) {
+  apply_tuning(mode == TuneMode::Auto ? derive_auto_tuning() : fixed_tuning());
+}
+
+TuneMode parse_tune_mode(const std::string& text) {
+  if (text == "fixed") return TuneMode::Fixed;
+  if (text == "auto") return TuneMode::Auto;
+  throw exaclim::InvalidArgument("--tune: expected 'fixed' or 'auto', got '" +
+                                text + "'");
+}
+
+std::string tune_mode_name(TuneMode mode) {
+  return mode == TuneMode::Auto ? "auto" : "fixed";
 }
 
 // --- Scalar reference oracles ------------------------------------------------

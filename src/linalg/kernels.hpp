@@ -62,6 +62,67 @@ std::string tile_context_suffix();
 /// scheduler calls it between tasks). Near-free when there is no pressure.
 void trim_thread_scratch_on_pressure();
 
+// --- Kernel tuning -----------------------------------------------------------
+//
+// The cache-blocking parameters of the packed engine (KC slivers in L1, an
+// MC x KC packed A block in L2, a KC x NC packed B panel in L3) are runtime
+// values. The default is the fixed 256/96/4096 set every committed artifact
+// was produced with; `--tune=auto` derives machine-specific values from the
+// L1d/L2/L3 sizes the topology map reads from /sys and breaks the
+// analytic-vs-default tie with a one-shot GEMM micro-probe. Tuning is
+// process-global and must be applied before parallel kernel work starts.
+// Block sizes change the accumulation split (and therefore the low-order
+// bits) of every blocked kernel, which is why `fixed` is the default: it
+// keeps EXACMDL4 artifacts byte-identical across machines and runs.
+
+/// Cache-blocking parameters for one element width.
+struct BlockSizes {
+  index_t kc = 256;   ///< k-panel depth (packed slivers stay L1-resident)
+  index_t mc = 96;    ///< A-block rows (MC x KC packed block targets L2)
+  index_t nc = 4096;  ///< B-panel rows (KC x NC packed panel targets L3)
+};
+
+enum class TuneMode : std::uint8_t { Fixed = 0, Auto = 1 };
+
+/// The active (or a candidate) engine tuning, plus its provenance.
+struct KernelTuning {
+  BlockSizes f64;  ///< blocking for 8-byte elements
+  BlockSizes f32;  ///< blocking for 4-byte elements (also the packed-f16 path)
+  TuneMode mode = TuneMode::Fixed;
+  bool probed = false;  ///< the micro-probe ran (auto mode with cache info)
+  std::size_t l1d_bytes = 0;  ///< detected cache sizes (0 = unknown)
+  std::size_t l2_bytes = 0;
+  std::size_t l3_bytes = 0;
+};
+
+/// The compiled-in default blocking (what `--tune=fixed` applies), with the
+/// detected cache sizes filled in for reporting.
+KernelTuning fixed_tuning();
+
+/// Analytic KC/MC/NC from the topology map's cache sizes, tie-broken against
+/// the fixed defaults by a one-shot GEMM micro-probe (memoized per process,
+/// so repeated calls are cheap and return the same choice). Falls back to
+/// the fixed blocking when cache sizes are unavailable.
+KernelTuning derive_auto_tuning();
+
+/// Currently applied tuning (copy; safe to call from any thread).
+KernelTuning active_tuning();
+
+/// Applies a tuning to the engine. NOT thread-safe against running kernels:
+/// call before parallel work starts (the CLI does this in its global-flag
+/// phase). Throws InvalidArgument on non-positive block sizes.
+void apply_tuning(const KernelTuning& tuning);
+
+/// `fixed` -> defaults, `auto` -> derive_auto_tuning(); convenience wrapper.
+void set_tune_mode(TuneMode mode);
+
+/// Parses "fixed" | "auto" (the --tune / EXACLIM_TUNE grammar); throws
+/// InvalidArgument naming the flag otherwise.
+TuneMode parse_tune_mode(const std::string& text);
+
+/// "fixed" or "auto".
+std::string tune_mode_name(TuneMode mode);
+
 // --- Factorization kernels -------------------------------------------------
 //
 // The primary entry points below run the cache-blocked engine: packed panels
@@ -71,13 +132,19 @@ void trim_thread_scratch_on_pressure();
 // (~1e-13 relative in f64), which tests/kernels_blocked_test.cpp asserts.
 
 /// In-place lower Cholesky of the n x n tile `a`. Throws NumericalError on a
-/// non-positive pivot. Strictly-upper entries are left untouched.
+/// non-positive pivot. Strictly-upper entries are left untouched. Recursive
+/// blocked: A = [[A11, .], [A21, A22]] splits at a panel-aligned midpoint so
+/// the off-diagonal half becomes one blocked TRSM + SYRK pair per level,
+/// bottoming out in a vectorized unblocked panel factorization.
 void potrf_lower_f64(double* a, index_t n);
 void potrf_lower_f32(float* a, index_t n);
 
 /// Solves X * L^T = B for X, overwriting B (m x n), with L the n x n lower
 /// Cholesky factor of the panel's diagonal tile. This is the tile TRSM of the
-/// right-looking factorization.
+/// right-looking factorization. Blocked: NB-wide column panels of B clear
+/// their left contribution through the packed GEMM engine, then the small
+/// triangular block solves on row slivers of B packed column-major so the
+/// forward substitution vectorizes across rows.
 void trsm_rlt_f64(const double* l, double* b, index_t m, index_t n);
 void trsm_rlt_f32(const float* l, float* b, index_t m, index_t n);
 
@@ -110,6 +177,15 @@ void gemm_nt_minus_f16(const common::half* a, float a_scale,
 /// C (f32, m x m lower incl. diagonal) -= a_scale^2 * Ah (m x k) * Ah^T.
 void syrk_ln_minus_f16(const common::half* a, float a_scale, float* c,
                        index_t m, index_t k);
+
+/// Scaled-f16 TRSM: solves X * L^T = b_scale * Bh for X (written to the f32
+/// buffer `x`, m x n), consuming the packed-half RHS directly — the
+/// Repr::F16P operand form, no widened f32 copy of B made by the caller. The
+/// solve runs on the unscaled halves and the (power-of-two, hence exact)
+/// scale is applied once at write-back; the caller typically repacks `x`
+/// with a fresh tile scale.
+void trsm_rlt_f16(const float* l, const common::half* b, float b_scale,
+                  float* x, index_t m, index_t n);
 
 // --- Scalar reference oracles ----------------------------------------------
 //

@@ -418,10 +418,10 @@ void CholeskyGraph::build() {
             linalg::trsm_rlt_f32(l.f, b.f32(), m, n);
             break;
           case Precision::FP16: {
-            // Solve on the true values; the repack picks a fresh tile scale.
+            // Packed-half solve: consumes the stored halves + scale
+            // directly; the repack picks a fresh tile scale.
             std::vector<float> x(static_cast<std::size_t>(m * n));
-            b.to_f32(x.data());
-            linalg::trsm_rlt_f32(l.f, x.data(), m, n);
+            linalg::trsm_rlt_f16(l.f, b.f16(), b.scale(), x.data(), m, n);
             b.from_f32(x.data());
             break;
           }

@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "common/error.hpp"
+#include "linalg/kernels.hpp"
 
 namespace exaclim::runtime {
 
@@ -44,6 +45,18 @@ void Trace::write_chrome_json(const std::string& path) const {
       << ",\"affinity_misses\":" << counters_.affinity_misses
       << ",\"transient_retries\":" << counters_.transient_retries
       << ",\"recoveries\":" << counters_.recoveries << "}}";
+  // Kernel tuning the run executed under, so a trace is reproducible: the
+  // blocked-kernel timings only make sense relative to these block sizes.
+  const linalg::KernelTuning tuning = linalg::active_tuning();
+  out << ",{\"name\":\"kernel_tuning\",\"ph\":\"M\",\"pid\":1,\"args\":{"
+      << "\"mode\":\"" << linalg::tune_mode_name(tuning.mode) << '"'
+      << ",\"probed\":" << (tuning.probed ? "true" : "false")
+      << ",\"f64_kc\":" << tuning.f64.kc << ",\"f64_mc\":" << tuning.f64.mc
+      << ",\"f64_nc\":" << tuning.f64.nc << ",\"f32_kc\":" << tuning.f32.kc
+      << ",\"f32_mc\":" << tuning.f32.mc << ",\"f32_nc\":" << tuning.f32.nc
+      << ",\"l1d_bytes\":" << tuning.l1d_bytes
+      << ",\"l2_bytes\":" << tuning.l2_bytes
+      << ",\"l3_bytes\":" << tuning.l3_bytes << "}}";
   out << "]}\n";
   if (!out) throw IoError("trace write failed: " + path);
 }

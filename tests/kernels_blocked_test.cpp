@@ -1,7 +1,11 @@
 // The blocked tile kernels must reproduce the retained scalar *_ref oracles:
 // 1e-12 relative in f64, 1e-4 relative in f32, across rectangular shapes,
-// degenerate sizes, and sizes straddling every blocking boundary (micro-tile
-// MR/NR, panel NB = 64, cache blocks MC = 96 / KC = 256).
+// degenerate sizes, and sizes straddling every blocking boundary: the
+// micro-tile MR/NR, the factorization panel NB = 64, and the cache blocks
+// KC/MC — which are runtime-tuned now, so the shape lists below combine a
+// fixed set (covering the default 96/256 blocking) with boundaries queried
+// from the active tuning. The suite must pass under any tuning the
+// autotuner may select, not just the compiled-in defaults.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -56,7 +60,8 @@ constexpr double kTolF32 = 1e-4;
 
 // Shapes chosen to straddle every boundary in the blocked engine: unit and
 // prime sizes, the micro-tile widths (4/8/16/32), the factorization panel
-// NB = 64, the cache blocks MC = 96 and KC = 256, and their off-by-ones.
+// NB = 64, the default cache blocks MC = 96 and KC = 256, and their
+// off-by-ones.
 struct Shape {
   index_t m, n, k;
 };
@@ -65,8 +70,27 @@ const Shape kGemmShapes[] = {
     {8, 32, 16}, {13, 9, 17},  {33, 31, 29},  {64, 64, 64}, {65, 63, 67},
     {96, 97, 95}, {100, 41, 257}, {128, 128, 300}, {256, 256, 256}};
 
+/// The fixed shape list plus boundary shapes of whatever tuning is active
+/// right now (KC/MC and their off-by-ones), capped so an autotuned MC in the
+/// thousands does not blow the oracle's O(m n k) cost.
+std::vector<Shape> gemm_shapes(const BlockSizes& bs) {
+  std::vector<Shape> shapes(std::begin(kGemmShapes), std::end(kGemmShapes));
+  const index_t kc = std::min<index_t>(bs.kc, 1024);
+  const index_t mc = std::min<index_t>(bs.mc, 512);
+  shapes.push_back({mc - 1, 33, kc - 1});
+  shapes.push_back({mc, 32, kc});
+  shapes.push_back({mc + 1, 31, kc + 1});
+  return shapes;
+}
+
+std::vector<Shape> syrk_shapes_dynamic(const BlockSizes& bs) {
+  const index_t kc = std::min<index_t>(bs.kc, 1024);
+  const index_t mc = std::min<index_t>(bs.mc, 512);
+  return {{mc - 1, 0, 31}, {mc, 0, 32}, {mc + 1, 0, kc + 1}};
+}
+
 TEST(KernelsBlocked, GemmMatchesRefF64) {
-  for (const Shape& s : kGemmShapes) {
+  for (const Shape& s : gemm_shapes(active_tuning().f64)) {
     auto a = random_vec<double>(s.m * s.k, 1);
     auto b = random_vec<double>(s.n * s.k, 2);
     auto c = random_vec<double>(s.m * s.n, 3);
@@ -79,7 +103,7 @@ TEST(KernelsBlocked, GemmMatchesRefF64) {
 }
 
 TEST(KernelsBlocked, GemmMatchesRefF32) {
-  for (const Shape& s : kGemmShapes) {
+  for (const Shape& s : gemm_shapes(active_tuning().f32)) {
     auto a = random_vec<float>(s.m * s.k, 4);
     auto b = random_vec<float>(s.n * s.k, 5);
     auto c = random_vec<float>(s.m * s.n, 6);
@@ -95,8 +119,14 @@ const Shape kSyrkShapes[] = {{1, 0, 1},   {7, 0, 7},    {13, 0, 29},
                              {64, 0, 64}, {65, 0, 127}, {96, 0, 96},
                              {97, 0, 95}, {192, 0, 256}, {256, 0, 256}};
 
+std::vector<Shape> syrk_shapes(const BlockSizes& bs) {
+  std::vector<Shape> shapes(std::begin(kSyrkShapes), std::end(kSyrkShapes));
+  for (const Shape& s : syrk_shapes_dynamic(bs)) shapes.push_back(s);
+  return shapes;
+}
+
 TEST(KernelsBlocked, SyrkMatchesRefF64) {
-  for (const Shape& s : kSyrkShapes) {
+  for (const Shape& s : syrk_shapes(active_tuning().f64)) {
     auto a = random_vec<double>(s.m * s.k, 7);
     auto c = random_vec<double>(s.m * s.m, 8);
     auto want = c;
@@ -107,7 +137,7 @@ TEST(KernelsBlocked, SyrkMatchesRefF64) {
 }
 
 TEST(KernelsBlocked, SyrkMatchesRefF32) {
-  for (const Shape& s : kSyrkShapes) {
+  for (const Shape& s : syrk_shapes(active_tuning().f32)) {
     auto a = random_vec<float>(s.m * s.k, 9);
     auto c = random_vec<float>(s.m * s.m, 10);
     auto want = c;
