@@ -11,6 +11,7 @@
 //                        [--resume path] [--fault-tolerance 0|1]
 //                        [--validate 0|1] [--quarantine 0|1]
 //                        [--valid-range MIN,MAX] [--stall-timeout SECONDS]
+//                        [--verify off|static|dynamic]
 //   exaclim_cli emulate  --model model.bin --out emu.bin --steps N
 //                        [--ensembles R] [--seed S]
 //   exaclim_cli info     --file <dataset-or-model>
@@ -311,6 +312,13 @@ int cmd_train(const std::map<std::string, std::string>& args) {
   }
   cfg.stall_grace_seconds = get_double(args, "stall-grace", 0.0);
 
+  // DAG verification gate (distinct from the `verify` subcommand, which
+  // checks statistical consistency of an emulation). Unset resolves through
+  // EXACLIM_VERIFY and falls back to static.
+  if (args.count("verify") != 0) {
+    cfg.verify_mode = runtime::parse_verify_mode(args.at("verify"));
+  }
+
   core::ClimateEmulator emulator(cfg);
   const auto forcing = climate::historical_forcing(data.num_years());
   const auto report = emulator.train(data, forcing);
@@ -462,7 +470,8 @@ void usage() {
       "       train also takes: --checkpoint <path>, --checkpoint-every N,\n"
       "       --checkpoint-sync full|data|none, --resume <path>,\n"
       "       --fault-tolerance 0|1, --validate 0|1, --quarantine 0|1,\n"
-      "       --valid-range MIN,MAX, --stall-timeout SECONDS\n"
+      "       --valid-range MIN,MAX, --stall-timeout SECONDS,\n"
+      "       --verify off|static|dynamic (DAG race/ordering verifier)\n"
       "see the header comment of examples/exaclim_cli.cpp for details\n");
 }
 

@@ -1,0 +1,197 @@
+#include "analysis/shadow_check.hpp"
+
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "runtime/failure.hpp"
+
+namespace exaclim::analysis {
+
+using runtime::Access;
+using runtime::DataAccess;
+using runtime::TaskGraph;
+using runtime::TaskId;
+using runtime::TileCoord;
+using runtime::TilePlane;
+
+namespace {
+
+std::string shadow_task_label(const TaskGraph& g, TaskId id) {
+  const auto& t = g.task(id);
+  if (!t.name.empty()) return t.name;
+  return std::string(runtime::task_kind_name(t.kind)) + "#" +
+         std::to_string(id);
+}
+
+}  // namespace
+
+ShadowChecker::ShadowChecker(const TaskGraph& graph,
+                             const std::vector<std::uint8_t>* already_done,
+                             const VerifyLimits& limits)
+    : graph_(graph) {
+  const index_t n = graph.num_tasks();
+  claims_.resize(static_cast<std::size_t>(n));
+
+  // Same datum keying as the static verifier: (row, col, plane) when the
+  // handle carries tile metadata, raw handle id otherwise.
+  using Key = std::tuple<index_t, index_t, int, index_t>;
+  std::map<Key, index_t> cell_index;
+  // Writers per cell in submission order, for epoch expectations.
+  std::vector<std::vector<TaskId>> cell_writers;
+
+  auto intern = [&](const Key& key, const TileCoord& c,
+                    runtime::DataHandle h) -> index_t {
+    auto it = cell_index.find(key);
+    if (it != cell_index.end()) return it->second;
+    const index_t idx = static_cast<index_t>(cells_.size());
+    cell_index.emplace(key, idx);
+    auto cell = std::make_unique<Cell>();
+    if (c.valid()) {
+      cell->row = c.row;
+      cell->col = c.col;
+      std::ostringstream os;
+      os << "tile(" << c.row << "," << c.col << ")["
+         << runtime::tile_plane_name(c.plane) << "]";
+      cell->label = os.str();
+    } else {
+      const std::string& name = graph.handles().name(h);
+      cell->label = name.empty() ? "handle#" + std::to_string(h.id) : name;
+    }
+    cells_.push_back(std::move(cell));
+    cell_writers.emplace_back();
+    return idx;
+  };
+
+  for (TaskId i = 0; i < n; ++i) {
+    for (const DataAccess& a : graph.task(i).accesses) {
+      const TileCoord& c = graph.handles().tile(a.handle);
+      const Key key = c.valid()
+                          ? Key{c.row, c.col, static_cast<int>(c.plane), -1}
+                          : Key{-1, -1, 0, a.handle.id};
+      const index_t cell = intern(key, c, a.handle);
+      const bool reads = a.mode != Access::Write;
+      const bool writes = a.mode != Access::Read;
+      auto& list = claims_[static_cast<std::size_t>(i)];
+      Claim* claim = nullptr;
+      for (Claim& existing : list) {
+        if (existing.cell == cell) { claim = &existing; break; }
+      }
+      if (claim == nullptr) {
+        list.push_back({cell, false, false, -1});
+        claim = &list.back();
+      }
+      claim->reads = claim->reads || reads;
+      if (writes && !claim->writes) {
+        claim->writes = true;
+        cell_writers[static_cast<std::size_t>(cell)].push_back(i);
+      }
+    }
+  }
+
+  // Epoch expectations: for task t on cell c, expected epoch = number of
+  // writers of c that are ancestors of t. Pre-done writers never execute, so
+  // their bumps are applied here at construction instead.
+  const Reachability reach(graph, limits.max_closure_tasks);
+  epochs_checked_ = reach.available();
+  if (epochs_checked_) {
+    for (TaskId i = 0; i < n; ++i) {
+      for (Claim& claim : claims_[static_cast<std::size_t>(i)]) {
+        index_t expected = 0;
+        for (TaskId w : cell_writers[static_cast<std::size_t>(claim.cell)]) {
+          if (reach.reaches(w, i)) ++expected;
+        }
+        claim.expected_epoch = expected;
+      }
+    }
+  }
+  if (already_done != nullptr &&
+      static_cast<index_t>(already_done->size()) == n) {
+    for (TaskId i = 0; i < n; ++i) {
+      if ((*already_done)[static_cast<std::size_t>(i)] == 0) continue;
+      for (const Claim& claim : claims_[static_cast<std::size_t>(i)]) {
+        if (claim.writes) {
+          // Single-threaded construction: default ordering is fine here.
+          cells_[static_cast<std::size_t>(claim.cell)]->epoch.fetch_add(1);
+        }
+      }
+    }
+  }
+}
+
+void ShadowChecker::violation(TaskId task, const Cell& cell,
+                              const std::string& what) const {
+  throw runtime::TaskFailure(
+      "VERIFY", cell.row, cell.col, 1,
+      shadow_task_label(graph_, task) + " on " + cell.label,
+      "dynamic shadow check: " + what);
+}
+
+void ShadowChecker::on_task_start(TaskId task) {
+  for (const Claim& claim : claims_[static_cast<std::size_t>(task)]) {
+    Cell& cell = *cells_[static_cast<std::size_t>(claim.cell)];
+    if (claim.expected_epoch >= 0) {
+      const index_t epoch = cell.epoch.load(std::memory_order_acquire);
+      if (epoch != claim.expected_epoch) {
+        violation(task, cell,
+                  "task started at write epoch " + std::to_string(epoch) +
+                      " but its dependencies promise epoch " +
+                      std::to_string(claim.expected_epoch) +
+                      " (scheduler ran it out of order)");
+      }
+    }
+    if (claim.writes) {
+      TaskId expected = -1;
+      if (!cell.writer.compare_exchange_strong(expected, task,
+                                               std::memory_order_acq_rel)) {
+        violation(task, cell,
+                  "concurrent writers: " +
+                      shadow_task_label(graph_, expected) +
+                      " is still writing this datum");
+      }
+      if (cell.readers.load(std::memory_order_acquire) != 0) {
+        violation(task, cell, "writer started while readers are active");
+      }
+    } else if (claim.reads) {
+      cell.readers.fetch_add(1, std::memory_order_acq_rel);
+      const TaskId w = cell.writer.load(std::memory_order_acquire);
+      if (w != -1) {
+        violation(task, cell,
+                  "read overlaps an active write by " +
+                      shadow_task_label(graph_, w));
+      }
+    }
+  }
+}
+
+void ShadowChecker::on_task_finish(TaskId task) {
+  for (const Claim& claim : claims_[static_cast<std::size_t>(task)]) {
+    Cell& cell = *cells_[static_cast<std::size_t>(claim.cell)];
+    if (claim.writes) {
+      const TaskId w = cell.writer.load(std::memory_order_acquire);
+      if (w != task) {
+        violation(task, cell,
+                  "writer finished but no longer holds the datum (held by " +
+                      (w == -1 ? std::string("nobody")
+                               : shadow_task_label(graph_, w)) +
+                      ")");
+      }
+      cell.epoch.fetch_add(1, std::memory_order_acq_rel);
+      cell.writer.store(-1, std::memory_order_release);
+    } else if (claim.reads) {
+      if (claim.expected_epoch >= 0) {
+        const index_t epoch = cell.epoch.load(std::memory_order_acquire);
+        if (epoch != claim.expected_epoch) {
+          violation(task, cell,
+                    "datum was overwritten while this task was reading it "
+                    "(epoch moved " +
+                        std::to_string(claim.expected_epoch) + " -> " +
+                        std::to_string(epoch) + ")");
+        }
+      }
+      cell.readers.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+}
+
+}  // namespace exaclim::analysis

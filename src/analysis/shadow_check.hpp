@@ -1,0 +1,89 @@
+// Dynamic shadow checker for executed schedules (--verify dynamic).
+//
+// The static verifier (dag_verify) proves the *graph* orders every declared
+// conflict; this checker validates the *execution* against those same
+// declarations while it happens. Each tracked datum (tile plane or raw
+// handle) carries a shadow cell {current writer, reader count, write epoch}.
+// At task entry the scheduler calls on_task_start, which asserts:
+//
+//   * the cell's epoch equals the number of the task's writer-ancestors —
+//     i.e. every write this task was promised has happened, and none it must
+//     precede has happened yet (a vector-clock check collapsed to a counter
+//     per cell, sound because the static pass already proved per-cell writes
+//     are totally ordered);
+//   * writers take exclusive occupancy (no concurrent reader or writer),
+//     readers only overlap readers.
+//
+// At task exit on_task_finish releases occupancy and bumps the epoch for
+// writes. A violation means the executed interleaving contradicts the
+// declared effects — a scheduler bug, a mis-declared task, or memory
+// corruption — and is thrown as a runtime::TaskFailure with kind "VERIFY",
+// which the scheduler propagates verbatim after quiescing.
+//
+// Overhead is a few atomic ops per declared access per task: cheap enough to
+// leave on in sanitizer CI (scripts/check.sh runs it under tsan).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "analysis/dag_verify.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace exaclim::analysis {
+
+class ShadowChecker {
+ public:
+  /// Builds shadow cells and per-task claims from each task's access list —
+  /// which static verification has proven consistent with its declared
+  /// effects. `already_done` (a byte per task, as handed to the scheduler)
+  /// pre-bumps epochs for writes that completed in a previous round, so
+  /// budgeted/resumed runs check the same expectations as fresh ones.
+  /// Construct a fresh checker per execute() call.
+  explicit ShadowChecker(const runtime::TaskGraph& graph,
+                         const std::vector<std::uint8_t>* already_done = nullptr,
+                         const VerifyLimits& limits = {});
+
+  /// Epoch expectations need the reachability closure; above the cap the
+  /// checker still enforces occupancy (mutual exclusion) but not ordering.
+  bool epochs_checked() const { return epochs_checked_; }
+
+  index_t num_cells() const { return static_cast<index_t>(cells_.size()); }
+
+  /// Called by the worker immediately before running `task`'s body.
+  /// Throws runtime::TaskFailure (kind "VERIFY") on a violation.
+  void on_task_start(runtime::TaskId task);
+
+  /// Called by the worker immediately after `task`'s body returns cleanly.
+  /// Throws runtime::TaskFailure (kind "VERIFY") on a violation.
+  void on_task_finish(runtime::TaskId task);
+
+ private:
+  struct Cell {
+    std::atomic<runtime::TaskId> writer{-1};
+    std::atomic<index_t> readers{0};
+    std::atomic<index_t> epoch{0};
+    index_t row = -1;             ///< for diagnostics (-1 for non-tile data)
+    index_t col = -1;
+    std::string label;            ///< rendered datum name
+  };
+
+  struct Claim {
+    index_t cell = -1;
+    bool reads = false;
+    bool writes = false;
+    index_t expected_epoch = -1;  ///< -1 = not checked (closure unavailable)
+  };
+
+  [[noreturn]] void violation(runtime::TaskId task, const Cell& cell,
+                              const std::string& what) const;
+
+  const runtime::TaskGraph& graph_;
+  std::vector<std::unique_ptr<Cell>> cells_;  ///< stable addresses, atomics
+  std::vector<std::vector<Claim>> claims_;    ///< indexed by TaskId
+  bool epochs_checked_ = false;
+};
+
+}  // namespace exaclim::analysis

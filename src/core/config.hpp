@@ -6,6 +6,7 @@
 
 #include "common/io.hpp"
 #include "linalg/precision_policy.hpp"
+#include "runtime/verify_mode.hpp"
 #include "stats/trend.hpp"
 
 namespace exaclim::core {
@@ -50,6 +51,12 @@ struct EmulatorConfig {
   /// also lapses. 0 disables.
   double stall_timeout_seconds = 0.0;
   double stall_grace_seconds = 0.0;
+
+  /// DAG verification gate (--verify off|static|dynamic): static proves the
+  /// constructed task graph race-free before execution, dynamic additionally
+  /// shadow-checks the executed schedule. Default resolves through
+  /// EXACLIM_VERIFY, falling back to static.
+  runtime::VerifyMode verify_mode = runtime::VerifyMode::Default;
 
   /// Profile grid for the trend's rho; empty = default {0, .05, ..., .95}.
   std::vector<double> rho_grid;

@@ -208,6 +208,7 @@ TrainReport ClimateEmulator::train(const climate::ClimateDataset& input,
     rt_opt.ft.checkpoint_sync = config_.checkpoint_sync;
     rt_opt.stall_timeout_seconds = config_.stall_timeout_seconds;
     rt_opt.stall_grace_seconds = config_.stall_grace_seconds;
+    rt_opt.verify = config_.verify_mode;
     const runtime::RtCholeskyResult rt =
         runtime::cholesky_tiled_parallel(tiled, rt_opt);
     report.precision_escalations = rt.precision_escalations;

@@ -209,6 +209,7 @@ MultiVarTrainReport MultiVariateEmulator::train(
   rt_opt.threads = config_.threads;
   rt_opt.stall_timeout_seconds = config_.stall_timeout_seconds;
   rt_opt.stall_grace_seconds = config_.stall_grace_seconds;
+  rt_opt.verify = config_.verify_mode;
   runtime::cholesky_tiled_parallel(tiled, rt_opt);
   factor_ = tiled.to_dense(/*lower_only=*/true);
 

@@ -942,7 +942,9 @@ float convert_f32_to_f16_scaled(const float* src, common::half* dst,
     const __m256 v = _mm256_mul_ps(_mm256_loadu_ps(src + i), vinv);
     const __m128i h =
         _mm256_cvtps_ph(v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
-    std::memcpy(dst + i, &h, 16);
+    // half is a trivially-copyable wire type; the void* cast silences
+    // -Wclass-memaccess, which can't see through the constructor overloads.
+    std::memcpy(static_cast<void*>(dst + i), &h, 16);
   }
 #endif
   for (; i < count; ++i) dst[i] = common::half(src[i] * inv);

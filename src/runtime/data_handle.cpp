@@ -4,8 +4,9 @@
 
 namespace exaclim::runtime {
 
-DataHandle HandleRegistry::create(std::string name) {
+DataHandle HandleRegistry::create(std::string name, TileCoord coord) {
   names_.push_back(std::move(name));
+  coords_.push_back(coord);
   return DataHandle{static_cast<index_t>(names_.size()) - 1};
 }
 
@@ -13,6 +14,12 @@ const std::string& HandleRegistry::name(DataHandle h) const {
   EXACLIM_CHECK(h.valid() && h.id < static_cast<index_t>(names_.size()),
                 "invalid data handle");
   return names_[static_cast<std::size_t>(h.id)];
+}
+
+const TileCoord& HandleRegistry::tile(DataHandle h) const {
+  EXACLIM_CHECK(h.valid() && h.id < static_cast<index_t>(coords_.size()),
+                "invalid data handle");
+  return coords_[static_cast<std::size_t>(h.id)];
 }
 
 }  // namespace exaclim::runtime

@@ -30,15 +30,75 @@ struct DataAccess {
   Access mode = Access::Read;
 };
 
-/// Registry of handles (names are kept for tracing/debugging only).
+/// Which representation plane of a tile a handle names. `Storage` is the
+/// tile's own buffer; the `Copy*` planes are the CONVERT-produced operand
+/// copies (one logical datum per (tile, representation) pair, matching the
+/// builder's one-conversion-per-precision rule). `None` marks a handle that
+/// is not tile-backed at all (generic data).
+enum class TilePlane : std::uint8_t { None = 0, Storage, CopyF64, CopyF32, CopyF16 };
+
+/// Numeric representation a tile-backed handle (or a declared effect) carries.
+enum class EffectPrec : std::uint8_t { Unspecified = 0, F64, F32, F16 };
+
+inline const char* tile_plane_name(TilePlane p) {
+  switch (p) {
+    case TilePlane::Storage: return "storage";
+    case TilePlane::CopyF64: return "copy-f64";
+    case TilePlane::CopyF32: return "copy-f32";
+    case TilePlane::CopyF16: return "copy-f16";
+    case TilePlane::None: break;
+  }
+  return "none";
+}
+
+inline const char* effect_prec_name(EffectPrec p) {
+  switch (p) {
+    case EffectPrec::F64: return "f64";
+    case EffectPrec::F32: return "f32";
+    case EffectPrec::F16: return "f16";
+    case EffectPrec::Unspecified: break;
+  }
+  return "unspecified";
+}
+
+/// The representation a copy plane delivers by construction.
+inline EffectPrec plane_precision(TilePlane p) {
+  switch (p) {
+    case TilePlane::CopyF64: return EffectPrec::F64;
+    case TilePlane::CopyF32: return EffectPrec::F32;
+    case TilePlane::CopyF16: return EffectPrec::F16;
+    case TilePlane::Storage:
+    case TilePlane::None: break;
+  }
+  return EffectPrec::Unspecified;
+}
+
+/// Tile coordinates + representation plane a handle is backed by. Registered
+/// by the DAG builders at create_handle time so the static verifier
+/// (analysis/dag_verify) can cross-check each task's declared TileEffects
+/// against the accesses the dependence inference actually saw.
+struct TileCoord {
+  index_t row = -1;
+  index_t col = -1;
+  TilePlane plane = TilePlane::None;
+  /// Representation the plane carries: the tile's storage precision for
+  /// `Storage`, the conversion target for copy planes.
+  EffectPrec precision = EffectPrec::Unspecified;
+  bool valid() const { return plane != TilePlane::None && row >= 0 && col >= 0; }
+};
+
+/// Registry of handles. Names are kept for tracing/debugging; tile metadata
+/// (when provided) feeds the static DAG verifier.
 class HandleRegistry {
  public:
-  DataHandle create(std::string name);
+  DataHandle create(std::string name, TileCoord coord = {});
   const std::string& name(DataHandle h) const;
+  const TileCoord& tile(DataHandle h) const;
   index_t size() const { return static_cast<index_t>(names_.size()); }
 
  private:
   std::vector<std::string> names_;
+  std::vector<TileCoord> coords_;
 };
 
 }  // namespace exaclim::runtime

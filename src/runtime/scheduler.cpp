@@ -11,6 +11,8 @@
 #include <sstream>
 #include <thread>
 
+#include "analysis/dag_verify.hpp"
+#include "analysis/shadow_check.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "common/memory.hpp"
@@ -119,6 +121,10 @@ struct ExecContext {
   std::vector<std::atomic<std::uint8_t>> done; ///< per-task completion flags
   std::vector<std::unique_ptr<WorkerState>> workers;
   std::vector<std::vector<unsigned>> victims;  ///< NUMA-near-first, per rank
+
+  /// Dynamic shadow checker (--verify dynamic); null otherwise. Owned by
+  /// execute(), outlives every worker.
+  analysis::ShadowChecker* shadow = nullptr;
 
   index_t pre_done = 0;  ///< tasks satisfied before the run (resume pruning)
   std::atomic<index_t> completed{0};
@@ -457,7 +463,28 @@ void ExecContext::worker(unsigned me) {
     const Task& t = graph.task(id);
     const double t0 = clock.seconds();
     my.current.store(id, std::memory_order_release);
-    const bool ok = run_with_retry(my, id, t);
+    // Dynamic shadow check brackets the body: entry asserts the datum epochs
+    // and occupancy this task's dependencies promise, exit releases them. A
+    // violation is a structured TaskFailure (kind VERIFY) and fails the run
+    // exactly like an unrecoverable task error.
+    bool ok = true;
+    if (shadow != nullptr) {
+      try {
+        shadow->on_task_start(id);
+      } catch (...) {
+        record_failure(std::current_exception());
+        ok = false;
+      }
+    }
+    if (ok) ok = run_with_retry(my, id, t);
+    if (ok && shadow != nullptr) {
+      try {
+        shadow->on_task_finish(id);
+      } catch (...) {
+        record_failure(std::current_exception());
+        ok = false;
+      }
+    }
     my.current.store(kNil, std::memory_order_release);
     // Memory-pressure ladder rung 2: between tasks is the one point where no
     // kernel on this thread holds scratch-arena pointers, so trimming the
@@ -545,7 +572,22 @@ RunStats execute(const TaskGraph& graph, const SchedulerOptions& options,
   stats.threads = participants;
   if (n == 0) return stats;
 
+  // Verification gate: prove the graph safe before dispatching anything.
+  // Static mode runs by default (VerifyMode::Default resolves through
+  // EXACLIM_VERIFY, falling back to Static), so every test build verifies
+  // every DAG it executes without opting in.
+  const VerifyMode verify = resolve_verify_mode(options.verify);
+  std::unique_ptr<analysis::ShadowChecker> shadow;
+  if (verify != VerifyMode::Off) {
+    analysis::verify_dag_or_throw(graph, options.already_done);
+    if (verify == VerifyMode::Dynamic) {
+      shadow = std::make_unique<analysis::ShadowChecker>(graph,
+                                                         options.already_done);
+    }
+  }
+
   ExecContext ctx(graph, options, trace, participants);
+  ctx.shadow = shadow.get();
 
   // Seed initial ready tasks in descending priority: homed roots go to
   // their affinity worker, the rest round-robin so high-priority roots

@@ -20,6 +20,7 @@
 
 #include "runtime/task_graph.hpp"
 #include "runtime/trace.hpp"
+#include "runtime/verify_mode.hpp"
 
 namespace exaclim::runtime {
 
@@ -56,6 +57,12 @@ struct SchedulerOptions {
   /// Extra time after the first stall dump before the run is failed.
   /// <= 0 means "same as stall_timeout_seconds".
   double stall_grace_seconds = 0.0;
+  /// DAG verification gate (see runtime/verify_mode.hpp). Static proves the
+  /// constructed graph orders every declared conflict before any task runs
+  /// (throws analysis::DagVerifyError otherwise); Dynamic additionally
+  /// shadow-checks the executed schedule at task entry/exit. Default
+  /// resolves through EXACLIM_VERIFY and falls back to Static.
+  VerifyMode verify = VerifyMode::Default;
 };
 
 struct RunStats {

@@ -6,10 +6,22 @@
 
 namespace exaclim::runtime {
 
-DataHandle TaskGraph::create_handle(std::string name) {
-  const DataHandle h = registry_.create(std::move(name));
+DataHandle TaskGraph::create_handle(std::string name, TileCoord coord) {
+  const DataHandle h = registry_.create(std::move(name), coord);
   handle_states_.emplace_back();
   return h;
+}
+
+bool TaskGraph::remove_edge_for_test(TaskId from, TaskId to) {
+  if (from < 0 || from >= num_tasks() || to < 0 || to >= num_tasks()) {
+    return false;
+  }
+  auto& succ = tasks_[static_cast<std::size_t>(from)].successors;
+  auto it = std::find(succ.begin(), succ.end(), to);
+  if (it == succ.end()) return false;
+  succ.erase(it);
+  --tasks_[static_cast<std::size_t>(to)].num_predecessors;
+  return true;
 }
 
 void TaskGraph::add_edge(TaskId from, TaskId to) {

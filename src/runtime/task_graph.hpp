@@ -46,6 +46,21 @@ inline const char* task_kind_name(TaskKind kind) {
   return "GENERIC";
 }
 
+/// One declared tile effect: the semantic contract "this task touches tile
+/// (row, col) on `plane` in `precision`, in `mode`". Effects are declared by
+/// the DAG builders *independently* of the DataAccess list the dependence
+/// inference consumes; the static verifier (analysis/dag_verify) proves the
+/// two agree and that every conflicting pair is ordered, StarPU/PaRSEC
+/// access-mode style. Redundancy is the point: a builder bug has to make the
+/// same mistake twice, consistently, to slip through.
+struct TileEffect {
+  index_t row = -1;
+  index_t col = -1;
+  Access mode = Access::Read;
+  TilePlane plane = TilePlane::Storage;
+  EffectPrec precision = EffectPrec::Unspecified;
+};
+
 /// A submitted task. `fn` may be empty for graphs that are only simulated.
 struct Task {
   std::function<void()> fn;
@@ -70,6 +85,10 @@ struct Task {
   /// precision the tile had reached when recovery ran out.
   std::function<std::string()> context;
   std::vector<DataAccess> accesses;
+  /// Declared tile effects (see TileEffect). Kernel builders must populate
+  /// these for every tile-backed access; tasks over non-tile data (Generic
+  /// kind) may leave them empty.
+  std::vector<TileEffect> effects;
   std::vector<TaskId> successors;   // filled by TaskGraph
   index_t num_predecessors = 0;     // filled by TaskGraph
 };
@@ -77,7 +96,7 @@ struct Task {
 /// Dependency-inferring task container (append-only).
 class TaskGraph {
  public:
-  DataHandle create_handle(std::string name = "");
+  DataHandle create_handle(std::string name = "", TileCoord coord = {});
 
   /// Submits a task; dependencies against earlier tasks are inferred from
   /// `accesses`. Returns the task id.
@@ -102,6 +121,12 @@ class TaskGraph {
   /// (submission order is a topological order by construction; this is a
   /// consistency check used by tests).
   bool validate() const;
+
+  /// Test-support mutation: removes the direct edge `from` -> `to` if
+  /// present, decrementing the successor's predecessor count. Exists solely
+  /// so the verifier self-tests can plant missing-dependency races; builders
+  /// must never call it. Returns true if an edge was removed.
+  bool remove_edge_for_test(TaskId from, TaskId to);
 
  private:
   struct HandleState {

@@ -38,6 +38,16 @@ struct ResolvedOperand {
   float hscale = 1.0f;
 };
 
+/// Effect-metadata precision of a tile's storage plane.
+EffectPrec to_effect_prec(Precision p) {
+  switch (p) {
+    case Precision::FP64: return EffectPrec::F64;
+    case Precision::FP32: return EffectPrec::F32;
+    case Precision::FP16: return EffectPrec::F16;
+  }
+  return EffectPrec::Unspecified;
+}
+
 }  // namespace
 
 CholeskyGraph::Repr CholeskyGraph::operand_repr(Precision out) {
@@ -58,6 +68,15 @@ CholeskyGraph::Repr CholeskyGraph::natural_repr(Precision storage) {
   return Repr::F64;
 }
 
+TilePlane CholeskyGraph::repr_plane(Repr repr) {
+  switch (repr) {
+    case Repr::F64: return TilePlane::CopyF64;
+    case Repr::F32: return TilePlane::CopyF32;
+    case Repr::F16P: return TilePlane::CopyF16;
+  }
+  return TilePlane::None;
+}
+
 CholeskyGraph::CopySlot& CholeskyGraph::copy_slot(index_t i, index_t j,
                                                   Repr repr) {
   auto key = std::make_tuple(i, j, static_cast<int>(repr));
@@ -74,8 +93,10 @@ DataHandle CholeskyGraph::ensure_convert(index_t i, index_t j, Repr repr,
   if (slot.handle.valid()) return slot.handle;
   TileBuffer& t = a_.tile(i, j);
   const index_t count = t.count();
-  slot.handle = graph_.create_handle("copy(" + std::to_string(i) + "," +
-                                     std::to_string(j) + ")");
+  const TilePlane plane = repr_plane(repr);
+  slot.handle = graph_.create_handle(
+      "copy(" + std::to_string(i) + "," + std::to_string(j) + ")",
+      TileCoord{i, j, plane, plane_precision(plane)});
   Copy* buffer = &slot.buffer;
   std::function<void()> body;
   // The converted buffers are allocated INSIDE the task body, not at graph
@@ -135,6 +156,9 @@ DataHandle CholeskyGraph::ensure_convert(index_t i, index_t j, Repr repr,
   task.weight = static_cast<double>(count);
   task.accesses = {{tile_handle(i, j), Access::Read},
                    {slot.handle, Access::Write}};
+  task.effects = {
+      {i, j, Access::Read, TilePlane::Storage, to_effect_prec(t.precision())},
+      {i, j, Access::Write, plane, plane_precision(plane)}};
   graph_.submit(std::move(task));
   ++convert_tasks_;
   element_conversions_ += static_cast<double>(count);
@@ -150,8 +174,13 @@ CholeskyGraph::CholeskyGraph(linalg::TiledSymmetricMatrix& a,
   tile_handles_.reserve(num_tiles);
   for (index_t i = 0; i < nt; ++i) {
     for (index_t j = 0; j <= i; ++j) {
+      // Tile metadata feeds the static DAG verifier: the storage plane
+      // carries the tile's precision as captured at build time (recovery may
+      // escalate it later; the declared contract describes the built DAG).
       tile_handles_.push_back(graph_.create_handle(
-          "tile(" + std::to_string(i) + "," + std::to_string(j) + ")"));
+          "tile(" + std::to_string(i) + "," + std::to_string(j) + ")",
+          TileCoord{i, j, TilePlane::Storage,
+                    to_effect_prec(a_.tile(i, j).precision())}));
     }
   }
   if (ft_.integrity_checks) {
@@ -233,21 +262,31 @@ void CholeskyGraph::build() {
   const index_t nt = a_.num_tile_rows();
   const bool sender = placement_ == ConversionPlacement::Sender;
 
-  // Returns the handle a consumer should read for tile (i,j) delivered in
-  // `repr`, creating a sender-side CONVERT task when needed. In receiver
-  // placement the consumer converts privately, so the tile handle is used and
-  // the conversion cost is accounted here (it happens inside the consumer).
-  auto operand_handle = [&](index_t i, index_t j, Repr repr,
-                            index_t k) -> DataHandle {
+  // Handle + declared read effect a consumer should use for tile (i,j)
+  // delivered in `repr`, creating a sender-side CONVERT task when needed. In
+  // receiver placement the consumer converts privately, so the tile handle
+  // (storage plane) is used and the conversion cost is accounted here (it
+  // happens inside the consumer).
+  struct Operand {
+    DataHandle handle;
+    TileEffect effect;
+  };
+  auto operand_for = [&](index_t i, index_t j, Repr repr,
+                         index_t k) -> Operand {
     const TileBuffer& t = a_.tile(i, j);
     const bool direct =
         (repr == Repr::F64 && t.precision() == Precision::FP64) ||
         (repr == Repr::F32 && t.precision() == Precision::FP32) ||
         (repr == Repr::F16P && t.precision() == Precision::FP16);
-    if (direct) return tile_handle(i, j);
-    if (sender) return ensure_convert(i, j, repr, k);
-    element_conversions_ += static_cast<double>(t.count());
-    return tile_handle(i, j);
+    if (!direct && sender) {
+      const TilePlane plane = repr_plane(repr);
+      return {ensure_convert(i, j, repr, k),
+              {i, j, Access::Read, plane, plane_precision(plane)}};
+    }
+    if (!direct) element_conversions_ += static_cast<double>(t.count());
+    return {tile_handle(i, j),
+            {i, j, Access::Read, TilePlane::Storage,
+             to_effect_prec(t.precision())}};
   };
 
   // Executes a receiver-side conversion inside a task body.
@@ -374,6 +413,8 @@ void CholeskyGraph::build() {
       task.fn = guard(std::move(body), TaskKind::Potrf, {}, k, k,
                       static_cast<std::uint64_t>(kernel_ids_.size()));
       task.accesses = {{tile_handle(k, k), Access::ReadWrite}};
+      task.effects = {{k, k, Access::ReadWrite, TilePlane::Storage,
+                       to_effect_prec(t.precision())}};
       kernel_ids_.push_back(graph_.submit(std::move(task)));
     }
 
@@ -382,7 +423,8 @@ void CholeskyGraph::build() {
       TileBuffer& b = a_.tile(i, k);
       const Precision bp = b.precision();
       const Repr l_repr = (bp == Precision::FP64) ? Repr::F64 : Repr::F32;
-      const DataHandle l_handle = operand_handle(k, k, l_repr, k);
+      const Operand l_operand = operand_for(k, k, l_repr, k);
+      const DataHandle l_handle = l_operand.handle;
       TileBuffer& diag = a_.tile(k, k);
       Copy* l_copy = nullptr;
       if (sender && l_handle.id != tile_handle(k, k).id) {
@@ -431,6 +473,9 @@ void CholeskyGraph::build() {
                       static_cast<std::uint64_t>(kernel_ids_.size()));
       task.accesses = {{l_handle, Access::Read},
                        {tile_handle(i, k), Access::ReadWrite}};
+      task.effects = {l_operand.effect,
+                      {i, k, Access::ReadWrite, TilePlane::Storage,
+                       to_effect_prec(bp)}};
       kernel_ids_.push_back(graph_.submit(std::move(task)));
     }
 
@@ -440,7 +485,8 @@ void CholeskyGraph::build() {
         TileBuffer& c = a_.tile(i, i);
         TileBuffer& in = a_.tile(i, k);
         const Repr repr = operand_repr(c.precision());
-        const DataHandle in_handle = operand_handle(i, k, repr, k);
+        const Operand in_operand = operand_for(i, k, repr, k);
+        const DataHandle in_handle = in_operand.handle;
         Copy* in_copy = nullptr;
         if (sender && in_handle.id != tile_handle(i, k).id) {
           in_copy = &copy_slot(i, k, repr).buffer;
@@ -453,8 +499,8 @@ void CholeskyGraph::build() {
         task.priority = prio_base + 1;
         const index_t m = c.rows();
         const index_t kk = in.cols();
-        task.weight =
-            static_cast<double>(m) * static_cast<double>(m) * kk;
+        task.weight = static_cast<double>(m) * static_cast<double>(m) *
+                      static_cast<double>(kk);
         const Precision cp = c.precision();
         std::function<void()> body = [&c, &in, in_copy, resolve, m, kk, cp,
                                       repr] {
@@ -490,6 +536,9 @@ void CholeskyGraph::build() {
                         static_cast<std::uint64_t>(kernel_ids_.size()));
         task.accesses = {{in_handle, Access::Read},
                          {tile_handle(i, i), Access::ReadWrite}};
+        task.effects = {in_operand.effect,
+                        {i, i, Access::ReadWrite, TilePlane::Storage,
+                         to_effect_prec(cp)}};
         kernel_ids_.push_back(graph_.submit(std::move(task)));
       }
 
@@ -499,8 +548,10 @@ void CholeskyGraph::build() {
         TileBuffer& ain = a_.tile(i, k);
         TileBuffer& bin = a_.tile(j, k);
         const Repr repr = operand_repr(c.precision());
-        const DataHandle a_handle = operand_handle(i, k, repr, k);
-        const DataHandle b_handle = operand_handle(j, k, repr, k);
+        const Operand a_operand = operand_for(i, k, repr, k);
+        const Operand b_operand = operand_for(j, k, repr, k);
+        const DataHandle a_handle = a_operand.handle;
+        const DataHandle b_handle = b_operand.handle;
         auto copy_for = [&](index_t r, DataHandle h) -> Copy* {
           if (!sender || h.id == tile_handle(r, k).id) return nullptr;
           return &copy_slot(r, k, repr).buffer;
@@ -560,6 +611,9 @@ void CholeskyGraph::build() {
         task.accesses = {{a_handle, Access::Read},
                          {b_handle, Access::Read},
                          {tile_handle(i, j), Access::ReadWrite}};
+        task.effects = {a_operand.effect, b_operand.effect,
+                        {i, j, Access::ReadWrite, TilePlane::Storage,
+                         to_effect_prec(cp)}};
         kernel_ids_.push_back(graph_.submit(std::move(task)));
       }
     }
@@ -640,6 +694,7 @@ RtCholeskyResult cholesky_tiled_parallel(linalg::TiledSymmetricMatrix& a,
   sched.collect_trace = options.collect_trace;
   sched.stall_timeout_seconds = options.stall_timeout_seconds;
   sched.stall_grace_seconds = options.stall_grace_seconds;
+  sched.verify = options.verify;
   const bool periodic =
       !ft.checkpoint_path.empty() && ft.checkpoint_every > 0;
   sched.task_budget = periodic ? ft.checkpoint_every : 0;

@@ -66,6 +66,10 @@ struct RtCholeskyOptions {
   /// fails the run with StallError once the grace period also lapses.
   double stall_timeout_seconds = 0.0;
   double stall_grace_seconds = 0.0;  ///< <= 0: same as the timeout
+  /// DAG verification gate, forwarded to SchedulerOptions::verify (see
+  /// runtime/verify_mode.hpp): static graph proof before execution, optional
+  /// dynamic shadow checking of the executed schedule.
+  VerifyMode verify = VerifyMode::Default;
   FaultToleranceOptions ft;
 };
 
@@ -134,6 +138,8 @@ class CholeskyGraph {
 
   static Repr operand_repr(linalg::Precision out);
   static Repr natural_repr(linalg::Precision storage);
+  /// The copy plane a CONVERT producing `repr` writes (effect metadata).
+  static TilePlane repr_plane(Repr repr);
 
   /// Handle + buffer for a converted copy, created on first need.
   struct CopySlot {

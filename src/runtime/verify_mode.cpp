@@ -1,0 +1,34 @@
+#include "runtime/verify_mode.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace exaclim::runtime {
+
+VerifyMode parse_verify_mode(const std::string& text) {
+  if (text == "off") return VerifyMode::Off;
+  if (text == "static") return VerifyMode::Static;
+  if (text == "dynamic") return VerifyMode::Dynamic;
+  throw InvalidArgument("verify mode must be off|static|dynamic, got '" +
+                        text + "'");
+}
+
+VerifyMode resolve_verify_mode(VerifyMode mode) {
+  if (mode != VerifyMode::Default) return mode;
+  const char* env = std::getenv("EXACLIM_VERIFY");
+  if (env != nullptr && env[0] != '\0') return parse_verify_mode(env);
+  return VerifyMode::Static;
+}
+
+const char* verify_mode_name(VerifyMode mode) {
+  switch (mode) {
+    case VerifyMode::Off: return "off";
+    case VerifyMode::Static: return "static";
+    case VerifyMode::Dynamic: return "dynamic";
+    case VerifyMode::Default: break;
+  }
+  return "default";
+}
+
+}  // namespace exaclim::runtime

@@ -1,0 +1,36 @@
+// DAG verification modes for the task scheduler.
+//
+//   Off     — no verification (production default can opt out explicitly).
+//   Static  — before dispatch, prove on the constructed graph that every
+//             pair of conflicting tile accesses is ordered, the DAG is
+//             acyclic with consistent predecessor counts, declared effects
+//             match inferred accesses, and CONVERT placement is consistent
+//             (analysis/dag_verify). Cost is O(V^2/64) bitset reachability,
+//             negligible next to the factorization at this repo's scales.
+//   Dynamic — Static, plus a per-tile epoch/occupancy shadow checker
+//             validated at task entry/exit while the run executes
+//             (analysis/shadow_check): catches schedules where the executed
+//             interleaving contradicts the declared effects.
+//   Default — resolve from the EXACLIM_VERIFY environment variable
+//             (off|static|dynamic); unset means Static, so every test build
+//             runs static verification without opting in.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace exaclim::runtime {
+
+enum class VerifyMode : std::uint8_t { Default = 0, Off, Static, Dynamic };
+
+/// Parses "off" | "static" | "dynamic" (the --verify / EXACLIM_VERIFY
+/// grammar); throws InvalidArgument naming the offending value otherwise.
+VerifyMode parse_verify_mode(const std::string& text);
+
+/// Resolves Default against EXACLIM_VERIFY (falling back to Static); passes
+/// explicit modes through unchanged.
+VerifyMode resolve_verify_mode(VerifyMode mode);
+
+const char* verify_mode_name(VerifyMode mode);
+
+}  // namespace exaclim::runtime
