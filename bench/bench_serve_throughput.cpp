@@ -1,0 +1,256 @@
+// Serving throughput and tail latency for the batched sampling service.
+//
+// Own main(): trains and freezes one small model, then sweeps client counts
+// against a SamplingService and writes BENCH_serve.json — samples/sec plus
+// p50/p99 end-to-end latency per client count, and a pressure scenario
+// (tight queue + deadlines + slow-task injection) whose shed / deadline-miss
+// / degraded counters prove every submitted request is accounted for.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "climate/synthetic_esm.hpp"
+#include "common/fault.hpp"
+#include "common/timer.hpp"
+#include "core/emulator.hpp"
+#include "core/serialize.hpp"
+#include "serve/sampler.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace exaclim;
+
+std::string freeze_model() {
+  climate::SyntheticEsmConfig data_cfg;
+  data_cfg.band_limit = 16;
+  data_cfg.grid = {17, 32};
+  data_cfg.num_years = 2;
+  data_cfg.steps_per_year = 64;
+  data_cfg.num_ensembles = 2;
+  const auto esm = climate::generate_synthetic_esm(data_cfg);
+
+  core::EmulatorConfig cfg;
+  cfg.band_limit = 16;
+  cfg.ar_order = 2;
+  cfg.harmonics = 3;
+  cfg.steps_per_year = 64;
+  cfg.tile_size = 64;
+  core::ClimateEmulator emulator(cfg);
+  emulator.train(esm.data, esm.forcing);
+
+  std::string path = "bench_serve_model.bin";
+  if (const char* tmp = std::getenv("TMPDIR")) {
+    path = std::string(tmp) + "/" + path;
+  }
+  core::save_emulator(emulator, path, core::FactorStorage::FP64);
+  return path;
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1));
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/// One throughput point: `clients` threads each submit `per_client`
+/// requests and block on the future; latency is submit-to-result.
+std::string run_point(const core::FrozenModel& model, int clients,
+                      int per_client) {
+  serve::ServiceOptions options;
+  options.queue_depth = 256;
+  options.max_batch = 16;
+  options.sampler.seed = 42;
+  options.sampler.tile = 64;
+  serve::SamplingService service(model, options);
+
+  std::mutex lat_mu;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(static_cast<std::size_t>(clients * per_client));
+
+  common::Timer wall;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      std::vector<double> local;
+      local.reserve(static_cast<std::size_t>(per_client));
+      for (int i = 0; i < per_client; ++i) {
+        serve::SampleRequest req;
+        req.request_id = static_cast<std::uint64_t>(c) * 1000000ull +
+                         static_cast<std::uint64_t>(i);
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+          service.submit(req).get();
+        } catch (const Error&) {
+          continue;  // shed under extreme pressure; excluded from latency
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        local.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+      std::lock_guard<std::mutex> lock(lat_mu);
+      latencies_ms.insert(latencies_ms.end(), local.begin(), local.end());
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double seconds = wall.seconds();
+  service.drain();
+  const auto counters = service.counters();
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const double p50 = percentile(latencies_ms, 0.50);
+  const double p99 = percentile(latencies_ms, 0.99);
+  const double rate =
+      seconds > 0.0 ? static_cast<double>(counters.completed) / seconds : 0.0;
+
+  std::printf(
+      "  %2d client(s): %8.1f samples/s | p50 %7.3f ms | p99 %7.3f ms | "
+      "completed %lld shed %lld missed %lld\n",
+      clients, rate, p50, p99, static_cast<long long>(counters.completed),
+      static_cast<long long>(counters.shed),
+      static_cast<long long>(counters.deadline_missed));
+
+  char row[512];
+  std::snprintf(
+      row, sizeof(row),
+      "{\"scenario\": \"throughput\", \"clients\": %d, \"requests\": %d, "
+      "\"samples_per_sec\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+      "\"submitted\": %lld, \"completed\": %lld, \"shed\": %lld, "
+      "\"deadline_missed\": %lld, \"failed\": %lld, \"batches\": %lld, "
+      "\"shrunk_batches\": %lld, \"degraded_batches\": %lld}",
+      clients, clients * per_client, rate, p50, p99,
+      static_cast<long long>(counters.submitted),
+      static_cast<long long>(counters.completed),
+      static_cast<long long>(counters.shed),
+      static_cast<long long>(counters.deadline_missed),
+      static_cast<long long>(counters.failed),
+      static_cast<long long>(counters.batches),
+      static_cast<long long>(counters.shrunk_batches),
+      static_cast<long long>(counters.degraded_batches));
+  return row;
+}
+
+/// Pressure scenario: tight queue, short deadlines, injected task latency.
+/// The interesting output is the counter breakdown — every submitted
+/// request must land in exactly one terminal bucket.
+std::string run_pressure(const core::FrozenModel& model) {
+  common::FaultInjector::instance().arm(
+      common::FaultPlan::parse("seed=11;slow-task=0.6;slow-ms=15"));
+
+  serve::ServiceOptions options;
+  options.queue_depth = 8;
+  options.max_batch = 4;
+  options.deadline_ms = 40.0;
+  options.sampler.seed = 42;
+  options.sampler.tile = 64;
+  serve::SamplingService service(model, options);
+
+  const int clients = 4;
+  const int per_client = 32;
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      for (int i = 0; i < per_client; ++i) {
+        serve::SampleRequest req;
+        req.request_id = static_cast<std::uint64_t>(c) * 1000000ull +
+                         static_cast<std::uint64_t>(i);
+        try {
+          service.submit(req).get();
+        } catch (const Error&) {
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  service.drain();
+  common::FaultInjector::instance().disarm();
+
+  const auto counters = service.counters();
+  const long long accounted =
+      static_cast<long long>(counters.completed + counters.shed +
+                             counters.deadline_missed + counters.failed);
+  std::printf(
+      "  pressure: submitted %lld -> completed %lld shed %lld missed %lld "
+      "failed %lld (accounted %lld) | shrunk %lld degraded %lld\n",
+      static_cast<long long>(counters.submitted),
+      static_cast<long long>(counters.completed),
+      static_cast<long long>(counters.shed),
+      static_cast<long long>(counters.deadline_missed),
+      static_cast<long long>(counters.failed), accounted,
+      static_cast<long long>(counters.shrunk_batches),
+      static_cast<long long>(counters.degraded_batches));
+  if (accounted != static_cast<long long>(counters.submitted)) {
+    std::fprintf(stderr, "*** accounting invariant violated\n");
+    std::exit(1);
+  }
+
+  char row[512];
+  std::snprintf(
+      row, sizeof(row),
+      "{\"scenario\": \"pressure\", \"clients\": %d, \"requests\": %d, "
+      "\"faults\": \"slow-task=0.6;slow-ms=15\", \"deadline_ms\": 40, "
+      "\"queue_depth\": 8, \"submitted\": %lld, \"completed\": %lld, "
+      "\"shed\": %lld, \"deadline_missed\": %lld, \"failed\": %lld, "
+      "\"shrunk_batches\": %lld, \"degraded_batches\": %lld, "
+      "\"accounted\": %s}",
+      clients, clients * per_client,
+      static_cast<long long>(counters.submitted),
+      static_cast<long long>(counters.completed),
+      static_cast<long long>(counters.shed),
+      static_cast<long long>(counters.deadline_missed),
+      static_cast<long long>(counters.failed),
+      static_cast<long long>(counters.shrunk_batches),
+      static_cast<long long>(counters.degraded_batches),
+      accounted == static_cast<long long>(counters.submitted) ? "true"
+                                                              : "false");
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  exaclim::bench::print_header(
+      "Serving throughput: batched sampling service");
+  const std::string model_path = freeze_model();
+  const core::FrozenModel model(model_path);
+  std::printf("frozen model: factor dim %lld\n",
+              static_cast<long long>(model.factor_dim()));
+
+  exaclim::bench::JsonBench out;
+  for (const int clients : {1, 2, 4, 8}) {
+    out.add(run_point(model, clients, 64));
+  }
+  out.add(run_pressure(model));
+
+  const unsigned hc = std::thread::hardware_concurrency();
+  const bool degraded = hc <= 1;
+  if (degraded) {
+    std::fprintf(stderr,
+                 "*** WARNING: hardware_concurrency == %u — 1-core "
+                 "container; latency numbers are not comparable to "
+                 "multi-core runs; meta carries \"degraded_env\": true.\n",
+                 hc);
+  }
+  char meta[256];
+  std::snprintf(meta, sizeof(meta),
+                "{\"bench\": \"serve_throughput\", "
+                "\"hardware_concurrency\": %u, \"degraded_env\": %s, "
+                "\"factor_dim\": %lld, \"max_batch\": 16}",
+                hc, degraded ? "true" : "false",
+                static_cast<long long>(model.factor_dim()));
+  if (out.write("BENCH_serve.json", meta)) {
+    std::printf("wrote BENCH_serve.json\n");
+  }
+  std::remove(model_path.c_str());
+  return 0;
+}

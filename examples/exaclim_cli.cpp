@@ -16,6 +16,10 @@
 //                        [--ensembles R] [--seed S]
 //   exaclim_cli info     --file <dataset-or-model>
 //   exaclim_cli verify   --data data.bin --emu emu.bin [--band-limit L]
+//   exaclim_cli serve    --model model.bin [--serve-clients N]
+//                        [--serve-requests R] [--serve-queue-depth D]
+//                        [--serve-batch K] [--serve-deadline-ms MS]
+//                        [--tile-size T] [--seed S]
 //
 // Global flags (any subcommand): --threads N sizes the process-wide worker
 // team (default: hardware concurrency); --pin 0|1 toggles NUMA/SMT-aware
@@ -43,11 +47,16 @@
 // The workflow a downstream modelling centre would run: generate (or bring)
 // an ensemble, train once, archive only the model file, regenerate members
 // on demand, and verify statistical consistency.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "climate/synthetic_esm.hpp"
 #include "common/error.hpp"
@@ -58,6 +67,7 @@
 #include "core/emulator.hpp"
 #include "core/serialize.hpp"
 #include "linalg/kernels.hpp"
+#include "serve/service.hpp"
 
 using namespace exaclim;
 using exaclim::InvalidArgument;
@@ -396,6 +406,130 @@ int cmd_info(const std::map<std::string, std::string>& args) {
   return 0;
 }
 
+/// Serve-flag parser: --serve-* flag wins, then the EXACLIM_SERVE_* env
+/// var, then the default; the value must be an integer in [lo, hi] — the
+/// same strictness as the other numeric flags, applied to env values too so
+/// a typo'd deployment environment fails loudly.
+index_t serve_int(const std::map<std::string, std::string>& args,
+                  const std::string& key, const char* env, index_t fallback,
+                  index_t lo, index_t hi) {
+  const std::string text = get_or_env(args, key, env, "");
+  if (text.empty()) return fallback;
+  long long v = 0;
+  std::size_t pos = 0;
+  try {
+    v = std::stoll(text, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != text.size() || v < lo || v > hi) {
+    throw InvalidArgument("flag --" + key + " (or " + env +
+                          ") expects an integer in [" + std::to_string(lo) +
+                          ", " + std::to_string(hi) + "], got '" + text + "'");
+  }
+  return static_cast<index_t>(v);
+}
+
+int cmd_serve(const std::map<std::string, std::string>& args) {
+  // Validate every serve flag before mapping the model, so a bad deployment
+  // config fails in microseconds.
+  const std::string model_path = get(args, "model");
+  const index_t queue_depth = serve_int(args, "serve-queue-depth",
+                                        "EXACLIM_SERVE_QUEUE_DEPTH", 64, 1,
+                                        1 << 20);
+  const index_t batch =
+      serve_int(args, "serve-batch", "EXACLIM_SERVE_BATCH", 16, 1, 64);
+  const index_t deadline_ms = serve_int(args, "serve-deadline-ms",
+                                        "EXACLIM_SERVE_DEADLINE_MS", 0, 1,
+                                        1 << 30);
+  const index_t clients =
+      serve_int(args, "serve-clients", "EXACLIM_SERVE_CLIENTS", 4, 1, 1024);
+  const index_t requests = serve_int(args, "serve-requests",
+                                     "EXACLIM_SERVE_REQUESTS", 64, 1,
+                                     1 << 20);
+  const auto seed = static_cast<std::uint64_t>(get_int(args, "seed", 1));
+
+  const core::FrozenModel model(model_path);
+  serve::ServiceOptions options;
+  options.queue_depth = queue_depth;
+  options.max_batch = batch;
+  options.deadline_ms = static_cast<double>(deadline_ms);
+  options.sampler.seed = seed;
+  options.sampler.tile = get_int(args, "tile-size", 256);
+  options.sampler.stall_timeout_seconds = get_double(args, "stall-timeout", 0.0);
+  if (args.count("verify") != 0) {
+    options.sampler.verify = runtime::parse_verify_mode(args.at("verify"));
+  }
+  serve::SamplingService service(model, options);
+
+  // An armed `burst=N` fault plan turns each client into a request storm:
+  // N x its request count submitted back-to-back, driving the shedding path.
+  const index_t burst =
+      std::max<index_t>(1, common::FaultInjector::instance().burst_factor());
+  const index_t per_client = requests * burst;
+
+  std::vector<std::thread> workers;
+  std::atomic<index_t> ok{0}, shed{0}, missed{0}, failed{0};
+  const auto start = std::chrono::steady_clock::now();
+  for (index_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      for (index_t i = 0; i < per_client; ++i) {
+        serve::SampleRequest req;
+        req.request_id =
+            static_cast<std::uint64_t>(c) * 1000000u +
+            static_cast<std::uint64_t>(i);
+        try {
+          auto future = service.submit(req);
+          future.get();
+          ok.fetch_add(1, std::memory_order_relaxed);
+        } catch (const serve::OverloadError&) {
+          shed.fetch_add(1, std::memory_order_relaxed);
+        } catch (const serve::DeadlineError&) {
+          missed.fetch_add(1, std::memory_order_relaxed);
+        } catch (const Error&) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  service.drain();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const auto counters = service.counters();
+  std::printf("served %lld requests from %lld client(s) in %.2fs "
+              "(%.1f samples/s)\n",
+              static_cast<long long>(counters.submitted),
+              static_cast<long long>(clients), seconds,
+              seconds > 0.0 ? static_cast<double>(counters.completed) / seconds
+                            : 0.0);
+  std::printf("completed %lld | shed %lld | deadline-missed %lld | failed "
+              "%lld | batches %lld (shrunk %lld, degraded %lld) | retries "
+              "%lld | health %s\n",
+              static_cast<long long>(counters.completed),
+              static_cast<long long>(counters.shed),
+              static_cast<long long>(counters.deadline_missed),
+              static_cast<long long>(counters.failed),
+              static_cast<long long>(counters.batches),
+              static_cast<long long>(counters.shrunk_batches),
+              static_cast<long long>(counters.degraded_batches),
+              static_cast<long long>(counters.transient_retries),
+              serve::health_name(service.health()));
+  const index_t accounted = counters.completed + counters.shed +
+                            counters.deadline_missed + counters.failed;
+  if (accounted != counters.submitted) {
+    std::fprintf(stderr,
+                 "error: accounting mismatch — %lld submitted but %lld "
+                 "accounted\n",
+                 static_cast<long long>(counters.submitted),
+                 static_cast<long long>(accounted));
+    return 2;
+  }
+  return counters.failed == 0 ? 0 : 1;
+}
+
 int cmd_verify(const std::map<std::string, std::string>& args) {
   const auto data = climate::ClimateDataset::load(get(args, "data"));
   const auto emu = climate::ClimateDataset::load(get(args, "emu"));
@@ -464,14 +598,51 @@ void configure_runtime(const std::map<std::string, std::string>& args) {
 
 void usage() {
   std::printf(
-      "usage: exaclim_cli <generate|train|emulate|info|verify> [--flags]\n"
-      "       global flags: --threads N, --pin 0|1, --faults <spec>,\n"
-      "       --mem-budget SIZE[K|M|G], --tune fixed|auto\n"
-      "       train also takes: --checkpoint <path>, --checkpoint-every N,\n"
-      "       --checkpoint-sync full|data|none, --resume <path>,\n"
-      "       --fault-tolerance 0|1, --validate 0|1, --quarantine 0|1,\n"
-      "       --valid-range MIN,MAX, --stall-timeout SECONDS,\n"
-      "       --verify off|static|dynamic (DAG race/ordering verifier)\n"
+      "usage: exaclim_cli <generate|train|emulate|info|verify|serve> "
+      "[--flags]\n"
+      "\n"
+      "subcommands:\n"
+      "  generate --out data.bin [--band-limit L] [--years Y]\n"
+      "           [--steps-per-year TAU] [--ensembles R] [--seed S]\n"
+      "  train    --data data.bin --model model.bin [--band-limit L]\n"
+      "           [--ar-order P] [--harmonics K] [--tile-size T]\n"
+      "           [--variant DP|DP/SP|DP/SP/HP|DP/HP]\n"
+      "           [--factor-storage fp64|fp32|fp16]\n"
+      "           [--checkpoint PATH] [--checkpoint-every N]\n"
+      "           [--checkpoint-sync full|data|none] [--resume PATH]\n"
+      "           [--fault-tolerance 0|1] [--validate 0|1]\n"
+      "           [--quarantine 0|1] [--valid-range MIN,MAX]\n"
+      "           [--stall-timeout SECONDS] [--stall-grace SECONDS]\n"
+      "           [--verify off|static|dynamic]\n"
+      "  emulate  --model model.bin --out emu.bin --steps N\n"
+      "           [--ensembles R] [--seed S]\n"
+      "  info     --file <dataset-or-model>\n"
+      "  verify   --data data.bin --emu emu.bin [--band-limit L]\n"
+      "  serve    --model model.bin [--serve-clients N] [--serve-requests R]\n"
+      "           [--serve-queue-depth D] [--serve-batch K]\n"
+      "           [--serve-deadline-ms MS] [--tile-size T] [--seed S]\n"
+      "           [--stall-timeout SECONDS] [--verify off|static|dynamic]\n"
+      "\n"
+      "global flags (any subcommand):\n"
+      "  --threads N          worker-team size (default: hw concurrency)\n"
+      "  --pin 0|1            NUMA/SMT-aware core pinning (EXACLIM_PIN)\n"
+      "  --faults SPEC        arm the deterministic fault injector\n"
+      "                       (EXACLIM_FAULTS; see common/fault.hpp: seed=,\n"
+      "                       numerical=, transient=, repeats=, bitflip=,\n"
+      "                       hang=, hang-ms=, kind=, at=r,c, io=, io-mode=,\n"
+      "                       burst=, slow-task=, slow-ms=)\n"
+      "  --mem-budget SIZE    cap tracked allocations, K/M/G suffixes\n"
+      "                       (EXACLIM_MEM_BUDGET); degrade, then\n"
+      "                       ResourceError\n"
+      "  --tune fixed|auto    blocked-kernel cache tuning (EXACLIM_TUNE)\n"
+      "  --verify MODE        DAG race/ordering verifier: off|static|dynamic\n"
+      "                       (EXACLIM_VERIFY; default static)\n"
+      "\n"
+      "serve flags fall back to EXACLIM_SERVE_QUEUE_DEPTH,\n"
+      "EXACLIM_SERVE_BATCH, EXACLIM_SERVE_DEADLINE_MS, EXACLIM_SERVE_CLIENTS\n"
+      "and EXACLIM_SERVE_REQUESTS; checkpoint flags fall back to\n"
+      "EXACLIM_CHECKPOINT, EXACLIM_CHECKPOINT_EVERY, EXACLIM_CHECKPOINT_SYNC\n"
+      "and EXACLIM_RESUME.\n"
       "see the header comment of examples/exaclim_cli.cpp for details\n");
 }
 
@@ -491,6 +662,7 @@ int main(int argc, char** argv) {
     if (cmd == "emulate") return cmd_emulate(args);
     if (cmd == "info") return cmd_info(args);
     if (cmd == "verify") return cmd_verify(args);
+    if (cmd == "serve") return cmd_serve(args);
     usage();
     return 1;
   } catch (const Error& e) {

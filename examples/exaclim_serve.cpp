@@ -1,0 +1,211 @@
+// Emulation-as-a-service demo: N client threads against the batched
+// sampling service, exercising the full robustness contract on a
+// laptop-sized model.
+//
+//   build/exaclim_serve [clients] [requests-per-client]
+//
+// Walks the "train once, sample millions of times" serving path:
+//   1. train a small emulator and freeze it to an EXACMDL4 artifact,
+//   2. mmap the artifact read-only (core::FrozenModel, lazy per-section CRC),
+//   3. stand up a SamplingService (bounded admission queue, batching engine),
+//   4. hammer it from N client threads while demonstrating
+//      - per-request bit-reproducibility (same request_id => same bytes,
+//        regardless of batch composition or concurrency),
+//      - deterministic load shedding (OverloadError once the queue is full),
+//      - deadline misses as structured errors, never hangs,
+//      - clean drain (in-flight completes, new submissions are shed).
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "climate/synthetic_esm.hpp"
+#include "core/emulator.hpp"
+#include "core/serialize.hpp"
+#include "serve/sampler.hpp"
+#include "serve/service.hpp"
+
+using namespace exaclim;
+
+namespace {
+
+std::string freeze_small_model() {
+  climate::SyntheticEsmConfig data_cfg;
+  data_cfg.band_limit = 16;
+  data_cfg.grid = {17, 32};
+  data_cfg.num_years = 2;
+  data_cfg.steps_per_year = 64;
+  data_cfg.num_ensembles = 2;
+  const auto esm = climate::generate_synthetic_esm(data_cfg);
+
+  core::EmulatorConfig cfg;
+  cfg.band_limit = 16;
+  cfg.ar_order = 2;
+  cfg.harmonics = 3;
+  cfg.steps_per_year = 64;
+  cfg.tile_size = 64;
+  core::ClimateEmulator emulator(cfg);
+  emulator.train(esm.data, esm.forcing);
+
+  std::string path = "exaclim_serve_model.bin";
+  if (const char* tmp = std::getenv("TMPDIR")) {
+    path = std::string(tmp) + "/" + path;
+  }
+  core::save_emulator(emulator, path, core::FactorStorage::FP64);
+  return path;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int clients = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int per_client = argc > 2 ? std::atoi(argv[2]) : 32;
+  if (clients < 1 || per_client < 1) {
+    std::fprintf(stderr, "usage: exaclim_serve [clients>=1] [requests>=1]\n");
+    return 1;
+  }
+
+  std::printf("Training and freezing a small model...\n");
+  const std::string model_path = freeze_small_model();
+  const core::FrozenModel model(model_path);
+  std::printf("Frozen artifact: %s (factor dim %lld, storage %d)\n",
+              model_path.c_str(), static_cast<long long>(model.factor_dim()),
+              static_cast<int>(model.factor_storage()));
+
+  serve::ServiceOptions options;
+  options.queue_depth = 32;
+  options.max_batch = 8;
+  options.deadline_ms = 2000.0;
+  options.sampler.seed = 42;
+  options.sampler.tile = 64;
+
+  // --- Phase 1: concurrent clients, every request accounted for. ---------
+  std::vector<double> reference;  // request_id 7's draw, for the repro check
+  {
+    serve::SamplingService service(model, options);
+    std::atomic<int> ok{0}, shed{0}, missed{0};
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c] {
+        for (int i = 0; i < per_client; ++i) {
+          serve::SampleRequest req;
+          req.request_id =
+              static_cast<std::uint64_t>(c) * 1000000ull +
+              static_cast<std::uint64_t>(i);
+          try {
+            service.submit(req).get();
+            ok.fetch_add(1, std::memory_order_relaxed);
+          } catch (const serve::OverloadError&) {
+            shed.fetch_add(1, std::memory_order_relaxed);
+          } catch (const serve::DeadlineError&) {
+            missed.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+
+    // Reproducibility: request 7 again, alone, and compare bytes with a
+    // fresh single-request service draw below.
+    serve::SampleRequest req;
+    req.request_id = 7;
+    reference = service.submit(req).get().values;
+
+    service.drain();
+    const auto counters = service.counters();
+    std::printf(
+        "Phase 1 (%d clients x %d requests): completed %lld, shed %lld, "
+        "deadline-missed %lld, failed %lld over %lld batches | health %s\n",
+        clients, per_client, static_cast<long long>(counters.completed),
+        static_cast<long long>(counters.shed),
+        static_cast<long long>(counters.deadline_missed),
+        static_cast<long long>(counters.failed),
+        static_cast<long long>(counters.batches),
+        serve::health_name(service.health()));
+    if (counters.completed + counters.shed + counters.deadline_missed +
+            counters.failed !=
+        counters.submitted) {
+      std::fprintf(stderr, "accounting invariant violated\n");
+      return 1;
+    }
+    (void)ok;
+    (void)missed;
+  }
+
+  // --- Phase 2: bit-reproducibility across service instances. ------------
+  {
+    serve::SamplingService service(model, options);
+    serve::SampleRequest req;
+    req.request_id = 7;
+    const auto again = service.submit(req).get().values;
+    bool identical = again.size() == reference.size();
+    for (std::size_t i = 0; identical && i < again.size(); ++i) {
+      identical = again[i] == reference[i];
+    }
+    std::printf("Phase 2: request 7 redrawn in isolation -> %s\n",
+                identical ? "byte-identical" : "MISMATCH");
+    if (!identical) return 1;
+  }
+
+  // --- Phase 3: overload sheds deterministically with a structured error. -
+  {
+    serve::ServiceOptions tight = options;
+    tight.queue_depth = 4;
+    tight.max_batch = 1;
+    serve::SamplingService service(model, tight);
+    int shed = 0;
+    std::vector<std::future<serve::SampleResult>> futures;
+    for (int i = 0; i < 64; ++i) {
+      serve::SampleRequest req;
+      req.request_id = 5000 + static_cast<std::uint64_t>(i);
+      try {
+        futures.push_back(service.submit(req));
+      } catch (const serve::OverloadError& e) {
+        if (shed++ == 0) {
+          std::printf("Phase 3: first shed -> %s\n", e.what());
+        }
+      }
+    }
+    for (auto& f : futures) {
+      try {
+        f.get();
+      } catch (const Error&) {
+      }
+    }
+    service.drain();
+    std::printf("Phase 3: 64 burst submissions against queue depth 4 -> "
+                "%d shed with OverloadError\n", shed);
+    if (shed == 0) return 1;
+  }
+
+  // --- Phase 4: drain rejects new work but completes admitted work. -------
+  {
+    serve::SamplingService service(model, options);
+    serve::SampleRequest req;
+    req.request_id = 99;
+    auto f = service.submit(req);
+    service.drain();
+    const bool completed = f.get().values.size() ==
+                           static_cast<std::size_t>(model.factor_dim());
+    bool rejected = false;
+    try {
+      (void)service.submit(req);
+    } catch (const serve::OverloadError&) {
+      rejected = true;
+    }
+    std::printf("Phase 4: drain -> admitted request %s, post-drain submit "
+                "%s\n", completed ? "completed" : "LOST",
+                rejected ? "shed" : "ACCEPTED (bug)");
+    if (!completed || !rejected) return 1;
+  }
+
+  std::remove(model_path.c_str());
+  std::printf("All serving phases passed.\n");
+  return 0;
+}

@@ -123,13 +123,22 @@ for preset in asan tsan; do
     # Force the dynamic shadow checker on for every scheduler run in the
     # sweep: TSan races the checker's own atomics while the checker
     # cross-checks the executed schedule against the declared effects.
+    # The serve suite rides along — the sampling service must be TSan-clean
+    # under concurrent clients.
     run env EXACLIM_VERIFY=dynamic \
         ctest --test-dir "build-$preset" --output-on-failure \
-        -L 'fault|determinism|runtime|kernels|analysis'
+        -L 'fault|determinism|runtime|kernels|analysis|serve'
   else
     run ctest --test-dir "build-$preset" --output-on-failure \
-        -L 'fault|determinism|runtime|kernels|analysis'
+        -L 'fault|determinism|runtime|kernels|analysis|serve'
   fi
 done
+
+# --- serve smoke with the dynamic shadow checker ------------------------------
+# One end-to-end serving pass (release build) with EXACLIM_VERIFY=dynamic:
+# every sampling DAG the service executes is cross-checked against its
+# declared tile effects while real batches flow.
+run env EXACLIM_VERIFY=dynamic ./build/serve_test \
+    --gtest_filter='ServeTest.CountersAccountForEveryRequestUnderConcurrentClients'
 
 echo "all sweeps passed"

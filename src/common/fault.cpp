@@ -106,6 +106,22 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
                               value + "'");
       }
       plan.io_fail_nth = static_cast<index_t>(n);
+    } else if (key == "burst") {
+      const long long n = parse_ll(key, value);
+      if (n < 0) {
+        throw InvalidArgument("fault spec key 'burst' must be >= 0, got '" +
+                              value + "'");
+      }
+      plan.burst = static_cast<index_t>(n);
+    } else if (key == "slow-task") {
+      plan.slow_p = parse_prob(key, value);
+    } else if (key == "slow-ms") {
+      const long long ms = parse_ll(key, value);
+      if (ms < 1) {
+        throw InvalidArgument("fault spec key 'slow-ms' must be >= 1, got '" +
+                              value + "'");
+      }
+      plan.slow_ms = static_cast<int>(ms);
     } else if (key == "io-mode") {
       if (value == "transient") {
         plan.io_transient = true;
@@ -235,6 +251,36 @@ bool FaultInjector::maybe_bitflip(std::uint64_t key, const char* kind,
       static_cast<unsigned char>(1u << (bit % 8u));
   ++counts_.bitflips;
   return true;
+}
+
+void FaultInjector::maybe_slow_task(std::uint64_t key) {
+  if (!armed()) return;
+  int slow_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (plan_.slow_p <= 0.0) return;
+    // Independent salted stream, mirroring `hang`: arming slow-task cannot
+    // shift the draws any existing fault seed depends on.
+    Rng rng(plan_.seed ^ 0x534c4f57u /* "SLOW" */);
+    if (rng.split(key).uniform() >= plan_.slow_p) return;
+    ++counts_.slow_tasks;
+    slow_ms = plan_.slow_ms;
+  }
+  // Sleep outside the injector mutex, in slices polling the same abort flag
+  // the stall watchdog uses for hangs, so a run that is being failed unwinds
+  // promptly instead of serving the full injected latency.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(slow_ms);
+  while (std::chrono::steady_clock::now() < deadline &&
+         !hang_abort_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+index_t FaultInjector::burst_factor() const {
+  if (!armed()) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  return plan_.burst;
 }
 
 void FaultInjector::on_io(const char* op, const std::string& path) {

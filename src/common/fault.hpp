@@ -52,14 +52,25 @@ struct FaultPlan {
   index_t io_fail_nth = 0;   ///< 1-based ordinal of the failing I/O call (0 = off)
   bool io_transient = true;  ///< transient: only the Nth call fails; else Nth and on
 
+  /// Serving faults. `burst` is a request-storm multiplier read by serving
+  /// drivers (tests, bench, CLI): each client submits `burst` x its normal
+  /// request count back-to-back, overwhelming the admission queue so the
+  /// shedding path is exercised. `slow_p`/`slow_ms` inject latency inside
+  /// sampling task bodies (the serve-side analogue of `hang`, but the task
+  /// still completes), exercising deadline misses and the degradation ladder.
+  index_t burst = 0;         ///< request-storm multiplier for serving drivers (0 = off)
+  double slow_p = 0.0;       ///< P(a sampling task body sleeps slow_ms)
+  int slow_ms = 50;          ///< injected per-task latency
+
   bool any() const {
     return numerical_p > 0.0 || transient_p > 0.0 || bitflip_p > 0.0 ||
-           hang_p > 0.0 || io_fail_nth > 0;
+           hang_p > 0.0 || io_fail_nth > 0 || burst > 0 || slow_p > 0.0;
   }
 
   /// Parses a spec like
   ///   "seed=7;numerical=1;kind=POTRF;at=2,2;bitflip=0.05;transient=0.2;
-  ///    repeats=3;hang=1;hang-ms=500;io=4;io-mode=hard"
+  ///    repeats=3;hang=1;hang-ms=500;io=4;io-mode=hard;burst=8;
+  ///    slow-task=0.5;slow-ms=20"
   /// Unknown keys, malformed numbers, or malformed pairs throw
   /// InvalidArgument naming the offending key.
   static FaultPlan parse(const std::string& spec);
@@ -72,6 +83,7 @@ struct FaultCounts {
   index_t bitflips = 0;
   index_t hangs = 0;
   index_t io = 0;
+  index_t slow_tasks = 0;
 };
 
 class FaultInjector {
@@ -111,6 +123,20 @@ class FaultInjector {
   /// Throws TransientError or IoError per plan; `op` and `path` name the
   /// failing operation in the error text.
   void on_io(const char* op, const std::string& path);
+
+  /// Serving latency hook, called from sampling task bodies with a key that
+  /// is stable per (batch, block) across runs. A slow-task hit sleeps
+  /// cooperatively for slow_ms (in abortable slices, like `hang`) and then
+  /// returns normally — the task still produces its output, it is just
+  /// late, which is exactly the fault deadlines must survive. Drawn from an
+  /// independent salted stream so arming slow-task never perturbs the
+  /// numerical/transient/bitflip decisions of an existing seed.
+  void maybe_slow_task(std::uint64_t key);
+
+  /// Request-storm multiplier for serving drivers: the armed plan's `burst`
+  /// value, or 0 when disarmed / not configured. Drivers multiply their
+  /// submission count by max(1, burst_factor()).
+  index_t burst_factor() const;
 
  private:
   FaultInjector() = default;

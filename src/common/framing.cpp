@@ -21,6 +21,88 @@ constexpr std::size_t kMagicLen = 8;
   throw IoError(os.str());
 }
 
+/// Structural description of one section, shared by the eager and the
+/// mapped readers. The CRC is recorded, not checked, at this stage.
+struct RawSection {
+  std::uint32_t tag = 0;
+  std::uint32_t crc = 0;
+  std::size_t offset = 0;  // payload offset in the file
+  std::size_t size = 0;
+};
+
+/// Validates the frame structure — magic (with the version-bump diagnosis),
+/// total length against the real size, each section header and extent — and
+/// returns the section table. Payload CRCs are *not* checked here; the
+/// eager FramedFile checks them all up front, the mapped reader defers each
+/// to first touch.
+std::vector<RawSection> parse_frame(const unsigned char* file,
+                                    std::size_t file_size,
+                                    const std::string& magic,
+                                    const std::string& what) {
+  EXACLIM_CHECK(magic.size() == kMagicLen, "artifact magic must be 8 bytes");
+  if (file_size < kMagicLen + sizeof(std::uint64_t)) {
+    fail(what, file_size, "file too small to hold the artifact header");
+  }
+  if (std::memcmp(file, magic.data(), kMagicLen) != 0) {
+    // Same 7-byte family with a different trailing version byte means the
+    // format evolved; report that instead of a generic corruption error.
+    if (std::memcmp(file, magic.data(), kMagicLen - 1) == 0) {
+      std::ostringstream os;
+      os << "unsupported " << what << " format version '"
+         << std::string(reinterpret_cast<const char*>(file), kMagicLen)
+         << "' (this build reads '" << magic
+         << "'); re-create the artifact with a matching build";
+      throw IoError(os.str());
+    }
+    fail(what, 0, "bad magic (not a " + what + " file)");
+  }
+
+  std::uint64_t total = 0;
+  std::memcpy(&total, file + kMagicLen, sizeof(total));
+  const std::size_t body_start = kMagicLen + sizeof(std::uint64_t);
+  if (total != file_size - body_start) {
+    fail(what, kMagicLen,
+         "framed length " + std::to_string(total) + " does not match the " +
+             std::to_string(file_size - body_start) +
+             " bytes present (truncated or trailing garbage)");
+  }
+
+  std::vector<RawSection> sections;
+  std::size_t pos = body_start;
+  while (pos < file_size) {
+    constexpr std::size_t kSectionHeader =
+        sizeof(std::uint32_t) + sizeof(std::uint64_t) + sizeof(std::uint32_t);
+    if (file_size - pos < kSectionHeader) {
+      fail(what, pos, "truncated section header");
+    }
+    RawSection s;
+    std::memcpy(&s.tag, file + pos, sizeof(s.tag));
+    std::uint64_t len = 0;
+    std::memcpy(&len, file + pos + sizeof(std::uint32_t), sizeof(len));
+    std::memcpy(&s.crc, file + pos + sizeof(std::uint32_t) + sizeof(len),
+                sizeof(s.crc));
+    pos += kSectionHeader;
+    if (len > file_size - pos) {
+      fail(what, pos,
+           "section 0x" + std::to_string(s.tag) + " claims " +
+               std::to_string(len) + " bytes but only " +
+               std::to_string(file_size - pos) + " remain");
+    }
+    s.offset = pos;
+    s.size = static_cast<std::size_t>(len);
+    pos += s.size;
+    sections.push_back(s);
+  }
+  return sections;
+}
+
+[[noreturn]] void missing_section(const std::string& what, std::uint32_t tag) {
+  std::ostringstream os;
+  os << "corrupt " << what << ": required section 0x" << std::hex << tag
+     << " is missing";
+  throw IoError(os.str());
+}
+
 }  // namespace
 
 void ByteWriter::raw(const void* data, std::size_t bytes) {
@@ -82,65 +164,18 @@ void FramedWriter::commit(const std::string& path, SyncPolicy sync) const {
 FramedFile::FramedFile(const std::string& path, const std::string& magic,
                        std::string what)
     : what_(std::move(what)) {
-  EXACLIM_CHECK(magic.size() == kMagicLen, "artifact magic must be 8 bytes");
   const std::vector<unsigned char> file = read_file_bytes(path);
-
-  if (file.size() < kMagicLen + sizeof(std::uint64_t)) {
-    fail(what_, file.size(), "file too small to hold the artifact header");
-  }
-  if (std::memcmp(file.data(), magic.data(), kMagicLen) != 0) {
-    // Same 7-byte family with a different trailing version byte means the
-    // format evolved; report that instead of a generic corruption error.
-    if (std::memcmp(file.data(), magic.data(), kMagicLen - 1) == 0) {
-      std::ostringstream os;
-      os << "unsupported " << what_ << " format version '"
-         << std::string(reinterpret_cast<const char*>(file.data()), kMagicLen)
-         << "' (this build reads '" << magic
-         << "'); re-create the artifact with a matching build";
-      throw IoError(os.str());
-    }
-    fail(what_, 0, "bad magic (not a " + what_ + " file)");
-  }
-
-  std::uint64_t total = 0;
-  std::memcpy(&total, file.data() + kMagicLen, sizeof(total));
-  const std::size_t body_start = kMagicLen + sizeof(std::uint64_t);
-  if (total != file.size() - body_start) {
-    fail(what_, kMagicLen,
-         "framed length " + std::to_string(total) + " does not match the " +
-             std::to_string(file.size() - body_start) +
-             " bytes present (truncated or trailing garbage)");
-  }
-
-  std::size_t pos = body_start;
-  while (pos < file.size()) {
-    constexpr std::size_t kSectionHeader =
-        sizeof(std::uint32_t) + sizeof(std::uint64_t) + sizeof(std::uint32_t);
-    if (file.size() - pos < kSectionHeader) {
-      fail(what_, pos, "truncated section header");
+  for (const RawSection& raw : parse_frame(file.data(), file.size(), magic,
+                                           what_)) {
+    const std::uint32_t actual = crc32c(file.data() + raw.offset, raw.size);
+    if (actual != raw.crc) {
+      fail(what_, raw.offset, "section checksum mismatch (payload corrupted)");
     }
     Section s;
-    std::memcpy(&s.tag, file.data() + pos, sizeof(s.tag));
-    std::uint64_t len = 0;
-    std::memcpy(&len, file.data() + pos + sizeof(std::uint32_t), sizeof(len));
-    std::uint32_t crc = 0;
-    std::memcpy(&crc,
-                file.data() + pos + sizeof(std::uint32_t) + sizeof(len),
-                sizeof(crc));
-    pos += kSectionHeader;
-    if (len > file.size() - pos) {
-      fail(what_, pos,
-           "section 0x" + std::to_string(s.tag) + " claims " +
-               std::to_string(len) + " bytes but only " +
-               std::to_string(file.size() - pos) + " remain");
-    }
-    const std::uint32_t actual = crc32c(file.data() + pos, len);
-    if (actual != crc) {
-      fail(what_, pos, "section checksum mismatch (payload corrupted)");
-    }
-    s.offset = pos;
-    s.payload.assign(file.data() + pos, file.data() + pos + len);
-    pos += static_cast<std::size_t>(len);
+    s.tag = raw.tag;
+    s.offset = raw.offset;
+    s.payload.assign(file.data() + raw.offset,
+                     file.data() + raw.offset + raw.size);
     sections_.push_back(std::move(s));
   }
 }
@@ -158,10 +193,76 @@ ByteReader FramedFile::section(std::uint32_t tag) const {
       return ByteReader(s.payload.data(), s.payload.size(), what_, s.offset);
     }
   }
-  std::ostringstream os;
-  os << "corrupt " << what_ << ": required section 0x" << std::hex << tag
-     << " is missing";
-  throw IoError(os.str());
+  missing_section(what_, tag);
+}
+
+MappedFramedFile::MappedFramedFile(const std::string& path,
+                                   const std::string& magic, std::string what)
+    : map_(path), what_(std::move(what)) {
+  for (const RawSection& raw :
+       parse_frame(map_.data(), map_.size(), magic, what_)) {
+    auto s = std::make_unique<Section>();
+    s->tag = raw.tag;
+    s->crc = raw.crc;
+    s->offset = raw.offset;
+    s->size = raw.size;
+    sections_.push_back(std::move(s));
+  }
+}
+
+bool MappedFramedFile::has_section(std::uint32_t tag) const {
+  for (const auto& s : sections_) {
+    if (s->tag == tag) return true;
+  }
+  return false;
+}
+
+const MappedFramedFile::Section& MappedFramedFile::find(
+    std::uint32_t tag) const {
+  for (const auto& s : sections_) {
+    if (s->tag == tag) return *s;
+  }
+  missing_section(what_, tag);
+}
+
+const MappedFramedFile::Section& MappedFramedFile::validated(
+    std::uint32_t tag) const {
+  const Section& s = find(tag);
+  // The CRC walk runs at most once; its verdict is cached so a corrupt
+  // section fails every touch, not just the first. (Not std::call_once: a
+  // throwing callable leaves TSan's pthread_once interceptor convinced the
+  // init is still in flight, deadlocking every later caller.)
+  std::uint8_t state = s.state.load(std::memory_order_acquire);
+  if (state == kUnchecked) {
+    std::lock_guard<std::mutex> lock(check_mu_);
+    state = s.state.load(std::memory_order_acquire);
+    if (state == kUnchecked) {
+      const std::uint32_t actual = crc32c(map_.data() + s.offset, s.size);
+      state = actual == s.crc ? kValid : kCorrupt;
+      s.state.store(state, std::memory_order_release);
+    }
+  }
+  if (state == kCorrupt) {
+    fail(what_, s.offset, "section checksum mismatch (payload corrupted)");
+  }
+  return s;
+}
+
+const unsigned char* MappedFramedFile::section_data(std::uint32_t tag) const {
+  return map_.data() + validated(tag).offset;
+}
+
+std::size_t MappedFramedFile::section_size(std::uint32_t tag) const {
+  return validated(tag).size;
+}
+
+std::size_t MappedFramedFile::section_offset(std::uint32_t tag) const {
+  return find(tag).offset;
+}
+
+ByteReader MappedFramedFile::section(std::uint32_t tag) const {
+  const Section& s = validated(tag);
+  return ByteReader(map_.data() + s.offset, s.size, what_, s.offset);
 }
 
 }  // namespace exaclim::common

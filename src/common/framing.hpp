@@ -17,8 +17,11 @@
 // self-validating.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -141,6 +144,66 @@ class FramedFile {
   };
   std::vector<Section> sections_;
   std::string what_;
+};
+
+/// Memory-mapped framed artifact with lazy per-section validation.
+///
+/// Construction maps the file read-only and validates only the frame
+/// structure (magic, total length, section headers and extents). Each
+/// payload's CRC32C is checked on the *first touch* of that section — the
+/// first section()/section_data() call for its tag — behind a once-guard
+/// shared by all threads. Opening a multi-gigabyte model is therefore
+/// O(section count), a serving process never pays for (or trips over)
+/// corruption in a section it does not read, and every reader thereafter
+/// gets the mapped bytes with zero copies. A checksum mismatch throws
+/// IoError naming the payload's absolute byte offset — on the first touch
+/// and on every touch after (the verdict is cached, the throw repeats).
+/// Validation uses an explicit atomic state machine rather than
+/// std::call_once: a throwing call_once callable deadlocks later callers
+/// under TSan's pthread_once interceptor, which never sees the reset.
+class MappedFramedFile {
+ public:
+  MappedFramedFile(const std::string& path, const std::string& magic,
+                   std::string what);
+
+  bool has_section(std::uint32_t tag) const;
+
+  /// Payload bytes of the first section with `tag`, CRC-validated on first
+  /// touch. The pointer aliases the mapping: valid for the life of this
+  /// object, immutable, safe to share across threads.
+  const unsigned char* section_data(std::uint32_t tag) const;
+  std::size_t section_size(std::uint32_t tag) const;
+  /// Absolute file offset of the payload, for error messages.
+  std::size_t section_offset(std::uint32_t tag) const;
+
+  /// Bounds-checked reader over the mapped payload (validated on first
+  /// touch); reported offsets are absolute file offsets.
+  ByteReader section(std::uint32_t tag) const;
+
+  const std::string& path() const { return map_.path(); }
+
+ private:
+  // Sections hold an atomic (immovable), so they live behind unique_ptr.
+  struct Section {
+    std::uint32_t tag = 0;
+    std::uint32_t crc = 0;
+    std::size_t offset = 0;
+    std::size_t size = 0;
+    // kUnchecked -> kValid | kCorrupt, written once under check_mu_; the
+    // fast path is a single acquire load.
+    mutable std::atomic<std::uint8_t> state{0};
+  };
+  static constexpr std::uint8_t kUnchecked = 0;
+  static constexpr std::uint8_t kValid = 1;
+  static constexpr std::uint8_t kCorrupt = 2;
+
+  const Section& find(std::uint32_t tag) const;
+  const Section& validated(std::uint32_t tag) const;
+
+  MappedFile map_;
+  std::string what_;
+  std::vector<std::unique_ptr<Section>> sections_;
+  mutable std::mutex check_mu_;  ///< serializes first-touch CRC walks
 };
 
 }  // namespace exaclim::common

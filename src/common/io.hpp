@@ -46,6 +46,32 @@ void atomic_write_file(const std::string& path, const void* data,
 /// opened or the read comes up short.
 std::vector<unsigned char> read_file_bytes(const std::string& path);
 
+/// A file mapped read-only into the address space. The mapping is immutable
+/// and shared: any number of threads may read it concurrently for the life
+/// of this object with zero copies, which is how the serving layer shares
+/// one frozen model across all workers. Construction throws IoError when
+/// the file cannot be opened or mapped; the injector's "mmap" I/O ordinal
+/// fires once per open.
+class MappedFile {
+ public:
+  explicit MappedFile(const std::string& path);
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+
+  const unsigned char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
 /// Writes a CSV file with a header row and double-valued rows.
 void write_csv(const std::string& path, const std::vector<std::string>& header,
                const std::vector<std::vector<double>>& rows);

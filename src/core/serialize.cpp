@@ -121,6 +121,28 @@ linalg::Matrix read_factor(common::ByteReader& in, index_t n,
   return v;
 }
 
+/// Validates a parsed header and returns the factor storage tag it names.
+FactorStorage check_header(const Header& header) {
+  EXACLIM_CHECK(header.band_limit > 0 && header.ar_order > 0 &&
+                    header.harmonics >= 0 && header.steps_per_year > 0 &&
+                    header.nlat > 0 && header.nlon > 0,
+                "corrupt model file: implausible header dimensions");
+  if (header.factor_storage > 2) {
+    throw IoError("corrupt model file: bad factor storage tag " +
+                  std::to_string(header.factor_storage));
+  }
+  return static_cast<FactorStorage>(header.factor_storage);
+}
+
+linalg::PackedStorage to_packed(FactorStorage storage) {
+  switch (storage) {
+    case FactorStorage::FP64: return linalg::PackedStorage::F64;
+    case FactorStorage::FP32: return linalg::PackedStorage::F32;
+    case FactorStorage::FP16Scaled: return linalg::PackedStorage::F16Scaled;
+  }
+  return linalg::PackedStorage::F64;
+}
+
 }  // namespace
 
 void save_emulator(const ClimateEmulator& emulator, const std::string& path,
@@ -168,15 +190,7 @@ ClimateEmulator load_emulator(const std::string& path) {
 
   common::ByteReader hr = file.section(kSectionHeader);
   const auto header = hr.pod<Header>();
-  EXACLIM_CHECK(header.band_limit > 0 && header.ar_order > 0 &&
-                    header.harmonics >= 0 && header.steps_per_year > 0 &&
-                    header.nlat > 0 && header.nlon > 0,
-                "corrupt model file: implausible header dimensions");
-  if (header.factor_storage > 2) {
-    throw IoError("corrupt model file: bad factor storage tag " +
-                  std::to_string(header.factor_storage));
-  }
-  const auto storage = static_cast<FactorStorage>(header.factor_storage);
+  const FactorStorage storage = check_header(header);
 
   EmulatorConfig cfg;
   cfg.band_limit = header.band_limit;
@@ -236,6 +250,135 @@ ClimateEmulator load_emulator(const std::string& path) {
   emulator.restore(grid, std::move(trend), std::move(ar), std::move(factor),
                    std::move(nugget));
   return emulator;
+}
+
+FrozenModel::FrozenModel(const std::string& path)
+    : file_(path, kMagic, kWhat) {
+  // The header is the only section touched at open: a few dozen bytes whose
+  // CRC check is effectively free, and everything else a caller might do
+  // needs these dimensions anyway.
+  common::ByteReader hr = file_.section(kSectionHeader);
+  const auto header = hr.pod<Header>();
+  storage_ = check_header(header);
+  band_limit_ = header.band_limit;
+  ar_order_ = header.ar_order;
+  harmonics_ = header.harmonics;
+  steps_per_year_ = header.steps_per_year;
+  grid_ = sht::GridShape{header.nlat, header.nlon};
+  factor_dim_ = sh_coeff_count(band_limit_);
+}
+
+linalg::PackedFactorView FrozenModel::factor() const {
+  // The section_size call CRC-validates the payload on first touch
+  // (throwing IoError with the byte offset on a flipped bit; the verdict is
+  // cached inside MappedFramedFile so corruption fails every touch), then
+  // the size is cross-checked against the header dimensions — cheap enough
+  // to repeat, so no once-state of its own.
+  const std::size_t expect =
+      linalg::packed_factor_bytes(to_packed(storage_), factor_dim_);
+  const std::size_t actual = file_.section_size(kSectionFactor);
+  if (actual != expect) {
+    throw IoError("corrupt emulator model: factor section holds " +
+                  std::to_string(actual) + " bytes but the header implies " +
+                  std::to_string(expect) + " (at byte offset " +
+                  std::to_string(file_.section_offset(kSectionFactor)) + ")");
+  }
+  linalg::PackedFactorView view;
+  view.bytes = file_.section_data(kSectionFactor);
+  view.size_bytes = actual;
+  view.n = factor_dim_;
+  view.storage = to_packed(storage_);
+  return view;
+}
+
+linalg::PackedFactorView FrozenModel::degraded_factor() const {
+  if (storage_ != FactorStorage::FP64) {
+    // Already narrow on disk: the reduced-precision rung is the native
+    // mapping itself, still zero copies.
+    return factor();
+  }
+  const linalg::PackedFactorView native = factor();
+  if (!degraded_built_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(lazy_mu_);
+    if (!degraded_built_.load(std::memory_order_acquire)) {
+      const std::size_t count =
+          static_cast<std::size_t>(factor_dim_) *
+          static_cast<std::size_t>(factor_dim_ + 1) / 2;
+      std::vector<unsigned char> copy(count * sizeof(float));
+      const auto* src = reinterpret_cast<const double*>(native.bytes);
+      auto* dst = reinterpret_cast<float*>(copy.data());
+      for (std::size_t i = 0; i < count; ++i) {
+        dst[i] = static_cast<float>(src[i]);
+      }
+      degraded_ = std::move(copy);
+      degraded_built_.store(true, std::memory_order_release);
+    }
+  }
+  linalg::PackedFactorView view;
+  view.bytes = degraded_.data();
+  view.size_bytes = degraded_.size();
+  view.n = factor_dim_;
+  view.storage = linalg::PackedStorage::F32;
+  return view;
+}
+
+bool FrozenModel::degraded_plane_materialized() const {
+  return degraded_built_.load(std::memory_order_acquire);
+}
+
+const std::vector<stats::TrendModel>& FrozenModel::trend_models() const {
+  if (!trend_ready_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(lazy_mu_);
+    if (!trend_ready_.load(std::memory_order_acquire)) {
+      common::ByteReader tr = file_.section(kSectionTrend);
+      std::vector<stats::TrendModel> trend(
+          static_cast<std::size_t>(grid_.num_points()));
+      for (auto& tm : trend) {
+        double scalars[5];
+        tr.raw(scalars, sizeof(scalars));
+        tm.beta0 = scalars[0];
+        tm.beta1 = scalars[1];
+        tm.beta2 = scalars[2];
+        tm.rho = scalars[3];
+        tm.sigma = scalars[4];
+        tm.cos_coeff = tr.vec64<double>();
+        tm.sin_coeff = tr.vec64<double>();
+        tm.period = steps_per_year_;
+      }
+      trend_ = std::move(trend);
+      trend_ready_.store(true, std::memory_order_release);
+    }
+  }
+  return trend_;
+}
+
+const std::vector<stats::ArModel>& FrozenModel::ar_models() const {
+  if (!ar_ready_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(lazy_mu_);
+    if (!ar_ready_.load(std::memory_order_acquire)) {
+      common::ByteReader ar_reader = file_.section(kSectionAr);
+      std::vector<stats::ArModel> ar(static_cast<std::size_t>(factor_dim_));
+      for (auto& am : ar) {
+        am.phi = ar_reader.vec64<double>();
+        am.innovation_variance = ar_reader.pod<double>();
+      }
+      ar_ = std::move(ar);
+      ar_ready_.store(true, std::memory_order_release);
+    }
+  }
+  return ar_;
+}
+
+const std::vector<double>& FrozenModel::nugget_variance() const {
+  if (!nugget_ready_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(lazy_mu_);
+    if (!nugget_ready_.load(std::memory_order_acquire)) {
+      common::ByteReader nr = file_.section(kSectionNugget);
+      nugget_ = nr.vec64<double>();
+      nugget_ready_.store(true, std::memory_order_release);
+    }
+  }
+  return nugget_;
 }
 
 }  // namespace exaclim::core

@@ -966,4 +966,100 @@ void convert_f16_scaled_to_f32(const common::half* src, float scale,
   for (index_t i = 0; i < count; ++i) dst[i] *= scale;
 }
 
+// --- Serving: batched multi-RHS apply over a packed-triangle factor ---------
+
+namespace {
+
+/// Accumulates x[0..K) += lv * z[0..K) honoring the cancelled-column mask.
+/// The skip == 0 fast path is the hot serving loop; with cancellations the
+/// surviving columns see exactly the same operations in the same order, so
+/// a co-batched request timing out never perturbs anyone else's bits.
+inline void axpy_row(double lv, const double* z, double* x, index_t k_cols,
+                     std::uint64_t skip) {
+  if (skip == 0) {
+    for (index_t k = 0; k < k_cols; ++k) x[k] += lv * z[k];
+    return;
+  }
+  for (index_t k = 0; k < k_cols; ++k) {
+    if (((skip >> k) & 1u) == 0) x[k] += lv * z[k];
+  }
+}
+
+/// Byte offset of packed row r (its first stored element or, for F16Scaled,
+/// its scale prefix).
+inline std::size_t packed_row_offset(PackedStorage storage, index_t r) {
+  const auto tri = static_cast<std::size_t>(r) * static_cast<std::size_t>(r + 1) / 2;
+  switch (storage) {
+    case PackedStorage::F64: return tri * sizeof(double);
+    case PackedStorage::F32: return tri * sizeof(float);
+    case PackedStorage::F16Scaled:
+      return static_cast<std::size_t>(r) * sizeof(float) +
+             tri * sizeof(std::uint16_t);
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::size_t packed_factor_bytes(PackedStorage storage, index_t n) {
+  return packed_row_offset(storage, n);
+}
+
+void sample_apply_packed(const PackedFactorView& l, index_t r0, index_t r1,
+                         index_t c0, index_t c1, const double* z, double* x,
+                         index_t k_cols, std::uint64_t skip) {
+  EXACLIM_CHECK(k_cols >= 1 && k_cols <= 64,
+                "sample_apply_packed batches at most 64 columns");
+  EXACLIM_CHECK(0 <= r0 && r0 <= r1 && r1 <= l.n && 0 <= c0 && c0 <= c1 &&
+                    c1 <= l.n,
+                "sample_apply_packed block out of range");
+  EXACLIM_CHECK(l.size_bytes >= packed_factor_bytes(l.storage, l.n),
+                "packed factor payload shorter than its dimension implies");
+  // The frame layout keeps every factor payload 8-aligned (all preceding
+  // sections are multiples of 8 bytes); the typed row loads below rely on it.
+  EXACLIM_CHECK(reinterpret_cast<std::uintptr_t>(l.bytes) % 8 == 0,
+                "packed factor payload is not 8-byte aligned");
+  if (skip == (k_cols >= 64 ? ~std::uint64_t{0}
+                            : (std::uint64_t{1} << k_cols) - 1)) {
+    return;  // every column cancelled: the whole block pass is dead work
+  }
+
+  for (index_t r = r0; r < r1; ++r) {
+    const index_t c_end = std::min(c1, r + 1);  // lower triangle: c <= r
+    if (c_end <= c0) continue;
+    double* xr = x + r * k_cols;
+    const unsigned char* row = l.bytes + packed_row_offset(l.storage, r);
+    switch (l.storage) {
+      case PackedStorage::F64: {
+        const double* lr = reinterpret_cast<const double*>(row);
+        for (index_t c = c0; c < c_end; ++c) {
+          axpy_row(lr[c], z + c * k_cols, xr, k_cols, skip);
+        }
+        break;
+      }
+      case PackedStorage::F32: {
+        const float* lr = reinterpret_cast<const float*>(row);
+        for (index_t c = c0; c < c_end; ++c) {
+          axpy_row(static_cast<double>(lr[c]), z + c * k_cols, xr, k_cols,
+                   skip);
+        }
+        break;
+      }
+      case PackedStorage::F16Scaled: {
+        float scale = 0.0f;
+        std::memcpy(&scale, row, sizeof(scale));
+        const double s = static_cast<double>(scale);
+        const auto* lr =
+            reinterpret_cast<const std::uint16_t*>(row + sizeof(float));
+        for (index_t c = c0; c < c_end; ++c) {
+          const double lv =
+              static_cast<double>(common::half_bits_to_float(lr[c])) * s;
+          axpy_row(lv, z + c * k_cols, xr, k_cols, skip);
+        }
+        break;
+      }
+    }
+  }
+}
+
 }  // namespace exaclim::linalg

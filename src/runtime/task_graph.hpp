@@ -30,6 +30,7 @@ enum class TaskKind : std::uint8_t {
   Syrk,
   Gemm,
   Convert,
+  Sample,  ///< serving: batched multi-RHS apply of one factor block
 };
 
 /// Stable uppercase name for a task kind, used in failure messages and by
@@ -41,6 +42,7 @@ inline const char* task_kind_name(TaskKind kind) {
     case TaskKind::Syrk: return "SYRK";
     case TaskKind::Gemm: return "GEMM";
     case TaskKind::Convert: return "CONVERT";
+    case TaskKind::Sample: return "SAMPLE";
     case TaskKind::Generic: break;
   }
   return "GENERIC";

@@ -1,0 +1,214 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace exaclim::serve {
+
+std::string OverloadError::format(index_t queued, index_t limit,
+                                  const std::string& reason) {
+  std::ostringstream os;
+  os << "sampling service overloaded: admission queue holds " << queued
+     << " of " << limit << " requests — " << reason;
+  return os.str();
+}
+
+std::string DeadlineError::format(std::uint64_t request_id, double budget_ms) {
+  std::ostringstream os;
+  os << "request " << request_id << " missed its deadline";
+  if (budget_ms > 0.0) os << " (budget " << budget_ms << " ms)";
+  os << ": cancelled at a tile-task boundary";
+  return os.str();
+}
+
+const char* health_name(Health health) {
+  switch (health) {
+    case Health::Starting: return "STARTING";
+    case Health::Ready: return "READY";
+    case Health::Degraded: return "DEGRADED";
+    case Health::Draining: return "DRAINING";
+    case Health::Stopped: return "STOPPED";
+  }
+  return "UNKNOWN";
+}
+
+SamplingService::SamplingService(const core::FrozenModel& model,
+                                 ServiceOptions options)
+    : sampler_(model, options.sampler), options_(options) {
+  EXACLIM_CHECK(options_.queue_depth > 0,
+                "service queue depth must be positive");
+  EXACLIM_CHECK(options_.max_batch >= 1 &&
+                    options_.max_batch <= runtime::BatchControl::kMaxBatch,
+                "service max batch must be in [1, 64]");
+  EXACLIM_CHECK(options_.deadline_ms >= 0.0,
+                "service default deadline must be >= 0 ms");
+  engine_ = std::thread([this] { engine_loop(); });
+}
+
+SamplingService::~SamplingService() {
+  drain();
+  if (engine_.joinable()) engine_.join();
+}
+
+std::future<SampleResult> SamplingService::submit(SampleRequest request) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++counters_.submitted;
+  if (draining_ || stopped_) {
+    ++counters_.shed;
+    throw OverloadError(static_cast<index_t>(queue_.size()),
+                        options_.queue_depth, "service is draining");
+  }
+  if (static_cast<index_t>(queue_.size()) >= options_.queue_depth) {
+    // Deterministic load shedding: admission depends only on the queue
+    // occupancy at submit time, never on timing inside the engine.
+    ++counters_.shed;
+    throw OverloadError(static_cast<index_t>(queue_.size()),
+                        options_.queue_depth, "admission queue full");
+  }
+  Pending pending;
+  pending.request = request;
+  if (options_.deadline_ms > 0.0 &&
+      request.deadline == std::chrono::steady_clock::time_point::max()) {
+    pending.request.deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(
+            static_cast<std::int64_t>(options_.deadline_ms * 1000.0));
+    pending.budget_ms = options_.deadline_ms;
+  }
+  std::future<SampleResult> future = pending.promise.get_future();
+  queue_.push_back(std::move(pending));
+  work_cv_.notify_one();
+  return future;
+}
+
+void SamplingService::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!draining_) {
+    draining_ = true;
+    if (!stopped_) health_ = Health::Draining;
+    work_cv_.notify_all();
+  }
+  drain_cv_.wait(lock, [this] { return stopped_; });
+}
+
+Health SamplingService::health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return health_;
+}
+
+ServiceCounters SamplingService::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceCounters snapshot = counters_;
+  snapshot.queued = static_cast<index_t>(queue_.size());
+  return snapshot;
+}
+
+void SamplingService::engine_loop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (health_ == Health::Starting) health_ = Health::Ready;
+  }
+  for (;;) {
+    std::vector<Pending> batch;
+    std::vector<SampleRequest> requests;
+    bool degraded = false;
+    std::uint64_t batch_key = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return !queue_.empty() || draining_; });
+      if (queue_.empty()) break;  // draining and nothing left to serve
+
+      // Degradation ladder, decided from queue pressure at batch formation:
+      // rung 1 halves the batch width (each admitted request waits behind
+      // less work), rung 2 serves from the reduced-precision factor plane.
+      // Rung 3 — shedding — already happened at admission if the queue is
+      // full.
+      const double occupancy =
+          static_cast<double>(queue_.size()) /
+          static_cast<double>(options_.queue_depth);
+      index_t cap = options_.max_batch;
+      bool shrunk = false;
+      if (occupancy >= options_.degrade_batch_at && cap > 1) {
+        cap = std::max<index_t>(1, cap / 2);
+        shrunk = true;
+        ++counters_.shrunk_batches;
+      }
+      degraded = occupancy >= options_.degrade_plane_at;
+      if (degraded) ++counters_.degraded_batches;
+      if (!draining_) {
+        health_ = (shrunk || degraded) ? Health::Degraded : Health::Ready;
+      }
+
+      while (!queue_.empty() && static_cast<index_t>(batch.size()) < cap) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      counters_.in_flight = static_cast<index_t>(batch.size());
+      ++counters_.batches;
+      batch_key = ++batch_seq_;
+    }
+
+    requests.reserve(batch.size());
+    for (const Pending& p : batch) requests.push_back(p.request);
+
+    BatchOutcome outcome;
+    std::exception_ptr failure;
+    try {
+      outcome = sampler_.run_batch(requests, degraded, batch_key);
+    } catch (...) {
+      // Unrecoverable batch failure (e.g. TaskFailure after the retry
+      // policy, or a corrupt factor section on first touch): every request
+      // in the batch resolves with the exception — never silently dropped.
+      failure = std::current_exception();
+    }
+
+    index_t missed = 0;
+    if (failure == nullptr) {
+      for (std::size_t k = 0; k < batch.size(); ++k) {
+        if ((outcome.cancelled_mask >> k) & 1u) ++missed;
+      }
+    }
+
+    // Account for the batch BEFORE fulfilling any promise: a client that
+    // has observed its request's terminal result must find it reflected in
+    // the very next counters() snapshot.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      counters_.in_flight = 0;
+      if (failure != nullptr) {
+        counters_.failed += static_cast<index_t>(batch.size());
+      } else {
+        counters_.completed += static_cast<index_t>(batch.size()) - missed;
+        counters_.deadline_missed += missed;
+        counters_.transient_retries +=
+            outcome.stats.counters.transient_retries;
+      }
+    }
+
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      Pending& p = batch[k];
+      if (failure != nullptr) {
+        p.promise.set_exception(failure);
+      } else if ((outcome.cancelled_mask >> k) & 1u) {
+        p.promise.set_exception(std::make_exception_ptr(
+            DeadlineError(p.request.request_id, p.budget_ms)));
+      } else {
+        SampleResult result;
+        result.request_id = p.request.request_id;
+        result.values.resize(static_cast<std::size_t>(sampler_.dim()));
+        sampler_.extract_column(static_cast<index_t>(k),
+                                result.values.data());
+        p.promise.set_value(std::move(result));
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+    health_ = Health::Stopped;
+    drain_cv_.notify_all();
+  }
+}
+
+}  // namespace exaclim::serve

@@ -1,0 +1,173 @@
+// Robust emulation-as-a-service: admission control, deadlines, backpressure,
+// graceful degradation.
+//
+// The SamplingService wraps one BatchSampler (one frozen model) behind a
+// bounded admission queue and a single engine thread that forms batches and
+// executes them on the process-wide worker team. Robustness-under-load is
+// the contract:
+//   * Admission is bounded and sheds deterministically: a submit() against a
+//     full queue (or a draining service) throws a structured OverloadError
+//     naming the queue depth and limit — synchronous backpressure, never an
+//     unbounded buffer.
+//   * Every admitted request carries an optional deadline, enforced
+//     cooperatively at tile-task boundaries; a miss resolves the request's
+//     future with a structured DeadlineError, never a hang.
+//   * Transient task faults retry with bounded backoff inside the scheduler
+//     (runtime::RetryPolicy), bit-identically.
+//   * Under queue pressure the service degrades before it sheds: batch
+//     width shrinks (rung 1), then batches serve from the reduced-precision
+//     factor plane (rung 2), and only a full queue sheds (rung 3).
+//   * Health is observable (STARTING/READY/DEGRADED/DRAINING/STOPPED) and
+//     shutdown drains cleanly: in-flight and queued requests complete, new
+//     ones are shed.
+// Accounting invariant: submitted == completed + shed + deadline_missed +
+// failed + queued + in_flight at every counters() snapshot, and the last
+// two are zero after drain().
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "serve/sampler.hpp"
+
+namespace exaclim::serve {
+
+/// Thrown (synchronously, from submit) when a request is shed: admission
+/// queue full, or the service is draining/stopped.
+class OverloadError : public Error {
+ public:
+  OverloadError(index_t queued, index_t limit, const std::string& reason)
+      : Error(format(queued, limit, reason)), queued_(queued), limit_(limit) {}
+
+  index_t queued() const { return queued_; }
+  index_t limit() const { return limit_; }
+
+ private:
+  static std::string format(index_t queued, index_t limit,
+                            const std::string& reason);
+
+  index_t queued_;
+  index_t limit_;
+};
+
+/// Delivered through a request's future when its deadline expired before
+/// the batch passes covering it completed.
+class DeadlineError : public Error {
+ public:
+  DeadlineError(std::uint64_t request_id, double budget_ms)
+      : Error(format(request_id, budget_ms)),
+        request_id_(request_id),
+        budget_ms_(budget_ms) {}
+
+  std::uint64_t request_id() const { return request_id_; }
+  double budget_ms() const { return budget_ms_; }
+
+ private:
+  static std::string format(std::uint64_t request_id, double budget_ms);
+
+  std::uint64_t request_id_;
+  double budget_ms_;
+};
+
+enum class Health : std::uint8_t {
+  Starting = 0,  ///< engine thread not yet serving
+  Ready,         ///< serving at full batch width and native precision
+  Degraded,      ///< a degradation rung is active (shrunk batch or fp32 plane)
+  Draining,      ///< completing queued work, shedding new submissions
+  Stopped,       ///< drained; every submission is shed
+};
+
+const char* health_name(Health health);
+
+struct ServiceOptions {
+  index_t queue_depth = 64;  ///< admission queue capacity (> 0)
+  index_t max_batch = 16;    ///< requests coalesced per pass (1..64)
+  double deadline_ms = 0.0;  ///< default per-request budget (0 = none)
+  /// Queue-occupancy fractions arming the degradation rungs: at
+  /// `degrade_batch_at` the batch width halves (lower latency per admitted
+  /// request), at `degrade_plane_at` batches serve from the fp32 factor
+  /// plane (roughly half the memory traffic on fp64 models).
+  double degrade_batch_at = 0.5;
+  double degrade_plane_at = 0.75;
+  SamplerOptions sampler;
+};
+
+/// Everything submitted is accounted for, exactly once, in
+/// completed/shed/deadline_missed/failed once it leaves queued/in_flight.
+struct ServiceCounters {
+  index_t submitted = 0;
+  index_t completed = 0;
+  index_t shed = 0;             ///< rejected with OverloadError at admission
+  index_t deadline_missed = 0;  ///< resolved with DeadlineError
+  index_t failed = 0;           ///< batch execution failed unrecoverably
+  index_t queued = 0;           ///< snapshot: waiting for a batch
+  index_t in_flight = 0;        ///< snapshot: inside the current batch
+  index_t batches = 0;
+  index_t shrunk_batches = 0;    ///< rung 1 engaged
+  index_t degraded_batches = 0;  ///< rung 2 engaged
+  index_t transient_retries = 0; ///< scheduler-level retries across batches
+};
+
+/// A completed draw: the n = factor_dim() correlated coefficients for one
+/// request.
+struct SampleResult {
+  std::uint64_t request_id = 0;
+  std::vector<double> values;
+};
+
+class SamplingService {
+ public:
+  SamplingService(const core::FrozenModel& model, ServiceOptions options);
+  /// Drains (completing queued and in-flight work) and joins the engine.
+  ~SamplingService();
+
+  SamplingService(const SamplingService&) = delete;
+  SamplingService& operator=(const SamplingService&) = delete;
+
+  /// Admits a request, returning the future that will carry its result (or
+  /// its DeadlineError / batch-failure exception). Throws OverloadError
+  /// immediately when the queue is full or the service is draining; a
+  /// request with no deadline gets the service default (options.deadline_ms)
+  /// stamped at admission.
+  std::future<SampleResult> submit(SampleRequest request);
+
+  /// Stops admission, completes every queued and in-flight request, then
+  /// stops the engine. Idempotent; blocks until the service is Stopped.
+  void drain();
+
+  Health health() const;
+  ServiceCounters counters() const;
+
+ private:
+  struct Pending {
+    SampleRequest request;
+    std::promise<SampleResult> promise;
+    double budget_ms = 0.0;  ///< effective deadline budget, for error text
+  };
+
+  void engine_loop();
+
+  BatchSampler sampler_;
+  ServiceOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< engine waits for work / drain
+  std::condition_variable drain_cv_;  ///< drain() waits for Stopped
+  std::deque<Pending> queue_;
+  ServiceCounters counters_;
+  Health health_ = Health::Starting;
+  bool draining_ = false;
+  bool stopped_ = false;
+  std::uint64_t batch_seq_ = 0;
+
+  std::thread engine_;  ///< constructed last, joined in the destructor
+};
+
+}  // namespace exaclim::serve
